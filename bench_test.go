@@ -1,0 +1,430 @@
+// Benchmarks: one per table/figure of the paper's evaluation (see the
+// experiment index in DESIGN.md §3), plus ablations of the design choices
+// DESIGN.md calls out. Each benchmark runs a reduced instance of the
+// corresponding experiment and reports the domain metric (throughput,
+// gain, correlation) alongside ns/op so `go test -bench=.` doubles as a
+// miniature reproduction run. cmd/experiments regenerates the full-size
+// artifacts.
+package morphcache
+
+import (
+	"testing"
+
+	"morphcache/internal/acfv"
+	"morphcache/internal/bus"
+	"morphcache/internal/cache"
+	"morphcache/internal/core"
+	"morphcache/internal/hierarchy"
+	"morphcache/internal/mem"
+	"morphcache/internal/sim"
+	"morphcache/internal/stats"
+	"morphcache/internal/topology"
+	"morphcache/internal/workload"
+)
+
+// benchConfig is the reduced configuration the benchmarks run.
+func benchConfig() Config {
+	c := LabConfig()
+	c.Epochs = 6
+	c.WarmupEpochs = 1
+	c.EpochCycles = 300_000
+	return c
+}
+
+func mustRunStatic(b *testing.B, cfg Config, spec string, w Workload) *Result {
+	b.Helper()
+	r, err := RunStatic(cfg, spec, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+func mustRunMorph(b *testing.B, cfg Config, w Workload) *Result {
+	b.Helper()
+	r, err := RunMorphCache(cfg, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkFig2a — per-epoch throughput of Mix 01 under the static
+// topologies (the motivation figure's data series).
+func BenchmarkFig2a(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		base := mustRunStatic(b, cfg, "(16:1:1)", Mix("MIX 01"))
+		alt := mustRunStatic(b, cfg, "(4:4:1)", Mix("MIX 01"))
+		b.ReportMetric(alt.Throughput/base.Throughput, "quad/shared")
+	}
+}
+
+// BenchmarkFig2b — dedup vs freqmine across topologies.
+func BenchmarkFig2b(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		base := mustRunStatic(b, cfg, "(16:1:1)", Parsec("dedup"))
+		quad := mustRunStatic(b, cfg, "(4:4:1)", Parsec("dedup"))
+		b.ReportMetric(quad.Throughput/base.Throughput, "dedup-quad/shared")
+	}
+}
+
+// BenchmarkFig5 — ACFV-vs-oracle correlation at 128 bits (paper: 0.96).
+func BenchmarkFig5(b *testing.B) {
+	prof, err := workload.ByName("hmmer")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		slice := cache.New(cache.Config{SizeBytes: 1 << 20, Ways: 16, Policy: cache.LRU})
+		indexBits := 0
+		for 1<<indexBits < slice.Sets() {
+			indexBits++
+		}
+		gen := workload.NewGenerator(prof, workload.DefaultGenConfig(), 1, 0, 1)
+		v := acfv.NewVector(128, acfv.XOR)
+		oracle := acfv.NewOracle()
+		var est, truth []float64
+		for e := 0; e < 24; e++ {
+			gen.BeginEpoch(e)
+			for r := 0; r < 20000; r++ {
+				a := gen.Next()
+				if slice.Access(a.ASID, a.Line, false) >= 0 {
+					continue
+				}
+				old := slice.Insert(a.ASID, a.Line, false)
+				tag := a.Line >> uint(indexBits)
+				v.Set(tag)
+				oracle.Set(tag)
+				if old.Valid {
+					v.Clear(old.Line >> uint(indexBits))
+					oracle.Clear(old.Line >> uint(indexBits))
+				}
+			}
+			est = append(est, float64(v.Ones()))
+			truth = append(truth, float64(oracle.Ones()))
+			v.Reset()
+			oracle.Reset()
+		}
+		b.ReportMetric(stats.Correlation(est, truth), "corr-128b")
+	}
+}
+
+// BenchmarkTable2 — the analytical interconnect characterization.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := bus.Characterize(bus.DefaultTech(), bus.DefaultFloorplan())
+		b.ReportMetric(rep.MaxBusGHz, "maxGHz")
+		b.ReportMetric(float64(rep.OverheadCPUCycles), "overhead-cycles")
+	}
+}
+
+// BenchmarkTable4 — closed-loop footprint measurement of one benchmark.
+func BenchmarkTable4(b *testing.B) {
+	prof, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		gcfg := workload.ScaledGenConfig(cfg.Scale)
+		gen := workload.NewGenerator(prof, gcfg, 1, 0, 1)
+		p := cfg.Params()
+		p.Cores = 1
+		sys, err := hierarchy.New(p, topology.AllPrivate(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var now uint64
+		gen.BeginEpoch(0)
+		for r := 0; r < 50000; r++ {
+			res := sys.Access(0, gen.Next(), now)
+			now += uint64(res.Latency)
+		}
+		b.ReportMetric(sys.CoresUtilization(hierarchy.L3, []int{0}), "l3util")
+	}
+}
+
+// BenchmarkFig13 — MorphCache vs the all-shared baseline on one mix.
+func BenchmarkFig13(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		base := mustRunStatic(b, cfg, "(16:1:1)", Mix("MIX 05"))
+		m := mustRunMorph(b, cfg, Mix("MIX 05"))
+		b.ReportMetric(m.Throughput/base.Throughput, "morph/shared")
+	}
+}
+
+// BenchmarkFig14 — weighted and fair speedup of MorphCache on one mix.
+func BenchmarkFig14(b *testing.B) {
+	cfg := benchConfig()
+	alone, err := SoloIPCs(cfg, Mix("MIX 01"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := mustRunMorph(b, cfg, Mix("MIX 01"))
+		b.ReportMetric(WeightedSpeedup(m, alone), "WS")
+		b.ReportMetric(FairSpeedup(m, alone), "FS")
+	}
+}
+
+// BenchmarkFig15 — MorphCache against the ideal offline envelope.
+func BenchmarkFig15(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		var rs []*Result
+		for _, s := range []string{"(16:1:1)", "(1:1:16)", "(4:4:1)"} {
+			rs = append(rs, mustRunStatic(b, cfg, s, Mix("MIX 01")))
+		}
+		_, _, ideal, err := IdealOffline(rs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := mustRunMorph(b, cfg, Mix("MIX 01"))
+		b.ReportMetric(m.Throughput/ideal, "morph/ideal")
+	}
+}
+
+// BenchmarkFig16 — MorphCache vs all-shared on a PARSEC application.
+func BenchmarkFig16(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		base := mustRunStatic(b, cfg, "(16:1:1)", Parsec("dedup"))
+		m := mustRunMorph(b, cfg, Parsec("dedup"))
+		b.ReportMetric(m.Throughput/base.Throughput, "morph/shared")
+	}
+}
+
+// BenchmarkFig17 — MorphCache vs PIPP and DSR on one mix.
+func BenchmarkFig17(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		p, err := RunPIPP(cfg, Mix("MIX 05"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := RunDSR(cfg, Mix("MIX 05"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := mustRunMorph(b, cfg, Mix("MIX 05"))
+		b.ReportMetric(m.Throughput/p.Throughput, "morph/pipp")
+		b.ReportMetric(m.Throughput/d.Throughput, "morph/dsr")
+	}
+}
+
+// BenchmarkReconStats — §2.4 reconfiguration statistics.
+func BenchmarkReconStats(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		m := mustRunMorph(b, cfg, Mix("MIX 05"))
+		b.ReportMetric(float64(m.Reconfigurations), "reconfigs")
+		b.ReportMetric(float64(m.AsymmetricSteps), "asym-steps")
+	}
+}
+
+// BenchmarkQoS — §5.3 MSAT throttling.
+func BenchmarkQoS(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Morph = core.DefaultOptions()
+	cfg.Morph.QoS = true
+	for i := 0; i < b.N; i++ {
+		m := mustRunMorph(b, cfg, Mix("MIX 08"))
+		b.ReportMetric(m.Throughput, "throughput")
+	}
+}
+
+// BenchmarkSensitivity — §5.4: MorphCache gain with doubled L2 capacity.
+func BenchmarkSensitivity(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		gens, err := Mix("MIX 05").Generators(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := cfg.Params()
+		p.L2SliceBytes *= 2
+		p.ChargeRemote = true
+		sys, err := hierarchy.New(p, topology.AllPrivate(p.Cores))
+		if err != nil {
+			b.Fatal(err)
+		}
+		thr, err := runEngine(cfg, sys, gens)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(thr, "throughput-2xL2")
+	}
+}
+
+// BenchmarkExtensions — §5.5: the relaxed reconfiguration spaces.
+func BenchmarkExtensions(b *testing.B) {
+	base := benchConfig()
+	arb := base
+	arb.Morph = core.DefaultOptions()
+	arb.Morph.AllowArbitrarySizes = true
+	non := base
+	non.Morph = core.DefaultOptions()
+	non.Morph.AllowArbitrarySizes = true
+	non.Morph.AllowNonNeighbors = true
+	for i := 0; i < b.N; i++ {
+		d := mustRunMorph(b, base, Mix("MIX 05"))
+		a := mustRunMorph(b, arb, Mix("MIX 05"))
+		n := mustRunMorph(b, non, Mix("MIX 05"))
+		b.ReportMetric(a.Throughput/d.Throughput, "arbitrary/default")
+		b.ReportMetric(n.Throughput/d.Throughput, "nonneighbor/default")
+	}
+}
+
+// --- ablations of DESIGN.md §4's design decisions ---------------------------
+
+// BenchmarkAblationUniformLatency — charge every merged-group hit the
+// remote latency (no locality placement benefit), quantifying decision 1.
+func BenchmarkAblationUniformLatency(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		gens, err := Mix("MIX 05").Generators(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := cfg.Params()
+		p.ChargeRemote = true
+		p.L2LocalCycles = p.L2MergedCycles
+		p.L3LocalCycles = p.L3MergedCycles
+		sys, err := hierarchy.New(p, topology.AllPrivate(p.Cores))
+		if err != nil {
+			b.Fatal(err)
+		}
+		run, err := runEngine(cfg, sys, gens)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(run, "throughput-uniform")
+	}
+}
+
+// BenchmarkAblationSplitAggressive — the §2.4 alternate conflict policy.
+func BenchmarkAblationSplitAggressive(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Morph = core.DefaultOptions()
+	cfg.Morph.Conflict = core.SplitAggressive
+	for i := 0; i < b.N; i++ {
+		m := mustRunMorph(b, cfg, Mix("MIX 05"))
+		b.ReportMetric(m.Throughput, "throughput-splitagg")
+	}
+}
+
+// BenchmarkAblationEpochLength — halved reconfiguration interval.
+func BenchmarkAblationEpochLength(b *testing.B) {
+	cfg := benchConfig()
+	cfg.EpochCycles /= 2
+	cfg.Epochs *= 2
+	for i := 0; i < b.N; i++ {
+		m := mustRunMorph(b, cfg, Mix("MIX 05"))
+		b.ReportMetric(m.Throughput, "throughput-short-epoch")
+	}
+}
+
+// BenchmarkAblationTreePLRU — tree pseudo-LRU replacement instead of LRU.
+func BenchmarkAblationTreePLRU(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		gens, err := Mix("MIX 05").Generators(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := cfg.Params()
+		p.Policy = cache.TreePLRU
+		p.ChargeRemote = true
+		sys, err := hierarchy.New(p, topology.AllPrivate(p.Cores))
+		if err != nil {
+			b.Fatal(err)
+		}
+		run, err := runEngine(cfg, sys, gens)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(run, "throughput-plru")
+	}
+}
+
+// BenchmarkAblationSRRIP — SRRIP replacement instead of the paper's LRU.
+func BenchmarkAblationSRRIP(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		gens, err := Mix("MIX 05").Generators(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := cfg.Params()
+		p.Policy = cache.SRRIP
+		p.ChargeRemote = true
+		sys, err := hierarchy.New(p, topology.AllPrivate(p.Cores))
+		if err != nil {
+			b.Fatal(err)
+		}
+		run, err := runEngine(cfg, sys, gens)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(run, "throughput-srrip")
+	}
+}
+
+// BenchmarkAblationSquarePhases — abrupt working-set phases instead of the
+// default smooth drift: stresses reaction time over tracking.
+func BenchmarkAblationSquarePhases(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		gcfg := workload.ScaledGenConfig(cfg.Scale)
+		gcfg.Model.SquarePhases = true
+		mix, err := workload.MixByName("MIX 05")
+		if err != nil {
+			b.Fatal(err)
+		}
+		gens := workload.MixGenerators(mix, gcfg, cfg.Seed)
+		p := cfg.Params()
+		p.ChargeRemote = true
+		sys, err := hierarchy.New(p, topology.AllPrivate(p.Cores))
+		if err != nil {
+			b.Fatal(err)
+		}
+		thr, err := runEngine(cfg, sys, gens)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(thr, "throughput-square")
+	}
+}
+
+// BenchmarkAccessPath — raw single-access cost of the hierarchy (the
+// simulator's hot loop).
+func BenchmarkAccessPath(b *testing.B) {
+	p := hierarchy.ScaledDefault(16, 16)
+	p.ChargeRemote = true
+	sys, err := hierarchy.New(p, topology.AllShared(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for c := 0; c < 16; c++ {
+		sys.SetCoreASID(c, mem.ASID(c+1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := i & 15
+		sys.Access(c, mem.Access{Line: mem.Line(uint64(c)<<24 | uint64(i%4096)), ASID: mem.ASID(c + 1)}, uint64(i))
+	}
+}
+
+// runEngine runs a custom hierarchy under the MorphCache controller and
+// returns the throughput.
+func runEngine(cfg Config, sys *hierarchy.System, gens []*workload.Generator) (float64, error) {
+	eng, err := sim.New(cfg.simConfig(), &sim.HierarchyTarget{Sys: sys, Policy: core.New(cfg.Morph)}, gens)
+	if err != nil {
+		return 0, err
+	}
+	return eng.Run().Throughput(), nil
+}

@@ -1,0 +1,111 @@
+// Command calib runs a reduced experiment matrix for calibrating the
+// workload model and controller: a few mixes and PARSEC apps across the
+// static topologies, MorphCache, PIPP and DSR, printing throughput
+// normalized to the (16:1:1) baseline (the paper's Fig. 13/16/17 format).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"morphcache/internal/baselines/dsr"
+	"morphcache/internal/baselines/pipp"
+	"morphcache/internal/core"
+	"morphcache/internal/hierarchy"
+	"morphcache/internal/metrics"
+	"morphcache/internal/sim"
+	"morphcache/internal/workload"
+)
+
+func main() {
+	var (
+		scale  = flag.Int("scale", 8, "capacity divisor")
+		epochs = flag.Int("epochs", 8, "measured epochs")
+		cycles = flag.Uint64("cycles", 500_000, "epoch cycles")
+		mixes  = flag.String("mixes", "MIX 01,MIX 04,MIX 08,MIX 10", "comma list")
+		par    = flag.String("parsec", "dedup,freqmine,streamcluster,blackscholes", "comma list")
+		full   = flag.Bool("pipp", false, "include PIPP and DSR")
+	)
+	flag.Parse()
+
+	cfg := sim.DefaultConfig()
+	cfg.Epochs = *epochs
+	cfg.WarmupEpochs = 2
+	cfg.EpochCycles = *cycles
+	gcfg := workload.ScaledGenConfig(*scale)
+
+	policies := []string{"(16:1:1)", "(1:1:16)", "(4:4:1)", "(8:2:1)", "(1:16:1)", "morph"}
+	if *full {
+		policies = append(policies, "pipp", "dsr")
+	}
+
+	fmt.Printf("%-14s", "workload")
+	for _, p := range policies {
+		fmt.Printf(" %10s", p)
+	}
+	fmt.Println("   (normalized to (16:1:1))")
+
+	runOne := func(name string, gens func() []*workload.Generator) {
+		var base float64
+		fmt.Printf("%-14s", name)
+		for _, pol := range policies {
+			run, err := execute(cfg, *scale, pol, gens())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			t := run.Throughput()
+			if pol == "(16:1:1)" {
+				base = t
+			}
+			fmt.Printf(" %10.3f", t/base)
+		}
+		fmt.Println()
+	}
+
+	for _, mn := range split(*mixes) {
+		mix, err := workload.MixByName(mn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runOne(mn, func() []*workload.Generator { return workload.MixGenerators(mix, gcfg, 1) })
+	}
+	for _, pn := range split(*par) {
+		p, err := workload.ByName(pn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runOne(pn, func() []*workload.Generator { return workload.ParsecGenerators(p, 16, gcfg, 1) })
+	}
+}
+
+func split(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func execute(cfg sim.Config, scale int, policy string, gens []*workload.Generator) (*metrics.Run, error) {
+	params := hierarchy.ScaledDefault(16, scale)
+	switch policy {
+	case "morph":
+		return sim.RunPolicy(cfg, params, core.New(core.DefaultOptions()), gens)
+	case "pipp":
+		return pipp.Run(cfg, params, gens)
+	case "dsr":
+		return dsr.Run(cfg, params, gens)
+	default:
+		return sim.RunStatic(cfg, params, policy, gens)
+	}
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"fmt"
+
+	mc "morphcache"
+
+	"morphcache/internal/acfv"
+	"morphcache/internal/cache"
+	"morphcache/internal/mem"
+	"morphcache/internal/stats"
+	"morphcache/internal/workload"
+)
+
+// fig5 reproduces Fig. 5: the correlation coefficient between the ACF
+// estimated by vectors of 2..512 bits (XOR vs. modulo hashing) and the
+// one-to-one oracle, for the hmmer benchmark on a 1 MB L2 slice. The
+// replay uses the paper's exact update rule: on every fill the incoming
+// tag's bit is set and the victim's bit cleared; all vectors reset at each
+// interval; |ACFV| is sampled at interval end.
+//
+// Paper: correlation ≈0.94 at 64 bits and ≈0.96 at 128 bits, XOR
+// consistently above modulo at small widths.
+func fig5(cfg mc.Config, quick bool) error {
+	prof, err := workload.ByName("hmmer")
+	if err != nil {
+		return err
+	}
+	// A full-size 1 MB slice, as in the paper's calibration. The vectors
+	// hash the *tag* of the line (its address above the index bits), so a
+	// footprint of thousands of lines maps to tens of distinct tags —
+	// which is what lets vectors as small as 64 bits track it (Fig. 4
+	// shows the tag feeding H(addr)).
+	slice := cache.New(cache.Config{SizeBytes: 1 << 20, Ways: 16, Policy: cache.LRU})
+	indexBits := 0
+	for 1<<indexBits < slice.Sets() {
+		indexBits++
+	}
+	tagOf := func(l mem.Line) mem.Line { return l >> uint(indexBits) }
+	gen := workload.NewGenerator(prof, workload.DefaultGenConfig(), 1, 0, cfg.Seed)
+
+	widths := []int{2, 8, 32, 64, 128, 512}
+	type est struct {
+		hash acfv.Hash
+		vecs []*acfv.Vector
+	}
+	ests := []est{{hash: acfv.XOR}, {hash: acfv.Modulo}}
+	for i := range ests {
+		for _, w := range widths {
+			ests[i].vecs = append(ests[i].vecs, acfv.NewVector(w, ests[i].hash))
+		}
+	}
+	oracle := acfv.NewOracle()
+
+	// The sampling interval is chosen so the per-interval footprint is a
+	// few hundred lines: a W-bit vector can only resolve footprints up to
+	// roughly W*ln(W) distinct lines, which is exactly the regime Fig. 5
+	// sweeps (2..512 bits).
+	epochs, refsPerEpoch := 48, 30000
+	if quick {
+		epochs = 24
+	}
+	samples := make(map[string][]float64) // "hash/width" -> per-epoch |ACFV|
+	var oracleSamples []float64
+
+	for e := 0; e < epochs; e++ {
+		gen.BeginEpoch(e)
+		for i := 0; i < refsPerEpoch; i++ {
+			a := gen.Next()
+			if slice.Access(a.ASID, a.Line, false) >= 0 {
+				continue
+			}
+			old := slice.Insert(a.ASID, a.Line, false)
+			for _, es := range ests {
+				for _, v := range es.vecs {
+					v.Set(tagOf(a.Line))
+					if old.Valid {
+						v.Clear(tagOf(old.Line))
+					}
+				}
+			}
+			oracle.Set(tagOf(a.Line))
+			if old.Valid {
+				oracle.Clear(tagOf(old.Line))
+			}
+		}
+		for _, es := range ests {
+			for wi, v := range es.vecs {
+				key := fmt.Sprintf("%v/%d", es.hash, widths[wi])
+				samples[key] = append(samples[key], float64(v.Ones()))
+				v.Reset()
+			}
+		}
+		oracleSamples = append(oracleSamples, float64(oracle.Ones()))
+		oracle.Reset()
+	}
+
+	fmt.Println("correlation with oracle ACF estimator (hmmer, 1 MB slice):")
+	header("bits", []string{"xor", "modulo"})
+	for wi, w := range widths {
+		_ = wi
+		x := stats.Correlation(samples[fmt.Sprintf("xor/%d", w)], oracleSamples)
+		m := stats.Correlation(samples[fmt.Sprintf("modulo/%d", w)], oracleSamples)
+		fmt.Printf("%-14d %10.3f %10.3f\n", w, x, m)
+	}
+	fmt.Println("\npaper reference: 0.94 at 64 bits, 0.96 at 128 bits; small vectors suffice.")
+	return nil
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"fmt"
+
+	mc "morphcache"
+
+	"morphcache/internal/stats"
+)
+
+// fig13 reproduces Fig. 13: MorphCache throughput against five static
+// topologies on the 12 multiprogrammed mixes, normalized to the all-shared
+// baseline. Paper averages: MorphCache +29.9% over (16:1:1), +29.3% over
+// (1:1:16), +19.9% over (4:4:1), +18.8% over (8:2:1), +27.9% over (1:16:1);
+// mixes 1-3, 6-7 and 10 (uniformly large ACFs) gain least.
+func fig13(cfg mc.Config, quick bool) error {
+	cols := append(append([]string{}, staticSpecs...), "morph")
+	header("mix", cols)
+	gains := map[string][]float64{}
+	for _, mn := range mixNames(quick) {
+		w := mc.Mix(mn)
+		vals := make([]float64, 0, len(cols))
+		var base float64
+		for _, s := range staticSpecs {
+			r, err := staticResult(cfg, s, w)
+			if err != nil {
+				return err
+			}
+			if s == "(16:1:1)" {
+				base = r.Throughput
+			}
+			vals = append(vals, r.Throughput)
+		}
+		m, err := morphResult(cfg, w)
+		if err != nil {
+			return err
+		}
+		vals = append(vals, m.Throughput)
+		row(mn, vals, base)
+		for i, s := range staticSpecs {
+			gains[s] = append(gains[s], m.Throughput/vals[i])
+		}
+	}
+	fmt.Println("\naverage MorphCache gain over each static (measured | paper):")
+	paper := map[string]string{
+		"(16:1:1)": "+29.9%", "(1:1:16)": "+29.3%", "(4:4:1)": "+19.9%",
+		"(8:2:1)": "+18.8%", "(1:16:1)": "+27.9%",
+	}
+	for _, s := range staticSpecs {
+		fmt.Printf("  vs %-9s %+6.1f%% | %s\n", s, 100*(mean(gains[s])-1), paper[s])
+	}
+	return nil
+}
+
+// fig14 reproduces Fig. 14: weighted speedup (WS) and fair speedup (FS) of
+// MorphCache against the baseline and the best static topology per metric.
+// Paper: +32.8% WS over baseline, +12.3% over the best WS static (2:2:4);
+// +29.7% FS over baseline, +10.8% over the best FS static (4:4:1).
+func fig14(cfg mc.Config, quick bool) error {
+	specs := append(append([]string{}, staticSpecs...), "(2:2:4)")
+	header("mix", []string{"WS-base", "WS-best", "FS-base", "FS-best"})
+	var wsBase, wsBest, fsBase, fsBest []float64
+	for _, mn := range mixNames(quick) {
+		w := mc.Mix(mn)
+		alone, err := soloIPCs(cfg, mn)
+		if err != nil {
+			return err
+		}
+		m, err := morphResult(cfg, w)
+		if err != nil {
+			return err
+		}
+		mws := mc.WeightedSpeedup(m, alone)
+		mfs := mc.FairSpeedup(m, alone)
+		var baseWS, baseFS, bestWS, bestFS float64
+		for _, s := range specs {
+			r, err := staticResult(cfg, s, w)
+			if err != nil {
+				return err
+			}
+			ws := mc.WeightedSpeedup(r, alone)
+			fs := mc.FairSpeedup(r, alone)
+			if s == "(16:1:1)" {
+				baseWS, baseFS = ws, fs
+			}
+			if ws > bestWS {
+				bestWS = ws
+			}
+			if fs > bestFS {
+				bestFS = fs
+			}
+		}
+		fmt.Printf("%-14s %10.3f %10.3f %10.3f %10.3f\n", mn, mws/baseWS, mws/bestWS, mfs/baseFS, mfs/bestFS)
+		wsBase = append(wsBase, mws/baseWS)
+		wsBest = append(wsBest, mws/bestWS)
+		fsBase = append(fsBase, mfs/baseFS)
+		fsBest = append(fsBest, mfs/bestFS)
+	}
+	fmt.Printf("\naverages (measured | paper):\n")
+	fmt.Printf("  WS vs baseline:    %+6.1f%% | +32.8%%\n", 100*(mean(wsBase)-1))
+	fmt.Printf("  WS vs best static: %+6.1f%% | +12.3%%\n", 100*(mean(wsBest)-1))
+	fmt.Printf("  FS vs baseline:    %+6.1f%% | +29.7%%\n", 100*(mean(fsBase)-1))
+	fmt.Printf("  FS vs best static: %+6.1f%% | +10.8%%\n", 100*(mean(fsBest)-1))
+	return nil
+}
+
+// fig15 reproduces Fig. 15: MorphCache against the ideal offline scheme
+// that picks the best static topology for every epoch with perfect
+// foresight. Paper: MorphCache reaches ≈97% of the ideal scheme.
+func fig15(cfg mc.Config, quick bool) error {
+	header("mix", []string{"morph", "ideal", "ratio"})
+	var ratios []float64
+	for _, mn := range mixNames(quick) {
+		w := mc.Mix(mn)
+		var results []*mc.Result
+		var base float64
+		for _, s := range staticSpecs {
+			r, err := staticResult(cfg, s, w)
+			if err != nil {
+				return err
+			}
+			if s == "(16:1:1)" {
+				base = r.Throughput
+			}
+			results = append(results, r)
+		}
+		_, _, ideal, err := mc.IdealOffline(results)
+		if err != nil {
+			return err
+		}
+		m, err := morphResult(cfg, w)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %10.3f %10.3f %10.3f\n", mn, m.Throughput/base, ideal/base, m.Throughput/ideal)
+		ratios = append(ratios, m.Throughput/ideal)
+	}
+	fmt.Printf("\naverage MorphCache / ideal-offline: %.1f%% (paper: ~97%%)\n", 100*mean(ratios))
+	fmt.Printf("spread of per-mix ratios: min %.3f max %.3f\n",
+		stats.Min(ratios), stats.Max(ratios))
+	return nil
+}

@@ -1,0 +1,159 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §3 for the experiment index and EXPERIMENTS.md
+// for recorded results).
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig13
+//	experiments -run fig2a,fig2b,fig5
+//	experiments -run all            # full suite (~30-45 minutes)
+//	experiments -run fig13 -quick   # reduced epochs/workloads for smoke runs
+//
+// Every experiment prints the paper's reported numbers next to the
+// measured ones. Absolute throughputs are not expected to match (the
+// substrate is a calibrated synthetic simulator, not the authors' Simics
+// testbed); the comparisons of interest are orderings, crossovers, and
+// rough factors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	mc "morphcache"
+)
+
+// experiment is one reproducible artifact.
+type experiment struct {
+	id    string
+	about string
+	run   func(cfg mc.Config, quick bool) error
+}
+
+var registry = []experiment{
+	{"fig2a", "per-epoch throughput of Mix 01 under static topologies (motivation)", fig2a},
+	{"fig2b", "dedup vs freqmine across static topologies (motivation)", fig2b},
+	{"fig5", "ACFV-vs-oracle correlation across vector widths and hashes", fig5},
+	{"table2", "segmented bus arbiter area/delay and interconnect overhead", table2},
+	{"table4", "closed-loop check of the synthetic benchmark footprints", table4},
+	{"fig13", "MorphCache vs static topologies, 12 SPEC mixes", fig13},
+	{"fig14", "weighted and fair speedup vs the best static topology", fig14},
+	{"fig15", "MorphCache vs the ideal offline scheme", fig15},
+	{"fig16", "MorphCache vs static topologies, PARSEC", fig16},
+	{"fig17", "MorphCache vs PIPP and DSR", fig17},
+	{"recon", "reconfiguration counts and asymmetric-configuration share (§2.4)", recon},
+	{"qos", "MSAT throttling / QoS (§5.3)", qos},
+	{"sens", "sensitivity to cache sizes, associativity, core count (§5.4)", sens},
+	{"ext", "arbitrary group sizes and non-neighbor sharing (§5.5)", ext},
+	{"energy", "segmented-bus energy quantification (§7 future work)", energyExp},
+	{"xbar", "segmented bus vs crossbar interconnect trade-off (§3.1)", xbar},
+	{"seeds", "seed-robustness of the headline Fig. 13 gain", seeds},
+	{"interval", "reconfiguration-interval sweep (§4 epoch choice)", interval},
+}
+
+func main() {
+	var (
+		runList = flag.String("run", "", "comma-separated experiment ids, or 'all'")
+		list    = flag.Bool("list", false, "list experiments")
+		quick   = flag.Bool("quick", false, "reduced configuration (smoke run)")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	if *list || *runList == "" {
+		fmt.Println("experiments:")
+		for _, e := range registry {
+			fmt.Printf("  %-7s %s\n", e.id, e.about)
+		}
+		return
+	}
+
+	cfg := mc.LabConfig()
+	cfg.Seed = *seed
+	if *quick {
+		cfg.Epochs = 8
+		cfg.WarmupEpochs = 2
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*runList, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	all := want["all"]
+	known := map[string]bool{}
+	for _, e := range registry {
+		known[e.id] = true
+	}
+	for id := range want {
+		if id != "all" && !known[id] {
+			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", id)
+			os.Exit(2)
+		}
+	}
+
+	for _, e := range registry {
+		if !all && !want[e.id] {
+			continue
+		}
+		fmt.Printf("\n==================== %s — %s ====================\n", e.id, e.about)
+		if err := e.run(cfg, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// --- small shared helpers ---------------------------------------------------
+
+// staticSpecs is the comparison set of §5: the baseline plus four statics.
+var staticSpecs = []string{"(16:1:1)", "(1:1:16)", "(4:4:1)", "(8:2:1)", "(1:16:1)"}
+
+// mixNames returns the Table 5 mix names (a subset under -quick).
+func mixNames(quick bool) []string {
+	all := []string{"MIX 01", "MIX 02", "MIX 03", "MIX 04", "MIX 05", "MIX 06",
+		"MIX 07", "MIX 08", "MIX 09", "MIX 10", "MIX 11", "MIX 12"}
+	if quick {
+		return []string{"MIX 01", "MIX 05", "MIX 08", "MIX 12"}
+	}
+	return all
+}
+
+// parsecNames returns the PARSEC applications (a subset under -quick).
+func parsecNames(quick bool) []string {
+	all := []string{"blackscholes", "bodytrack", "canneal", "dedup", "facesim",
+		"ferret", "fluidanimate", "freqmine", "streamcluster", "swaptions", "vips", "x264"}
+	if quick {
+		return []string{"blackscholes", "dedup", "freqmine", "streamcluster"}
+	}
+	return all
+}
+
+// header prints a column header.
+func header(first string, cols []string) {
+	fmt.Printf("%-14s", first)
+	for _, c := range cols {
+		fmt.Printf(" %10s", c)
+	}
+	fmt.Println()
+}
+
+// row prints one table row of values normalized to base.
+func row(name string, vals []float64, base float64) {
+	fmt.Printf("%-14s", name)
+	for _, v := range vals {
+		fmt.Printf(" %10.3f", v/base)
+	}
+	fmt.Println()
+}
+
+// geomean of ratios.
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"fmt"
+
+	mc "morphcache"
+
+	"morphcache/internal/sim"
+	"morphcache/internal/workload"
+)
+
+// Results are memoized per (config, policy, workload) so that experiments
+// sharing runs (fig13/fig14/fig15/fig17) do not recompute them within one
+// invocation.
+var memo = map[string]*mc.Result{}
+
+func memoKey(cfg mc.Config, policy string, w mc.Workload) string {
+	return fmt.Sprintf("%s|%s|%d|%d|%d|%d", policy, w, cfg.Cores, cfg.Scale, cfg.Epochs, cfg.Seed)
+}
+
+func staticResult(cfg mc.Config, spec string, w mc.Workload) (*mc.Result, error) {
+	k := memoKey(cfg, spec, w)
+	if r, ok := memo[k]; ok {
+		return r, nil
+	}
+	r, err := mc.RunStatic(cfg, spec, w)
+	if err != nil {
+		return nil, err
+	}
+	memo[k] = r
+	return r, nil
+}
+
+func morphResult(cfg mc.Config, w mc.Workload) (*mc.Result, error) {
+	k := memoKey(cfg, "morph", w)
+	if r, ok := memo[k]; ok {
+		return r, nil
+	}
+	r, err := mc.RunMorphCache(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	memo[k] = r
+	return r, nil
+}
+
+func pippResult(cfg mc.Config, w mc.Workload) (*mc.Result, error) {
+	k := memoKey(cfg, "pipp", w)
+	if r, ok := memo[k]; ok {
+		return r, nil
+	}
+	r, err := mc.RunPIPP(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	memo[k] = r
+	return r, nil
+}
+
+func dsrResult(cfg mc.Config, w mc.Workload) (*mc.Result, error) {
+	k := memoKey(cfg, "dsr", w)
+	if r, ok := memo[k]; ok {
+		return r, nil
+	}
+	r, err := mc.RunDSR(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	memo[k] = r
+	return r, nil
+}
+
+// soloMemo caches per-benchmark alone-IPC references (benchmarks repeat
+// across mixes, so the cache is keyed by benchmark, not by mix).
+var soloMemo = map[string]float64{}
+
+func soloIPCs(cfg mc.Config, mixName string) ([]float64, error) {
+	mix, err := workload.MixByName(mixName)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(mix.Benchmarks))
+	for i, b := range mix.Benchmarks {
+		k := fmt.Sprintf("%s|%d|%d", b.Name, cfg.Scale, cfg.Seed)
+		if v, ok := soloMemo[k]; ok {
+			out[i] = v
+			continue
+		}
+		gcfg := workload.ScaledGenConfig(cfg.Scale)
+		if cfg.Scale <= 1 {
+			gcfg = workload.DefaultGenConfig()
+		}
+		v, err := sim.SoloIPC(simConfigOf(cfg), cfg.Params(), b, gcfg)
+		if err != nil {
+			return nil, err
+		}
+		soloMemo[k] = v
+		out[i] = v
+	}
+	return out, nil
+}
+
+// simConfigOf mirrors Config.simConfig (unexported in the facade).
+func simConfigOf(c mc.Config) sim.Config {
+	return sim.Config{
+		EpochCycles:  c.EpochCycles,
+		Epochs:       c.Epochs,
+		WarmupEpochs: c.WarmupEpochs,
+		GapInstr:     8,
+		IssueWidth:   4,
+		Seed:         c.Seed,
+	}
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"fmt"
+
+	mc "morphcache"
+
+	"morphcache/internal/textplot"
+)
+
+// fig2a reproduces Fig. 2(a): throughput of Mix 01 over 20 intervals under
+// four static topologies, each epoch normalized to the all-shared baseline.
+// The paper's claim: the best static configuration varies over time (the
+// curves cross), spanning roughly 0.75–1.35 of the baseline.
+func fig2a(cfg mc.Config, _ bool) error {
+	w := mc.Mix("MIX 01")
+	base, err := mc.RunStatic(cfg, "(16:1:1)", w)
+	if err != nil {
+		return err
+	}
+	specs := []string{"(1:1:16)", "(4:4:1)", "(8:2:1)", "(1:16:1)"}
+	series := make(map[string][]float64)
+	for _, s := range specs {
+		r, err := mc.RunStatic(cfg, s, w)
+		if err != nil {
+			return err
+		}
+		series[s] = r.EpochThroughputs
+	}
+	fmt.Println("per-epoch throughput normalized to (16:1:1), Mix 01:")
+	header("epoch", specs)
+	bestChanges := 0
+	prevBest := ""
+	for e := range base.EpochThroughputs {
+		fmt.Printf("%-14d", e)
+		best, bestV := "", 0.0
+		for _, s := range specs {
+			v := series[s][e] / base.EpochThroughputs[e]
+			fmt.Printf(" %10.3f", v)
+			if v > bestV {
+				best, bestV = s, v
+			}
+		}
+		fmt.Println()
+		if best != prevBest && prevBest != "" {
+			bestChanges++
+		}
+		prevBest = best
+	}
+	fmt.Printf("\nbest static changed %d times across %d epochs (paper: the best configuration varies with time)\n",
+		bestChanges, len(base.EpochThroughputs))
+
+	var plot []textplot.Series
+	for _, spec := range specs {
+		pts := make([]float64, len(base.EpochThroughputs))
+		for e := range pts {
+			pts[e] = series[spec][e] / base.EpochThroughputs[e]
+		}
+		plot = append(plot, textplot.Series{Name: spec, Points: pts})
+	}
+	chart, err := textplot.Render(plot, 12)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nnormalized throughput over epochs (cf. Fig. 2(a)):")
+	fmt.Print(chart)
+	return nil
+}
+
+// fig2b reproduces Fig. 2(b): dedup and freqmine across static topologies,
+// normalized to all-shared. Paper: dedup peaks at (4:4:1) (~1.18), freqmine
+// at (1:16:1) (~1.15); fully private is worst for both (~0.82).
+func fig2b(cfg mc.Config, _ bool) error {
+	specs := []string{"(1:1:16)", "(4:4:1)", "(8:2:1)", "(1:16:1)"}
+	header("app", specs)
+	for _, app := range []string{"dedup", "freqmine"} {
+		w := mc.Parsec(app)
+		base, err := mc.RunStatic(cfg, "(16:1:1)", w)
+		if err != nil {
+			return err
+		}
+		vals := make([]float64, len(specs))
+		for i, s := range specs {
+			r, err := mc.RunStatic(cfg, s, w)
+			if err != nil {
+				return err
+			}
+			vals[i] = r.Throughput
+		}
+		row(app, vals, base.Throughput)
+	}
+	fmt.Println("\npaper reference (Fig. 2(b), normalized to (16:1:1)):")
+	fmt.Println("dedup          ~0.82       ~1.18       ~1.09       ~1.08")
+	fmt.Println("freqmine       ~0.80       ~1.05       ~1.07       ~1.15")
+	fmt.Println("key shape: private worst; an intermediate/shared-L3 topology best; no single topology best for both.")
+	return nil
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"fmt"
+
+	mc "morphcache"
+)
+
+// fig16 reproduces Fig. 16: MorphCache against the static topologies on
+// the multithreaded PARSEC applications (performance = throughput, which
+// for fixed work per interval is proportional to inverse execution time).
+// Paper averages: MorphCache +25.6% over (16:1:1), +30.4% over (1:1:16),
+// +12.3% over (4:4:1), +7.5% over (8:2:1), +8.5% over (1:16:1); facesim,
+// ferret, freqmine and x264 (high spatial ACF variance) gain most.
+func fig16(cfg mc.Config, quick bool) error {
+	cols := append(append([]string{}, staticSpecs...), "morph")
+	header("app", cols)
+	gains := map[string][]float64{}
+	morphGain := map[string]float64{}
+	for _, app := range parsecNames(quick) {
+		w := mc.Parsec(app)
+		vals := make([]float64, 0, len(cols))
+		var base float64
+		for _, s := range staticSpecs {
+			r, err := staticResult(cfg, s, w)
+			if err != nil {
+				return err
+			}
+			if s == "(16:1:1)" {
+				base = r.Throughput
+			}
+			vals = append(vals, r.Throughput)
+		}
+		m, err := morphResult(cfg, w)
+		if err != nil {
+			return err
+		}
+		vals = append(vals, m.Throughput)
+		row(app, vals, base)
+		for i, s := range staticSpecs {
+			gains[s] = append(gains[s], m.Throughput/vals[i])
+		}
+		morphGain[app] = m.Throughput / base
+	}
+	fmt.Println("\naverage MorphCache gain over each static (measured | paper):")
+	paper := map[string]string{
+		"(16:1:1)": "+25.6%", "(1:1:16)": "+30.4%", "(4:4:1)": "+12.3%",
+		"(8:2:1)": "+7.5%", "(1:16:1)": "+8.5%",
+	}
+	for _, s := range staticSpecs {
+		fmt.Printf("  vs %-9s %+6.1f%% | %s\n", s, 100*(mean(gains[s])-1), paper[s])
+	}
+	return nil
+}
+
+// fig17 reproduces Fig. 17: MorphCache against PIPP and DSR, both extended
+// to manage the L2 and the L3, on the multiprogrammed mixes. Paper:
+// MorphCache +6.6% over PIPP and +5.7% over DSR on average, with MIX 04
+// and MIX 08 (little ACF variation) as the weak cases.
+func fig17(cfg mc.Config, quick bool) error {
+	header("mix", []string{"pipp", "dsr", "morph"})
+	var overPIPP, overDSR []float64
+	for _, mn := range mixNames(quick) {
+		w := mc.Mix(mn)
+		base, err := staticResult(cfg, "(16:1:1)", w)
+		if err != nil {
+			return err
+		}
+		p, err := pippResult(cfg, w)
+		if err != nil {
+			return err
+		}
+		d, err := dsrResult(cfg, w)
+		if err != nil {
+			return err
+		}
+		m, err := morphResult(cfg, w)
+		if err != nil {
+			return err
+		}
+		row(mn, []float64{p.Throughput, d.Throughput, m.Throughput}, base.Throughput)
+		overPIPP = append(overPIPP, m.Throughput/p.Throughput)
+		overDSR = append(overDSR, m.Throughput/d.Throughput)
+	}
+	fmt.Printf("\naverage MorphCache gain (measured | paper):\n")
+	fmt.Printf("  over PIPP: %+6.1f%% | +6.6%%\n", 100*(mean(overPIPP)-1))
+	fmt.Printf("  over DSR:  %+6.1f%% | +5.7%%\n", 100*(mean(overDSR)-1))
+	return nil
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"fmt"
+
+	mc "morphcache"
+
+	"morphcache/internal/hierarchy"
+	"morphcache/internal/sim"
+	"morphcache/internal/stats"
+	"morphcache/internal/topology"
+	"morphcache/internal/workload"
+)
+
+// measurePolicy samples every core's per-epoch L2/L3 active-footprint
+// utilization (the controller's signal) without reconfiguring anything.
+type measurePolicy struct {
+	l2, l3 [][]float64 // [epoch][core]
+}
+
+func (m *measurePolicy) Name() string { return "measure" }
+
+func (m *measurePolicy) EndEpoch(_ int, sys *hierarchy.System) (int, bool) {
+	n := sys.Cores()
+	l2 := make([]float64, n)
+	l3 := make([]float64, n)
+	for c := 0; c < n; c++ {
+		l2[c] = sys.CoresUtilization(hierarchy.L2, []int{c})
+		l3[c] = sys.CoresUtilization(hierarchy.L3, []int{c})
+	}
+	m.l2 = append(m.l2, l2)
+	m.l3 = append(m.l3, l3)
+	return 0, false
+}
+
+// measureFootprints runs a workload on a private topology and returns the
+// per-epoch per-core utilization samples.
+func measureFootprints(cfg mc.Config, gens []*workload.Generator, cores int) (*measurePolicy, error) {
+	p := cfg.Params()
+	p.Cores = cores
+	p.ChargeRemote = false
+	sys, err := hierarchy.New(p, topology.AllPrivate(cores))
+	if err != nil {
+		return nil, err
+	}
+	mp := &measurePolicy{}
+	eng, err := sim.New(simConfigOf(cfg), &sim.HierarchyTarget{Sys: sys, Policy: mp}, gens)
+	if err != nil {
+		return nil, err
+	}
+	eng.Run()
+	return mp, nil
+}
+
+// temporal returns (mean, temporal σ) of one core's series.
+func temporal(samples [][]float64, core int) (float64, float64) {
+	series := make([]float64, len(samples))
+	for e := range samples {
+		series[e] = samples[e][core]
+	}
+	return stats.Mean(series), stats.StdDev(series)
+}
+
+// spatial returns the mean across epochs of the per-epoch std-dev across
+// cores (Table 4's σs).
+func spatial(samples [][]float64) float64 {
+	per := make([]float64, len(samples))
+	for e := range samples {
+		per[e] = stats.StdDev(samples[e])
+	}
+	return stats.Mean(per)
+}
+
+// table4 closes the loop on the synthetic workload models: it measures each
+// benchmark's active-footprint statistics on a private hierarchy and sets
+// them against the Table 4 parameters that generated them. Measured values
+// are in working-set units (they include the documented occupancy→working-
+// set inflation), so the fidelity criterion is rank agreement: benchmarks
+// the table calls big/variable must measure big/variable. The Pearson
+// correlations across benchmarks summarize that agreement.
+func table4(cfg mc.Config, quick bool) error {
+	gcfg := workload.ScaledGenConfig(cfg.Scale)
+
+	fmt.Println("SPEC CPU 2006 (solo, private slice):")
+	fmt.Printf("%-12s %22s %22s\n", "", "L2: table | measured", "L3: table | measured")
+	fmt.Printf("%-12s %10s %11s %10s %11s\n", "benchmark", "ACF σt", "util σt", "ACF σt", "util σt")
+	profiles := workload.SPECProfiles()
+	if quick {
+		profiles = profiles[:8]
+	}
+	var tabL2, tabL3, meaL2, meaL3 []float64
+	for _, p := range profiles {
+		gens := []*workload.Generator{workload.NewGenerator(p, gcfg, 1, 0, cfg.Seed)}
+		mp, err := measureFootprints(cfg, gens, 1)
+		if err != nil {
+			return err
+		}
+		m2, s2 := temporal(mp.l2, 0)
+		m3, s3 := temporal(mp.l3, 0)
+		fmt.Printf("%-12s %5.2f %4.2f %5.2f %5.2f %5.2f %4.2f %5.2f %5.2f\n",
+			p.Name, p.L2ACF, p.L2SigmaT, m2, s2, p.L3ACF, p.L3SigmaT, m3, s3)
+		tabL2 = append(tabL2, p.L2ACF)
+		tabL3 = append(tabL3, p.L3ACF)
+		meaL2 = append(meaL2, m2)
+		meaL3 = append(meaL3, m3)
+	}
+	fmt.Printf("cross-benchmark correlation table-vs-measured: L2 %.2f, L3 %.2f\n",
+		stats.Correlation(tabL2, meaL2), stats.Correlation(tabL3, meaL3))
+
+	fmt.Println("\nPARSEC (16 threads, private slices):")
+	fmt.Printf("%-14s %28s %28s\n", "", "L2: table | measured", "L3: table | measured")
+	fmt.Printf("%-14s %13s %14s %13s %14s\n", "benchmark", "ACF σt σs", "util σt σs", "ACF σt σs", "util σt σs")
+	papps := workload.PARSECProfiles()
+	if quick {
+		papps = papps[:4]
+	}
+	var ptab3, pmea3 []float64
+	for _, p := range papps {
+		gens := workload.ParsecGenerators(p, cfg.Cores, gcfg, cfg.Seed)
+		mp, err := measureFootprints(cfg, gens, cfg.Cores)
+		if err != nil {
+			return err
+		}
+		var m2s, s2s, m3s, s3s []float64
+		for c := 0; c < cfg.Cores; c++ {
+			m2, s2 := temporal(mp.l2, c)
+			m3, s3 := temporal(mp.l3, c)
+			m2s, s2s = append(m2s, m2), append(s2s, s2)
+			m3s, s3s = append(m3s, m3), append(s3s, s3)
+		}
+		fmt.Printf("%-14s %4.2f %4.2f %4.2f  %4.2f %4.2f %4.2f  %4.2f %4.2f %4.2f  %4.2f %4.2f %4.2f\n",
+			p.Name,
+			p.L2ACF, p.L2SigmaT, p.L2SigmaS, stats.Mean(m2s), stats.Mean(s2s), spatial(mp.l2),
+			p.L3ACF, p.L3SigmaT, p.L3SigmaS, stats.Mean(m3s), stats.Mean(s3s), spatial(mp.l3))
+		ptab3 = append(ptab3, p.L3ACF)
+		pmea3 = append(pmea3, stats.Mean(m3s))
+	}
+	fmt.Printf("cross-benchmark correlation table-vs-measured (L3): %.2f\n",
+		stats.Correlation(ptab3, pmea3))
+	return nil
+}

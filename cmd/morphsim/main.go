@@ -1,0 +1,199 @@
+// Command morphsim runs one workload under one cache-management policy and
+// prints per-epoch and aggregate statistics.
+//
+// Usage examples:
+//
+//	morphsim -workload "MIX 01" -policy morph
+//	morphsim -workload "MIX 03" -policy "(4:4:1)" -epochs 10
+//	morphsim -workload dedup -policy morph -verbose -stats
+//	morphsim -workload "MIX 05" -policy morph -trace-out mix05.mctr
+//	morphsim -trace-in mix05.mctr -policy "(16:1:1)"
+//
+// Policies: any static "(x:y:z)" spec, "morph", "morph-qos",
+// "morph-split-aggressive", "morph-arbitrary", "morph-nonneighbor",
+// "pipp", or "dsr".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"morphcache/internal/baselines/dsr"
+	"morphcache/internal/baselines/pipp"
+	"morphcache/internal/core"
+	"morphcache/internal/hierarchy"
+	"morphcache/internal/metrics"
+	"morphcache/internal/sim"
+	"morphcache/internal/topology"
+	"morphcache/internal/workload"
+)
+
+func main() {
+	var (
+		wl          = flag.String("workload", "MIX 01", "Table 5 mix name or PARSEC benchmark name")
+		policy      = flag.String("policy", "morph", `policy: "(x:y:z)", morph, morph-qos, morph-split-aggressive, morph-arbitrary, morph-nonneighbor, pipp, dsr`)
+		epochs      = flag.Int("epochs", 20, "measured epochs")
+		warmup      = flag.Int("warmup", 2, "warmup epochs (unmeasured)")
+		epochCycles = flag.Uint64("epoch-cycles", 1_000_000, "cycles per reconfiguration interval")
+		cores       = flag.Int("cores", 16, "number of cores (power of two)")
+		seed        = flag.Uint64("seed", 1, "workload seed")
+		scale       = flag.Int("scale", 16, "capacity scale divisor (1 = full Table 3 sizes)")
+		verbose     = flag.Bool("verbose", false, "print per-epoch topology and throughput")
+		stats       = flag.Bool("stats", false, "print hierarchy event counters after the run")
+		traceOut    = flag.String("trace-out", "", "record the reference streams to this file")
+		traceIn     = flag.String("trace-in", "", "replay reference streams from this file instead of the synthetic workload")
+		jsonOut     = flag.Bool("json", false, "emit the run report as JSON on stdout")
+	)
+	flag.Parse()
+
+	cfg := sim.DefaultConfig()
+	cfg.Epochs = *epochs
+	cfg.WarmupEpochs = *warmup
+	cfg.EpochCycles = *epochCycles
+	cfg.Seed = *seed
+
+	var srcs []sim.Source
+	var finish func() error
+	switch {
+	case *traceIn != "":
+		s, err := replaySources(*traceIn, *cores)
+		if err != nil {
+			fatal(err)
+		}
+		srcs = s
+	default:
+		gens, err := buildGenerators(*wl, *cores, *seed, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		if *traceOut != "" {
+			s, done, err := wrapRecording(gens, *traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			srcs, finish = s, done
+		} else {
+			srcs = sim.FromGenerators(gens)
+		}
+	}
+
+	run, sys, err := runPolicy(cfg, *cores, *scale, *policy, srcs)
+	if err != nil {
+		fatal(err)
+	}
+	if finish != nil {
+		if err := finish(); err != nil {
+			fatal(err)
+		}
+	}
+
+	source := *wl
+	if *traceIn != "" {
+		source = "trace:" + *traceIn
+	}
+	if *jsonOut {
+		if err := emitJSON(os.Stdout, source, cfg, run, sys); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("workload=%q policy=%q epochs=%d epoch-cycles=%d\n", source, run.Policy, len(run.Epochs), cfg.EpochCycles)
+	if *verbose {
+		for _, e := range run.Epochs {
+			fmt.Printf("  epoch %2d  throughput=%6.3f  topology=%s\n", e.Index, e.Throughput(), e.Topology)
+		}
+	}
+	fmt.Printf("throughput (sum IPC): %.4f\n", run.Throughput())
+	if run.Reconfigurations > 0 {
+		fmt.Printf("reconfigurations: %d (asymmetric outcome in %d/%d intervals)\n",
+			run.Reconfigurations, run.AsymmetricSteps, len(run.Epochs))
+	}
+	if *stats && sys != nil {
+		dumpStats(sys)
+	}
+}
+
+func buildGenerators(name string, cores int, seed uint64, scale int) ([]*workload.Generator, error) {
+	gcfg := workload.ScaledGenConfig(scale)
+	if scale <= 1 {
+		gcfg = workload.DefaultGenConfig()
+	}
+	if mix, err := workload.MixByName(name); err == nil {
+		if len(mix.Benchmarks) < cores {
+			return nil, fmt.Errorf("mix %q has %d applications, need %d cores", name, len(mix.Benchmarks), cores)
+		}
+		mix.Benchmarks = mix.Benchmarks[:cores]
+		return workload.MixGenerators(mix, gcfg, seed), nil
+	}
+	p, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if p.Suite != workload.PARSEC {
+		return nil, fmt.Errorf("%q is a single-threaded SPEC benchmark; use a Table 5 mix or a PARSEC name", name)
+	}
+	return workload.ParsecGenerators(p, cores, gcfg, seed), nil
+}
+
+// runPolicy executes the sources under the named policy. The returned
+// hierarchy is nil for the PIPP/DSR targets (they manage their own caches).
+func runPolicy(cfg sim.Config, cores, scale int, policy string, srcs []sim.Source) (*metrics.Run, *hierarchy.System, error) {
+	params := hierarchy.ScaledDefault(cores, scale)
+	if scale <= 1 {
+		params = hierarchy.Default(cores)
+	}
+	var target sim.Target
+	var sys *hierarchy.System
+	switch {
+	case strings.HasPrefix(policy, "(") || strings.Contains(policy, ":"):
+		topo, err := topology.FromSpec(policy, cores)
+		if err != nil {
+			return nil, nil, err
+		}
+		params.ChargeRemote = false
+		sys, err = hierarchy.New(params, topo)
+		if err != nil {
+			return nil, nil, err
+		}
+		target = &sim.HierarchyTarget{Sys: sys, Policy: sim.NopPolicy{Label: policy}}
+	case policy == "pipp":
+		target = pipp.New(params, pipp.DefaultOptions())
+	case policy == "dsr":
+		target = dsr.New(params, dsr.DefaultOptions())
+	default:
+		opts := core.DefaultOptions()
+		switch policy {
+		case "morph":
+		case "morph-qos":
+			opts.QoS = true
+		case "morph-split-aggressive":
+			opts.Conflict = core.SplitAggressive
+		case "morph-arbitrary":
+			opts.AllowArbitrarySizes = true
+		case "morph-nonneighbor":
+			opts.AllowNonNeighbors = true
+			opts.AllowArbitrarySizes = true
+		default:
+			return nil, nil, fmt.Errorf("unknown policy %q", policy)
+		}
+		params.ChargeRemote = true
+		var err error
+		sys, err = hierarchy.New(params, topology.AllPrivate(cores))
+		if err != nil {
+			return nil, nil, err
+		}
+		target = &sim.HierarchyTarget{Sys: sys, Policy: core.New(opts)}
+	}
+	eng, err := sim.NewFromSources(cfg, target, srcs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return eng.Run(), sys, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "morphsim:", err)
+	os.Exit(1)
+}

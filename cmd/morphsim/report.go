@@ -1,0 +1,53 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+
+	"morphcache/internal/hierarchy"
+	"morphcache/internal/metrics"
+	"morphcache/internal/sim"
+)
+
+// report is the machine-readable run summary emitted by -json.
+type report struct {
+	Workload         string                `json:"workload"`
+	Policy           string                `json:"policy"`
+	EpochCycles      uint64                `json:"epoch_cycles"`
+	Epochs           int                   `json:"epochs"`
+	Throughput       float64               `json:"throughput"`
+	PerCoreIPC       []float64             `json:"per_core_ipc"`
+	EpochThroughputs []float64             `json:"epoch_throughputs"`
+	EpochTopologies  []string              `json:"epoch_topologies"`
+	Reconfigurations int                   `json:"reconfigurations"`
+	AsymmetricSteps  int                   `json:"asymmetric_steps"`
+	Hierarchy        *hierarchy.Stats      `json:"hierarchy,omitempty"`
+	PerCore          []hierarchy.CoreStats `json:"per_core,omitempty"`
+}
+
+func emitJSON(w io.Writer, workload string, cfg sim.Config, run *metrics.Run, sys *hierarchy.System) error {
+	r := report{
+		Workload:         workload,
+		Policy:           run.Policy,
+		EpochCycles:      cfg.EpochCycles,
+		Epochs:           len(run.Epochs),
+		Throughput:       run.Throughput(),
+		PerCoreIPC:       run.PerCoreIPC,
+		EpochThroughputs: run.EpochThroughputs(),
+		Reconfigurations: run.Reconfigurations,
+		AsymmetricSteps:  run.AsymmetricSteps,
+	}
+	for _, e := range run.Epochs {
+		r.EpochTopologies = append(r.EpochTopologies, e.Topology)
+	}
+	if sys != nil {
+		st := *sys.Stats()
+		r.Hierarchy = &st
+		for c := 0; c < sys.Cores(); c++ {
+			r.PerCore = append(r.PerCore, sys.CoreStats(c))
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

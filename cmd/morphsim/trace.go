@@ -1,0 +1,91 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"morphcache/internal/mem"
+	"morphcache/internal/sim"
+	"morphcache/internal/trace"
+	"morphcache/internal/workload"
+)
+
+// recordingSource wraps a Source and mirrors everything it produces into a
+// trace writer.
+type recordingSource struct {
+	inner sim.Source
+	core  int
+	w     *trace.Writer
+}
+
+func (r *recordingSource) ASID() mem.ASID { return r.inner.ASID() }
+
+func (r *recordingSource) BeginEpoch(e int) {
+	if e > 0 && r.core == 0 {
+		// One boundary record per epoch; core 0 leads the engine's
+		// BeginEpoch sweep.
+		if err := r.w.EpochBoundary(); err != nil {
+			fatal(err)
+		}
+	}
+	r.inner.BeginEpoch(e)
+}
+
+func (r *recordingSource) Next() mem.Access {
+	a := r.inner.Next()
+	if err := r.w.Record(r.core, a); err != nil {
+		fatal(err)
+	}
+	return a
+}
+
+// wrapRecording wraps every generator with a recorder into the given file.
+func wrapRecording(gens []*workload.Generator, path string) ([]sim.Source, func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := trace.NewWriter(f, len(gens))
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	srcs := make([]sim.Source, len(gens))
+	for i, g := range gens {
+		srcs[i] = &recordingSource{inner: g, core: i, w: w}
+	}
+	done := func() error {
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		fmt.Printf("recorded %d references to %s\n", w.Records(), path)
+		return f.Close()
+	}
+	return srcs, done, nil
+}
+
+// replaySources opens a trace file and returns one cursor per core.
+func replaySources(path string, cores int) ([]sim.Source, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return nil, err
+	}
+	if tr.Cores != cores {
+		return nil, fmt.Errorf("trace has %d cores, configuration has %d", tr.Cores, cores)
+	}
+	srcs := make([]sim.Source, cores)
+	for c := 0; c < cores; c++ {
+		cur, err := tr.Cursor(c)
+		if err != nil {
+			return nil, err
+		}
+		srcs[c] = cur
+	}
+	return srcs, nil
+}

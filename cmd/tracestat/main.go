@@ -1,0 +1,107 @@
+// Command tracestat summarizes a trace file produced by morphsim
+// -trace-out (or any writer of the internal/trace format): per-core
+// reference counts, write fractions, unique-line footprints, and per-epoch
+// footprint series — the quantities the MorphCache controller's decisions
+// are built on.
+//
+//	morphsim -workload "MIX 05" -policy morph -trace-out mix05.mctr
+//	tracestat mix05.mctr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"morphcache/internal/mem"
+	"morphcache/internal/trace"
+)
+
+func main() {
+	perEpoch := flag.Bool("epochs", false, "print per-epoch unique-line footprints per core")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracestat [-epochs] <file.mctr>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("trace: %d cores, %d recorded epochs\n\n", tr.Cores, tr.Epochs())
+	fmt.Printf("%-5s %6s %12s %10s %10s %10s\n", "core", "asid", "refs", "writes", "unique", "footprint")
+	var totalRefs, totalUnique int
+	for c := 0; c < tr.Cores; c++ {
+		cur, err := tr.Cursor(c)
+		if err != nil {
+			fmt.Printf("%-5d %s\n", c, err)
+			continue
+		}
+		refs := tr.Len(c)
+		writes := 0
+		unique := make(map[mem.GlobalLine]struct{})
+		cur.BeginEpoch(0)
+		for i := 0; i < refs; i++ {
+			a := cur.Next()
+			if a.Kind == mem.Write {
+				writes++
+			}
+			unique[a.Global()] = struct{}{}
+		}
+		fmt.Printf("%-5d %6d %12d %9.1f%% %10d %9.1f%%\n",
+			c, cur.ASID(), refs, 100*float64(writes)/float64(max(refs, 1)),
+			len(unique), 100*float64(len(unique))/float64(max(refs, 1)))
+		totalRefs += refs
+		totalUnique += len(unique)
+	}
+	fmt.Printf("\ntotal: %d references, %d unique (per-core) lines\n", totalRefs, totalUnique)
+
+	if *perEpoch {
+		fmt.Println("\nper-epoch unique lines per core:")
+		fmt.Printf("%-6s", "epoch")
+		for c := 0; c < tr.Cores; c++ {
+			fmt.Printf(" %8s", fmt.Sprintf("c%d", c))
+		}
+		fmt.Println()
+		for e := 0; e < tr.Epochs(); e++ {
+			fmt.Printf("%-6d", e)
+			for c := 0; c < tr.Cores; c++ {
+				fmt.Printf(" %8d", epochUnique(tr, c, e))
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// epochUnique counts a core's distinct lines within one recorded epoch.
+func epochUnique(tr *trace.Trace, core, epoch int) int {
+	cur, err := tr.Cursor(core)
+	if err != nil {
+		return 0
+	}
+	n := tr.EpochLen(core, epoch)
+	cur.BeginEpoch(epoch)
+	unique := make(map[mem.Line]struct{}, n)
+	for i := 0; i < n; i++ {
+		unique[cur.Next().Line] = struct{}{}
+	}
+	return len(unique)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracestat:", err)
+	os.Exit(1)
+}

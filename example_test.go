@@ -1,0 +1,85 @@
+package morphcache_test
+
+import (
+	"fmt"
+
+	mc "morphcache"
+)
+
+// The simplest use: run a Table 5 mix under MorphCache and compare with the
+// all-shared static baseline.
+func Example() {
+	cfg := mc.LabConfig()
+	cfg.Epochs = 4
+	cfg.WarmupEpochs = 1
+	cfg.EpochCycles = 100_000
+
+	w := mc.Mix("MIX 01")
+	base, err := mc.RunStatic(cfg, "(16:1:1)", w)
+	if err != nil {
+		panic(err)
+	}
+	morph, err := mc.RunMorphCache(cfg, w)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(base.Throughput > 0, morph.Throughput > 0, len(morph.EpochTopologies) == 4)
+	// Output: true true true
+}
+
+// Static topologies use the paper's (x:y:z) notation: x cores per L2
+// group, y L2 groups per L3 group, z L3 groups.
+func ExampleRunStatic() {
+	cfg := mc.LabConfig()
+	cfg.Epochs = 2
+	cfg.WarmupEpochs = 1
+	cfg.EpochCycles = 100_000
+
+	r, err := mc.RunStatic(cfg, "(4:4:1)", mc.Mix("MIX 02"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(r.Policy, len(r.PerCoreIPC))
+	// Output: (4:4:1) 16
+}
+
+// PARSEC workloads run one application with a thread per core, all in one
+// address space — the case MorphCache's sharing-merge rule targets.
+func ExampleParsec() {
+	cfg := mc.LabConfig()
+	cfg.Epochs = 2
+	cfg.WarmupEpochs = 1
+	cfg.EpochCycles = 100_000
+
+	r, err := mc.RunMorphCache(cfg, mc.Parsec("dedup"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(r.Throughput > 0)
+	// Output: true
+}
+
+// IdealOffline composes the per-epoch best static topology with perfect
+// foresight — the upper bound of Fig. 15.
+func ExampleIdealOffline() {
+	cfg := mc.LabConfig()
+	cfg.Epochs = 3
+	cfg.WarmupEpochs = 1
+	cfg.EpochCycles = 100_000
+
+	w := mc.Mix("MIX 03")
+	var rs []*mc.Result
+	for _, spec := range []string{"(16:1:1)", "(1:1:16)"} {
+		r, err := mc.RunStatic(cfg, spec, w)
+		if err != nil {
+			panic(err)
+		}
+		rs = append(rs, r)
+	}
+	series, _, mean, err := mc.IdealOffline(rs)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(series) == 3, mean > 0)
+	// Output: true true
+}

@@ -1,0 +1,63 @@
+// Multiprogrammed study: compare MorphCache with every static topology and
+// with the PIPP and DSR baselines on one Table 5 mix, including the
+// weighted/fair speedup metrics — a miniature of the paper's Figs. 13/14/17.
+//
+//	go run ./examples/multiprogrammed -mix "MIX 05"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	mc "morphcache"
+)
+
+func main() {
+	mixName := flag.String("mix", "MIX 05", `Table 5 mix ("MIX 01" .. "MIX 12")`)
+	epochs := flag.Int("epochs", 12, "measured epochs")
+	flag.Parse()
+
+	cfg := mc.LabConfig()
+	cfg.Epochs = *epochs
+	w := mc.Mix(*mixName)
+
+	// Per-application alone-IPC references (each benchmark on a private
+	// single-core hierarchy) for the speedup metrics.
+	fmt.Println("measuring per-application alone IPCs...")
+	alone, err := mc.SoloIPCs(cfg, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type entry struct {
+		name string
+		run  func() (*mc.Result, error)
+	}
+	entries := []entry{}
+	for _, s := range mc.StandardStatics(cfg) {
+		spec := s
+		entries = append(entries, entry{spec, func() (*mc.Result, error) { return mc.RunStatic(cfg, spec, w) }})
+	}
+	entries = append(entries,
+		entry{"PIPP", func() (*mc.Result, error) { return mc.RunPIPP(cfg, w) }},
+		entry{"DSR", func() (*mc.Result, error) { return mc.RunDSR(cfg, w) }},
+		entry{"MorphCache", func() (*mc.Result, error) { return mc.RunMorphCache(cfg, w) }},
+	)
+
+	fmt.Printf("\n%s: throughput and speedup metrics (%d epochs)\n\n", *mixName, *epochs)
+	fmt.Printf("%-12s %12s %10s %10s\n", "policy", "throughput", "WS", "FS")
+	var base float64
+	for _, e := range entries {
+		r, err := e.run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = r.Throughput
+		}
+		fmt.Printf("%-12s %7.3f (%.2fx) %10.3f %10.3f\n",
+			e.name, r.Throughput, r.Throughput/base,
+			mc.WeightedSpeedup(r, alone), mc.FairSpeedup(r, alone))
+	}
+}

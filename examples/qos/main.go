@@ -1,0 +1,75 @@
+// QoS study (§5.3): the default merge-aggressive policy maximizes
+// aggregate throughput but can push an individual application below the
+// performance of its fair share (a private slice). With QoS throttling the
+// controller raises the MSAT after any merge that increased a core's
+// misses, retreating toward a private configuration for the hurt
+// applications.
+//
+//	go run ./examples/qos -mix "MIX 08"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	mc "morphcache"
+
+	"morphcache/internal/core"
+)
+
+func main() {
+	mixName := flag.String("mix", "MIX 08", "Table 5 mix")
+	epochs := flag.Int("epochs", 12, "measured epochs")
+	flag.Parse()
+
+	cfg := mc.LabConfig()
+	cfg.Epochs = *epochs
+	w := mc.Mix(*mixName)
+
+	// Fair-share reference: each application on its private slice within
+	// the same mix (isolates cache-policy damage from the shared memory
+	// bandwidth no policy can change).
+	fair, err := mc.RunStatic(cfg, "(1:1:16)", w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alone := fair.PerCoreIPC
+
+	run := func(qos bool) (*mc.Result, *core.Controller) {
+		c := cfg
+		c.Morph = core.DefaultOptions()
+		c.Morph.QoS = qos
+		r, ctrl, err := mc.RunMorphCacheWithController(c, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r, ctrl
+	}
+	def, _ := run(false)
+	qosRes, qosCtrl := run(true)
+
+	fmt.Printf("%s: per-application speedup vs fair share (private slice in the same mix)\n\n", *mixName)
+	fmt.Printf("%-6s %12s %12s\n", "core", "default", "qos")
+	worstD, worstQ := 1e9, 1e9
+	for i := range alone {
+		d := def.PerCoreIPC[i] / alone[i]
+		q := qosRes.PerCoreIPC[i] / alone[i]
+		mark := "  "
+		if d < 1 {
+			mark = " *" // below fair share under the default policy
+		}
+		fmt.Printf("%-6d %12.3f %12.3f%s\n", i, d, q, mark)
+		if d < worstD {
+			worstD = d
+		}
+		if q < worstQ {
+			worstQ = q
+		}
+	}
+	fmt.Printf("\nworst-case speedup: %.3f default vs %.3f with QoS\n", worstD, worstQ)
+	fmt.Printf("aggregate throughput: %.3f default vs %.3f with QoS\n", def.Throughput, qosRes.Throughput)
+	h := qosCtrl.MSATBounds()
+	fmt.Printf("final throttled MSAT: high=%.2f low=%.2f (start: high=%.2f low=%.2f)\n",
+		h.High, h.Low, core.DefaultMSAT().High, core.DefaultMSAT().Low)
+}

@@ -1,0 +1,41 @@
+// Quickstart: run one multiprogrammed mix under MorphCache and under the
+// all-shared static baseline, and compare throughput.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mc "morphcache"
+)
+
+func main() {
+	// LabConfig is the calibrated 16-core configuration used by all the
+	// paper-reproduction experiments. Shrink the epoch count for a fast
+	// first contact with the simulator.
+	cfg := mc.LabConfig()
+	cfg.Epochs = 8
+
+	workload := mc.Mix("MIX 01") // Table 5: 16 SPEC applications, one per core
+
+	baseline, err := mc.RunStatic(cfg, "(16:1:1)", workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	morph, ctrl, err := mc.RunMorphCacheWithController(cfg, workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %s on a 16-core CMP (%d measured epochs)\n\n", workload, cfg.Epochs)
+	fmt.Printf("all-shared (16:1:1) throughput: %.3f IPC\n", baseline.Throughput)
+	fmt.Printf("MorphCache          throughput: %.3f IPC  (%+.1f%%)\n",
+		morph.Throughput, 100*(morph.Throughput/baseline.Throughput-1))
+	fmt.Printf("\nMorphCache performed %d merges and %d splits;\n", ctrl.Merges(), ctrl.Splits())
+	fmt.Println("topology at each epoch:")
+	for e, t := range morph.EpochTopologies {
+		fmt.Printf("  epoch %2d: %s\n", e, t)
+	}
+}

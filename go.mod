@@ -1,0 +1,3 @@
+module morphcache
+
+go 1.22

@@ -1,0 +1,54 @@
+// Package offline implements the paper's ideal offline scheme (§5.1,
+// Fig. 15): an oracle that executes the workload under every candidate
+// static topology and, at each epoch boundary, picks the topology that
+// performs best for that epoch. It is not realizable in practice (it needs
+// the future), which is exactly why the paper uses it as the upper bound
+// MorphCache is measured against (MorphCache reaches ≈97% of it).
+package offline
+
+import (
+	"fmt"
+
+	"morphcache/internal/metrics"
+)
+
+// Ideal composes the per-epoch upper envelope over the given static runs.
+// All runs must cover the same number of epochs. It returns the per-epoch
+// best throughput and which configuration achieved it.
+func Ideal(runs []*metrics.Run) (series []float64, choice []string, err error) {
+	if len(runs) == 0 {
+		return nil, nil, fmt.Errorf("offline: no candidate runs")
+	}
+	n := len(runs[0].Epochs)
+	for _, r := range runs[1:] {
+		if len(r.Epochs) != n {
+			return nil, nil, fmt.Errorf("offline: runs cover %d vs %d epochs", len(r.Epochs), n)
+		}
+	}
+	series = make([]float64, n)
+	choice = make([]string, n)
+	for e := 0; e < n; e++ {
+		best, bestT := -1, 0.0
+		for i, r := range runs {
+			if t := r.Epochs[e].Throughput(); best < 0 || t > bestT {
+				best, bestT = i, t
+			}
+		}
+		series[e] = bestT
+		choice[e] = runs[best].Policy
+	}
+	return series, choice, nil
+}
+
+// Throughput returns the whole-run throughput of the ideal schedule: the
+// mean of the per-epoch envelope.
+func Throughput(series []float64) float64 {
+	var sum float64
+	for _, t := range series {
+		sum += t
+	}
+	if len(series) == 0 {
+		return 0
+	}
+	return sum / float64(len(series))
+}

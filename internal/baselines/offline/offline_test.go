@@ -1,0 +1,63 @@
+package offline
+
+import (
+	"testing"
+
+	"morphcache/internal/metrics"
+)
+
+func runWith(policy string, series ...float64) *metrics.Run {
+	r := &metrics.Run{Policy: policy}
+	for i, t := range series {
+		r.Epochs = append(r.Epochs, metrics.Epoch{Index: i, PerCoreIPC: []float64{t}})
+	}
+	return r
+}
+
+func TestIdealEnvelope(t *testing.T) {
+	a := runWith("A", 1.0, 3.0, 2.0)
+	b := runWith("B", 2.0, 1.0, 2.5)
+	series, choice, err := Ideal([]*metrics.Run{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2.0, 3.0, 2.5}
+	wantChoice := []string{"B", "A", "B"}
+	for i := range want {
+		if series[i] != want[i] || choice[i] != wantChoice[i] {
+			t.Fatalf("epoch %d: %v/%v, want %v/%v", i, series[i], choice[i], want[i], wantChoice[i])
+		}
+	}
+	if m := Throughput(series); m != 2.5 {
+		t.Fatalf("mean %v, want 2.5", m)
+	}
+}
+
+func TestIdealDominates(t *testing.T) {
+	a := runWith("A", 1, 2, 3, 4)
+	b := runWith("B", 4, 3, 2, 1)
+	series, _, err := Ideal([]*metrics.Run{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range series {
+		if series[i] < a.Epochs[i].Throughput() || series[i] < b.Epochs[i].Throughput() {
+			t.Fatal("the envelope must dominate every candidate at every epoch")
+		}
+	}
+}
+
+func TestIdealErrors(t *testing.T) {
+	if _, _, err := Ideal(nil); err == nil {
+		t.Fatal("no candidates should error")
+	}
+	if _, _, err := Ideal([]*metrics.Run{runWith("A", 1), runWith("B", 1, 2)}); err == nil {
+		t.Fatal("mismatched epoch counts should error")
+	}
+}
+
+func TestThroughputEmpty(t *testing.T) {
+	if Throughput(nil) != 0 {
+		t.Fatal("empty series mean should be 0")
+	}
+}

@@ -1,0 +1,226 @@
+package bus
+
+import (
+	"math"
+	"testing"
+
+	"morphcache/internal/topology"
+)
+
+func TestTreeCounts(t *testing.T) {
+	t8 := NewArbiterTree(8)
+	if t8.NumArbiters() != 7 || t8.Levels() != 3 {
+		t.Fatalf("8-leaf tree: %d arbiters %d levels, want 7/3 (Table 2)", t8.NumArbiters(), t8.Levels())
+	}
+	t16 := NewArbiterTree(16)
+	if t16.NumArbiters() != 15 || t16.Levels() != 4 {
+		t.Fatalf("16-leaf tree: %d arbiters %d levels, want 15/4 (Table 2)", t16.NumArbiters(), t16.Levels())
+	}
+}
+
+func TestTreeRejectsNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two leaves should panic")
+		}
+	}()
+	NewArbiterTree(6)
+}
+
+func TestConfigureRejectsNonBuddy(t *testing.T) {
+	tree := NewArbiterTree(8)
+	g, err := topology.FromGroups(8, [][]int{{0}, {1, 2}, {3}, {4}, {5}, {6}, {7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Configure(g); err == nil {
+		t.Fatal("misaligned segment group should be rejected")
+	}
+}
+
+func TestSingleRequesterWins(t *testing.T) {
+	tree := NewArbiterTree(8)
+	if err := tree.Configure(topology.Shared(8)); err != nil {
+		t.Fatal(err)
+	}
+	req := make([]bool, 8)
+	req[5] = true
+	w := tree.Arbitrate(req)
+	if len(w) != 1 || w[0] != 5 {
+		t.Fatalf("grants %v, want [5]", w)
+	}
+	// No requesters: no grant.
+	if w := tree.Arbitrate(make([]bool, 8)); w[0] != -1 {
+		t.Fatalf("idle bus granted %v", w)
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	tree := NewArbiterTree(8)
+	if err := tree.Configure(topology.Shared(8)); err != nil {
+		t.Fatal(err)
+	}
+	req := make([]bool, 8)
+	for i := range req {
+		req[i] = true
+	}
+	counts := make([]int, 8)
+	for i := 0; i < 64; i++ {
+		w := tree.Arbitrate(req)
+		counts[w[0]]++
+	}
+	for leaf, c := range counts {
+		if c != 8 {
+			t.Fatalf("leaf %d granted %d of 64 rounds, want 8 (hierarchical round robin)", leaf, c)
+		}
+	}
+}
+
+func TestNoStarvation(t *testing.T) {
+	// A lone requester against a heavy neighbor must be served within the
+	// group-size bound.
+	tree := NewArbiterTree(8)
+	if err := tree.Configure(topology.Shared(8)); err != nil {
+		t.Fatal(err)
+	}
+	req := []bool{true, false, false, false, false, false, false, true}
+	for i := 0; i < 4; i++ {
+		got7 := false
+		for j := 0; j < 2; j++ { // two requesters -> served at least every 2 rounds
+			if tree.Arbitrate(req)[0] == 7 {
+				got7 = true
+			}
+		}
+		if !got7 {
+			t.Fatal("requester 7 starved")
+		}
+	}
+}
+
+func TestIsolatedSegmentsGrantInParallel(t *testing.T) {
+	tree := NewArbiterTree(8)
+	g, err := topology.Uniform(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Configure(g); err != nil {
+		t.Fatal(err)
+	}
+	req := make([]bool, 8)
+	for i := range req {
+		req[i] = true
+	}
+	w := tree.Arbitrate(req)
+	if len(w) != 4 {
+		t.Fatalf("4 isolated segments should produce 4 grants, got %v", w)
+	}
+	for gi, leaf := range w {
+		if leaf < gi*2 || leaf > gi*2+1 {
+			t.Fatalf("group %d granted leaf %d outside its segment", gi, leaf)
+		}
+	}
+}
+
+func TestTimingNumbers(t *testing.T) {
+	tm := DefaultTiming()
+	if tm.BusCycles() != 3 {
+		t.Fatalf("transaction = %d bus cycles, want 3 (§3.2)", tm.BusCycles())
+	}
+	if tm.OverheadCPUCycles() != 15 {
+		t.Fatalf("overhead = %d CPU cycles, want 15", tm.OverheadCPUCycles())
+	}
+	tm.Pipelined = true
+	if tm.OverheadCPUCycles() != 10 {
+		t.Fatalf("pipelined overhead = %d, want 10 (§3.2 footnote)", tm.OverheadCPUCycles())
+	}
+}
+
+func TestSegmentedBusOccupancy(t *testing.T) {
+	b := NewSegmentedBus(8, DefaultTiming())
+	if err := b.Configure(topology.Shared(8)); err != nil {
+		t.Fatal(err)
+	}
+	done1, ov1 := b.Transact(0, 100)
+	if ov1 != 15 || done1 != 115 {
+		t.Fatalf("first transaction done=%d overhead=%d, want 115/15", done1, ov1)
+	}
+	// A second transaction at the same time queues behind the first.
+	_, ov2 := b.Transact(1, 100)
+	if ov2 <= ov1 {
+		t.Fatalf("queued transaction overhead %d should exceed %d", ov2, ov1)
+	}
+	st := b.Stats()
+	if st.Transactions != 2 || st.WaitCPUCycles == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSegmentedBusPrivateFree(t *testing.T) {
+	b := NewSegmentedBus(8, DefaultTiming())
+	if err := b.Configure(topology.Private(8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ov := b.Transact(3, 50); ov != 0 {
+		t.Fatalf("private slice should not use the bus, overhead %d", ov)
+	}
+}
+
+func TestSegmentedBusIsolation(t *testing.T) {
+	b := NewSegmentedBus(8, DefaultTiming())
+	g, _ := topology.Uniform(8, 4)
+	if err := b.Configure(g); err != nil {
+		t.Fatal(err)
+	}
+	b.Transact(0, 100) // occupies group {0-3}
+	if _, ov := b.Transact(4, 100); ov != 15 {
+		t.Fatalf("isolated group should not queue, overhead %d", ov)
+	}
+}
+
+func TestPhysicalModel(t *testing.T) {
+	rep := Characterize(DefaultTech(), DefaultFloorplan())
+	if rep.L2.NumArbiters != 7 || rep.L3.NumArbiters != 15 {
+		t.Fatalf("arbiter counts %d/%d, want 7/15 (Table 2)", rep.L2.NumArbiters, rep.L3.NumArbiters)
+	}
+	within := func(got, want, tol float64) bool {
+		return math.Abs(got-want) <= tol*want
+	}
+	if !within(rep.L2.TotalAreaUM2, 160.5, 0.01) || !within(rep.L3.TotalAreaUM2, 343.9, 0.01) {
+		t.Fatalf("areas %.1f/%.1f, want 160.5/343.9", rep.L2.TotalAreaUM2, rep.L3.TotalAreaUM2)
+	}
+	if !within(rep.L2.ReqWireNs, 0.31, 0.15) || !within(rep.L3.ReqWireNs, 0.40, 0.15) {
+		t.Fatalf("request wire delays %.2f/%.2f, want ~0.31/0.40", rep.L2.ReqWireNs, rep.L3.ReqWireNs)
+	}
+	if !within(rep.MaxPathNs, 0.89, 0.1) {
+		t.Fatalf("max path %.2f ns, want ~0.89", rep.MaxPathNs)
+	}
+	if !within(rep.MaxBusGHz, 1.12, 0.1) {
+		t.Fatalf("max frequency %.2f GHz, want ~1.12", rep.MaxBusGHz)
+	}
+	if rep.OverheadCPUCycles != 15 || rep.PipelinedOverheadCPUCycles != 10 {
+		t.Fatalf("overheads %d/%d, want 15/10", rep.OverheadCPUCycles, rep.PipelinedOverheadCPUCycles)
+	}
+	if rep.TransactionBusCycles != 3 {
+		t.Fatalf("bus cycles %d, want 3", rep.TransactionBusCycles)
+	}
+}
+
+func TestArbitrateLengthPanics(t *testing.T) {
+	tree := NewArbiterTree(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong request vector length should panic")
+		}
+	}()
+	tree.Arbitrate(make([]bool, 4))
+}
+
+func TestCrossbarAreaDominates(t *testing.T) {
+	tech := DefaultTech()
+	rep := Characterize(tech, DefaultFloorplan())
+	xbar := CrossbarAreaUM2(tech, 16)
+	treeArea := rep.L3.TotalAreaUM2
+	if xbar < 10*treeArea {
+		t.Fatalf("a 16-port crossbar (%.0f um^2) should dwarf the arbiter tree (%.0f um^2)", xbar, treeArea)
+	}
+}

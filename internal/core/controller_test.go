@@ -1,0 +1,538 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"morphcache/internal/hierarchy"
+	"morphcache/internal/mem"
+	"morphcache/internal/topology"
+)
+
+// newSys builds a quiet 4-core hierarchy for planting controller inputs.
+func newSys(t *testing.T, topo topology.Topology) *hierarchy.System {
+	t.Helper()
+	p := hierarchy.ScaledDefault(4, 16)
+	p.ChargeRemote = true
+	p.L2ChannelCycles, p.L3ChannelCycles, p.MemChannelCycles = 0, 0, 0
+	s, err := hierarchy.New(p, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 4; c++ {
+		s.SetCoreASID(c, mem.ASID(c+1))
+	}
+	return s
+}
+
+// plantL3 plants a reuse demand of `frac` × slice capacity for a core:
+// the line set is accessed twice, with a fresh once-touched flusher region
+// between rounds so the second round misses L1/L2 and marks the L3 demand
+// again (flusher lines are single-touch and therefore never count).
+func plantL3(s *hierarchy.System, core int, frac float64) {
+	lines := int(frac * float64(s.Params().L3SliceBytes/mem.LineSize))
+	flush := 3 * s.Params().L2SliceBytes / mem.LineSize * 16 // cover every L2 set amply
+	asid := s.CoreASID(core)
+	base := mem.Line(uint64(core+1) << 40)
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < lines; i++ {
+			s.Access(core, mem.Access{Line: base + mem.Line(i), ASID: asid}, 0)
+		}
+		fbase := base + mem.Line(1<<30) + mem.Line(pass*flush)
+		for j := 0; j < flush; j++ {
+			s.Access(core, mem.Access{Line: fbase + mem.Line(j), ASID: asid}, 0)
+		}
+	}
+}
+
+func TestMergeConditionCapacity(t *testing.T) {
+	c := New(DefaultOptions())
+	s := newSys(t, topology.AllPrivate(4))
+	// Core 0 overflows (1.5x), core 1 idle.
+	plantL3(s, 0, 1.5)
+	r, _ := c.EndEpoch(0, s)
+	if r == 0 {
+		t.Fatal("capacity imbalance should trigger a merge")
+	}
+	if !s.Topology().L3.SameGroup(0, 1) {
+		t.Fatalf("L3 slices 0,1 should be merged, topology %v", s.Topology())
+	}
+	if c.Merges() == 0 {
+		t.Fatal("merge counter not incremented")
+	}
+}
+
+func TestNoMergeWhenBothFit(t *testing.T) {
+	c := New(DefaultOptions())
+	s := newSys(t, topology.AllPrivate(4))
+	plantL3(s, 0, 0.6)
+	plantL3(s, 1, 0.6)
+	plantL3(s, 2, 0.6)
+	plantL3(s, 3, 0.6)
+	r, _ := c.EndEpoch(0, s)
+	if r != 0 {
+		t.Fatalf("comfortable slices should not reconfigure, got %d ops (%v)", r, s.Topology())
+	}
+}
+
+func TestNoMergeBothOverflowDifferentASID(t *testing.T) {
+	c := New(DefaultOptions())
+	s := newSys(t, topology.AllPrivate(4))
+	plantL3(s, 0, 1.5)
+	plantL3(s, 1, 1.5)
+	c.EndEpoch(0, s)
+	if s.Topology().L3.SameGroup(0, 1) {
+		t.Fatal("two starved, unrelated applications must not merge (no benefit)")
+	}
+}
+
+func TestSharingMerge(t *testing.T) {
+	c := New(DefaultOptions())
+	s := newSys(t, topology.AllPrivate(4))
+	// Cores 0 and 1 run one address space and share most of their moderate
+	// footprints.
+	s.SetCoreASID(0, 9)
+	s.SetCoreASID(1, 9)
+	lines := int(0.8 * float64(s.Params().L3SliceBytes/mem.LineSize))
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < lines; i++ {
+			line := mem.Line(i)
+			for _, core := range []int{0, 1} {
+				s.L1Cache(core).Invalidate(9, line)
+				s.Access(core, mem.Access{Line: line, ASID: 9}, 0)
+			}
+		}
+	}
+	r, _ := c.EndEpoch(0, s)
+	if r == 0 || !s.Topology().L3.SameGroup(0, 1) {
+		t.Fatalf("data-sharing threads should merge (rule ii), topology %v", s.Topology())
+	}
+}
+
+func TestL2MergeDragsL3(t *testing.T) {
+	// An L2 merge is only legal when the covering L3 groups merge too
+	// (§2.2); the controller must perform both.
+	c := New(DefaultOptions())
+	s := newSys(t, topology.AllPrivate(4))
+	s.SetCoreASID(0, 9)
+	s.SetCoreASID(1, 9)
+	// Plant L2-level sharing demand directly: L2 demand marks on L2 hits.
+	lines := int(1.2 * float64(s.Params().L2SliceBytes/mem.LineSize))
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < lines; i++ {
+			line := mem.Line(i)
+			for _, core := range []int{0, 1} {
+				s.L1Cache(core).Invalidate(9, line)
+				s.Access(core, mem.Access{Line: line, ASID: 9}, 0)
+			}
+		}
+	}
+	c.EndEpoch(0, s)
+	topo := s.Topology()
+	if topo.L2.SameGroup(0, 1) && !topo.L3.SameGroup(0, 1) {
+		t.Fatalf("L2 merged without covering L3 merge: %v", topo)
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitOnInterference(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Hysteresis = 0
+	c := New(opts)
+	topo := topology.Topology{
+		L2: topology.Private(4),
+		L3: mustGroups(t, 4, [][]int{{0, 1}, {2}, {3}}),
+	}
+	s := newSys(t, topo)
+	// Both members of the merged pair become starved, unrelated apps.
+	plantL3(s, 0, 1.5)
+	plantL3(s, 1, 1.5)
+	r, _ := c.EndEpoch(0, s)
+	if r == 0 || s.Topology().L3.SameGroup(0, 1) {
+		t.Fatalf("destructive interference should split, topology %v", s.Topology())
+	}
+	if c.Splits() == 0 {
+		t.Fatal("split counter not incremented")
+	}
+}
+
+func TestStaleMergeSplits(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Hysteresis = 0
+	c := New(opts)
+	topo := topology.Topology{
+		L2: topology.Private(4),
+		L3: mustGroups(t, 4, [][]int{{0, 1}, {2}, {3}}),
+	}
+	s := newSys(t, topo)
+	// Neither member uses the capacity: the merge is no longer justified.
+	plantL3(s, 0, 0.1)
+	plantL3(s, 1, 0.1)
+	c.EndEpoch(0, s)
+	if s.Topology().L3.SameGroup(0, 1) {
+		t.Fatalf("stale merge should dissolve, topology %v", s.Topology())
+	}
+}
+
+func TestHysteresisKeepsJustifiedMerge(t *testing.T) {
+	c := New(DefaultOptions()) // default hysteresis 0.10
+	topo := topology.Topology{
+		L2: topology.Private(4),
+		L3: mustGroups(t, 4, [][]int{{0, 1}, {2}, {3}}),
+	}
+	s := newSys(t, topo)
+	// A capacity pair still near the thresholds: high side slightly under
+	// High, low side slightly above Low — within the hysteresis band.
+	plantL3(s, 0, 1.00)
+	plantL3(s, 1, 0.50)
+	c.EndEpoch(0, s)
+	if !s.Topology().L3.SameGroup(0, 1) {
+		t.Fatalf("merge within the hysteresis band should persist, topology %v", s.Topology())
+	}
+}
+
+func TestMergeAggressiveLocksAgainstSplit(t *testing.T) {
+	// The group merged this interval must not be split in the same interval
+	// even if the post-merge signals would allow it (Fig. 6 arbitration).
+	c := New(DefaultOptions())
+	s := newSys(t, topology.AllPrivate(4))
+	plantL3(s, 0, 1.5)
+	c.EndEpoch(0, s)
+	if !s.Topology().L3.SameGroup(0, 1) {
+		t.Skip("no merge formed; nothing to arbitrate")
+	}
+}
+
+func TestSplitAggressivePolicy(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Conflict = SplitAggressive
+	opts.Hysteresis = 0
+	c := New(opts)
+	if c.Name() != "MorphCache" {
+		t.Fatal("name")
+	}
+	topo := topology.Topology{
+		L2: topology.Private(4),
+		L3: mustGroups(t, 4, [][]int{{0, 1}, {2, 3}}),
+	}
+	s := newSys(t, topo)
+	// First pair interferes (split wanted); merging {0,1}+{2,3} would also
+	// qualify by rule (i) at the pair level. Split-aggressive splits first
+	// and the split halves stay locked against re-merging this interval.
+	plantL3(s, 0, 1.4)
+	plantL3(s, 1, 1.4)
+	plantL3(s, 2, 0.1)
+	plantL3(s, 3, 0.1)
+	c.EndEpoch(0, s)
+	if s.Topology().L3.SameGroup(0, 1) {
+		t.Fatalf("split-aggressive should split the interfering pair, topology %v", s.Topology())
+	}
+	if s.Topology().L3.SameGroup(0, 2) {
+		t.Fatalf("freshly split halves must not merge this interval, topology %v", s.Topology())
+	}
+}
+
+func TestConflictPolicyString(t *testing.T) {
+	if MergeAggressive.String() != "merge-aggressive" || SplitAggressive.String() != "split-aggressive" {
+		t.Fatal("conflict policy strings")
+	}
+}
+
+func TestCascadeToQuad(t *testing.T) {
+	// Fig. 6's merge-aggressive resolution: a starved dual next to an idle
+	// dual merges into a quad.
+	c := New(DefaultOptions())
+	topo := topology.Topology{
+		L2: topology.Private(4),
+		L3: mustGroups(t, 4, [][]int{{0, 1}, {2, 3}}),
+	}
+	s := newSys(t, topo)
+	plantL3(s, 0, 1.6)
+	plantL3(s, 1, 1.6)
+	plantL3(s, 2, 0.1)
+	plantL3(s, 3, 0.1)
+	c.EndEpoch(0, s)
+	if !s.Topology().L3.SameGroup(0, 2) {
+		t.Fatalf("starved pair + idle pair should merge into a quad (Fig. 6), topology %v", s.Topology())
+	}
+}
+
+func TestAsymmetricReporting(t *testing.T) {
+	c := New(DefaultOptions())
+	s := newSys(t, topology.AllPrivate(4))
+	plantL3(s, 0, 1.5) // merge {0,1} only: asymmetric outcome
+	r, asym := c.EndEpoch(0, s)
+	if r > 0 && !asym {
+		t.Fatalf("merging one pair of four slices is asymmetric, topology %v", s.Topology())
+	}
+}
+
+func TestQoSThrottleUp(t *testing.T) {
+	opts := DefaultOptions()
+	opts.QoS = true
+	c := New(opts)
+	s := newSys(t, topology.AllPrivate(4))
+
+	// Interval 0: force a merge.
+	plantL3(s, 0, 1.5)
+	for i := 0; i < 2000; i++ { // give core 1 a miss history
+		s.Access(1, mem.Access{Line: mem.Line(1<<30 + i), ASID: 2}, 0)
+	}
+	c.EndEpoch(0, s)
+	if !s.Topology().L3.SameGroup(0, 1) {
+		t.Skip("no merge; QoS has nothing to react to")
+	}
+	s.ResetFootprints()
+	s.ResetEpochCounters()
+
+	// Interval 1: core 1's misses explode after the merge.
+	for i := 0; i < 9000; i++ {
+		s.Access(1, mem.Access{Line: mem.Line(2<<30 + i), ASID: 2}, 0)
+	}
+	before := c.MSATBounds()
+	c.EndEpoch(1, s)
+	after := c.MSATBounds()
+	if !(after.High > before.High) {
+		t.Fatalf("QoS should throttle MSAT up after hurting a core: %+v -> %+v", before, after)
+	}
+	if s.Topology().L3.SameGroup(0, 1) {
+		t.Fatalf("QoS should retreat the hurt core toward private, topology %v", s.Topology())
+	}
+}
+
+func TestExtensionArbitrarySizes(t *testing.T) {
+	opts := DefaultOptions()
+	opts.AllowArbitrarySizes = true
+	c := New(opts)
+	topo := topology.Topology{
+		L2: topology.Private(4),
+		L3: mustGroups(t, 4, [][]int{{0, 1}, {2}, {3}}),
+	}
+	s := newSys(t, topo)
+	// The dual is starved; slice 2 is idle: a size-3 group is now legal.
+	plantL3(s, 0, 1.6)
+	plantL3(s, 1, 1.6)
+	c.EndEpoch(0, s)
+	g := s.Topology().L3
+	if !g.SameGroup(1, 2) {
+		t.Fatalf("arbitrary-size extension should annex the idle neighbor, topology %v", s.Topology())
+	}
+	if g.GroupSize(g.GroupOf(0)) != 3 {
+		t.Fatalf("expected a size-3 group, topology %v", s.Topology())
+	}
+}
+
+func TestExtensionNonNeighbors(t *testing.T) {
+	opts := DefaultOptions()
+	opts.AllowArbitrarySizes = true
+	opts.AllowNonNeighbors = true
+	c := New(opts)
+	s := newSys(t, topology.AllPrivate(4))
+	// Starved slice 0, idle slice 3 (slices 1, 2 moderately busy).
+	plantL3(s, 0, 1.6)
+	plantL3(s, 1, 0.8)
+	plantL3(s, 2, 0.8)
+	c.EndEpoch(0, s)
+	if !s.Topology().L3.SameGroup(0, 3) {
+		t.Fatalf("non-neighbor extension should pair 0 with 3, topology %v", s.Topology())
+	}
+	if err := s.Topology().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceOutput(t *testing.T) {
+	var sb strings.Builder
+	opts := DefaultOptions()
+	opts.Trace = &sb
+	c := New(opts)
+	s := newSys(t, topology.AllPrivate(4))
+	plantL3(s, 0, 1.5)
+	c.EndEpoch(0, s)
+	if c.Merges() > 0 && !strings.Contains(sb.String(), "merge") {
+		t.Fatalf("trace missing merge records: %q", sb.String())
+	}
+}
+
+func TestDefaultsSane(t *testing.T) {
+	o := DefaultOptions()
+	if o.MSAT.High <= o.MSAT.Low {
+		t.Fatal("MSAT bounds inverted")
+	}
+	if o.MaxGroup != 16 || o.MaxPasses <= 0 {
+		t.Fatalf("defaults %+v", o)
+	}
+	// Zero-value fix-ups in New.
+	c := New(Options{MSAT: DefaultMSAT()})
+	if c.opts.MaxGroup != 16 || c.opts.MaxPasses <= 0 {
+		t.Fatalf("New did not default MaxGroup/MaxPasses: %+v", c.opts)
+	}
+}
+
+func mustGroups(t *testing.T, n int, groups [][]int) topology.Grouping {
+	t.Helper()
+	g, err := topology.FromGroups(n, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// plantL2Sharing drives two same-ASID cores over a common line set so that
+// both accumulate L2-hit demand with high overlap, while keeping their
+// L3-tempo demand minimal (lines stay L2-resident between touches).
+func plantL2Sharing(s *hierarchy.System, a, b int, frac float64) {
+	lines := int(frac * float64(s.Params().L2SliceBytes/mem.LineSize))
+	asid := s.CoreASID(a)
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < lines; i++ {
+			line := mem.Line(i)
+			for _, core := range []int{a, b} {
+				s.L1Cache(core).Invalidate(asid, line)
+				s.Access(core, mem.Access{Line: line, ASID: asid}, 0)
+			}
+		}
+	}
+}
+
+func TestL2MergeDragsL3Merge(t *testing.T) {
+	// L3 has no merge reason of its own; the L2 sharing merge must pull the
+	// covering L3 merge along (§2.2) — and count both operations.
+	c := New(DefaultOptions())
+	s := newSys(t, topology.AllPrivate(4))
+	s.SetCoreASID(0, 9)
+	s.SetCoreASID(1, 9)
+	plantL2Sharing(s, 0, 1, 0.9)
+	r, _ := c.EndEpoch(0, s)
+	topo := s.Topology()
+	if !topo.L2.SameGroup(0, 1) {
+		t.Skipf("L2 sharing merge did not fire (utils: %v/%v, overlap %v)",
+			s.CoresUtilization(hierarchy.L2, []int{0}),
+			s.CoresUtilization(hierarchy.L2, []int{1}),
+			s.CoresOverlap(hierarchy.L2, []int{0}, []int{1}))
+	}
+	if !topo.L3.SameGroup(0, 1) {
+		t.Fatalf("L2 merge without covering L3 merge: %v", topo)
+	}
+	if r < 2 {
+		t.Fatalf("the dragged L3 merge must count as a reconfiguration, got %d ops", r)
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestL3SplitForcesStaleL2Split(t *testing.T) {
+	// L3 group {0-3} with a spanning L2 group {1,2}: splitting the L3
+	// requires splitting the L2 group first, which is allowed because its
+	// merge is no longer justified.
+	opts := DefaultOptions()
+	opts.Hysteresis = 0
+	c := New(opts)
+	topo := topology.Topology{
+		L2: mustGroups(t, 4, [][]int{{0}, {1, 2}, {3}}),
+		L3: mustGroups(t, 4, [][]int{{0, 1, 2, 3}}),
+	}
+	s := newSys(t, topo)
+	// Both L3 halves starved, different address spaces: interference split.
+	for core := 0; core < 4; core++ {
+		plantL3(s, core, 1.4)
+	}
+	c.EndEpoch(0, s)
+	got := s.Topology()
+	if got.L3.NumGroups() == 1 {
+		t.Fatalf("interfering L3 group did not split: %v", got)
+	}
+	if got.L2.SameGroup(1, 2) {
+		t.Fatalf("spanning L2 group must have been split first: %v", got)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestL3SplitAbandonedWhenL2Justified(t *testing.T) {
+	// Same shape, but cores 1 and 2 share an address space with heavy L2
+	// overlap: the spanning L2 merge stays justified, so the L3 split is
+	// abandoned (§2.3's "only if the corresponding L2 caches can be split").
+	opts := DefaultOptions()
+	opts.Hysteresis = 0
+	c := New(opts)
+	topo := topology.Topology{
+		L2: mustGroups(t, 4, [][]int{{0}, {1, 2}, {3}}),
+		L3: mustGroups(t, 4, [][]int{{0, 1, 2, 3}}),
+	}
+	s := newSys(t, topo)
+	s.SetCoreASID(1, 9)
+	s.SetCoreASID(2, 9)
+	plantL2Sharing(s, 1, 2, 0.9)
+	plantL3(s, 0, 1.4)
+	plantL3(s, 3, 1.4)
+	c.EndEpoch(0, s)
+	if !s.Topology().L2.SameGroup(1, 2) {
+		t.Fatalf("justified L2 sharing group should survive: %v", s.Topology())
+	}
+	// The L3 group must still contain both slices of the L2 group.
+	g := s.Topology().L3
+	if g.GroupOf(1) != g.GroupOf(2) {
+		t.Fatalf("L3 split across a justified L2 group: %v", s.Topology())
+	}
+}
+
+func TestMaxGroupCap(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxGroup = 2
+	c := New(opts)
+	topo := topology.Topology{
+		L2: topology.Private(4),
+		L3: mustGroups(t, 4, [][]int{{0, 1}, {2, 3}}),
+	}
+	s := newSys(t, topo)
+	plantL3(s, 0, 1.6)
+	plantL3(s, 1, 1.6)
+	plantL3(s, 2, 0.1)
+	plantL3(s, 3, 0.1)
+	c.EndEpoch(0, s)
+	g := s.Topology().L3
+	for gi := 0; gi < g.NumGroups(); gi++ {
+		if g.GroupSize(gi) > 2 {
+			t.Fatalf("MaxGroup=2 violated: %v", s.Topology())
+		}
+	}
+}
+
+func TestDecisionHistory(t *testing.T) {
+	c := New(DefaultOptions())
+	s := newSys(t, topology.AllPrivate(4))
+	plantL3(s, 0, 1.5)
+	c.EndEpoch(0, s)
+	h := c.History()
+	if len(h) == 0 {
+		t.Fatal("no decisions recorded")
+	}
+	first := h[0]
+	if !first.Merge || first.Level != hierarchy.L3 || first.Groups == "" {
+		t.Fatalf("unexpected first decision %+v", first)
+	}
+	if first.Interval != 1 {
+		t.Fatalf("interval %d, want 1", first.Interval)
+	}
+}
+
+func TestCounterAccessors(t *testing.T) {
+	c := New(DefaultOptions())
+	s := newSys(t, topology.AllPrivate(4))
+	plantL3(s, 0, 1.5)
+	c.EndEpoch(0, s)
+	if c.Intervals() != 1 {
+		t.Fatalf("intervals %d", c.Intervals())
+	}
+	if c.Merges() > 0 && c.AsymmetricIntervals() == 0 {
+		t.Fatal("single-pair merge should register as asymmetric")
+	}
+	if c.ThrottleUps() != 0 {
+		t.Fatal("no QoS means no throttling")
+	}
+}

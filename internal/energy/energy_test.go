@@ -1,0 +1,114 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+
+	"morphcache/internal/hierarchy"
+	"morphcache/internal/topology"
+)
+
+func statsWith(l2loc, l2rem, l3loc, l3rem, mem uint64) hierarchy.Stats {
+	return hierarchy.Stats{
+		Accesses: l2loc + l2rem + l3loc + l3rem + mem + 1000,
+		L1Hits:   1000,
+		L2Local:  l2loc, L2Remote: l2rem,
+		L2Misses: l3loc + l3rem + mem,
+		L3Local:  l3loc, L3Remote: l3rem,
+		L3Misses: mem,
+		MemReads: mem,
+	}
+}
+
+func TestMeterAccumulates(t *testing.T) {
+	m := NewMeter(Default())
+	m.Charge(hierarchy.Stats{}, statsWith(100, 0, 50, 0, 10), topology.AllPrivate(16))
+	if m.TotalNJ <= 0 || m.CacheNJ <= 0 || m.MemNJ <= 0 {
+		t.Fatalf("meter did not accumulate: %+v", m)
+	}
+	if m.BusNJ != 0 {
+		t.Fatalf("private topology must use no bus energy, got %v", m.BusNJ)
+	}
+	if m.TotalNJ != m.CacheNJ+m.BusNJ+m.MemNJ {
+		t.Fatal("breakdown does not sum to total")
+	}
+}
+
+func TestSegmentationSavesBusEnergy(t *testing.T) {
+	// Same traffic, three designs: private (no bus), dual-segmented, and
+	// monolithic. Bus energy must be strictly ordered.
+	traffic := statsWith(1000, 200, 500, 100, 50)
+	run := func(topo topology.Topology) float64 {
+		m := NewMeter(Default())
+		m.Charge(hierarchy.Stats{}, traffic, topo)
+		return m.BusNJ
+	}
+	duals := topology.Topology{
+		L2: mustUniform(t, 16, 2),
+		L3: mustUniform(t, 16, 2),
+	}
+	private := run(topology.AllPrivate(16))
+	segmented := run(duals)
+	monolithic := run(MonolithicTopology(16))
+	if !(private < segmented && segmented < monolithic) {
+		t.Fatalf("bus energy ordering violated: private %v, dual %v, monolithic %v",
+			private, segmented, monolithic)
+	}
+	// The monolithic fabric spans 8x the dual segments.
+	if monolithic < 4*segmented {
+		t.Fatalf("monolithic bus should cost several times the dual segments: %v vs %v",
+			monolithic, segmented)
+	}
+}
+
+func mustUniform(t *testing.T, n, size int) topology.Grouping {
+	t.Helper()
+	g, err := topology.Uniform(n, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMemoryDominatesThrash(t *testing.T) {
+	m := NewMeter(Default())
+	m.Charge(hierarchy.Stats{}, statsWith(10, 0, 10, 0, 1000), topology.AllPrivate(16))
+	if m.MemNJ < m.CacheNJ {
+		t.Fatal("a thrashing workload's energy must be memory-dominated")
+	}
+}
+
+func TestPerAccess(t *testing.T) {
+	m := NewMeter(Default())
+	if m.PerAccessNJ(0) != 0 {
+		t.Fatal("zero accesses")
+	}
+	st := statsWith(100, 0, 0, 0, 0)
+	m.Charge(hierarchy.Stats{}, st, topology.AllPrivate(16))
+	if got := m.PerAccessNJ(st.Accesses); got <= 0 {
+		t.Fatalf("per-access %v", got)
+	}
+}
+
+func TestDeltaCharging(t *testing.T) {
+	// Charging in two increments equals charging once with the total.
+	a := statsWith(500, 100, 200, 50, 20)
+	half := statsWith(250, 50, 100, 25, 10)
+	topo := MonolithicTopology(16)
+	whole := NewMeter(Default())
+	whole.Charge(hierarchy.Stats{}, a, topo)
+	split := NewMeter(Default())
+	split.Charge(hierarchy.Stats{}, half, topo)
+	split.Charge(half, a, topo)
+	if diff := whole.TotalNJ - split.TotalNJ; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("incremental charging diverges: %v vs %v", whole.TotalNJ, split.TotalNJ)
+	}
+}
+
+func TestString(t *testing.T) {
+	m := NewMeter(Default())
+	m.Charge(hierarchy.Stats{}, statsWith(10, 0, 5, 0, 1), topology.AllPrivate(16))
+	if s := m.String(); !strings.Contains(s, "total") {
+		t.Fatalf("summary %q", s)
+	}
+}

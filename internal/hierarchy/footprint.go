@@ -1,0 +1,238 @@
+package hierarchy
+
+import "morphcache/internal/mem"
+
+// Footprint signals for the MorphCache controller (§2.1–2.2).
+//
+// The controller consumes the *reuse demand* of each (core, slice): the set
+// of unique lines the core referenced at that level at least twice in the
+// current interval. This refines the paper's ACF in two ways that matter in
+// a trace-driven setting:
+//
+//   - demand, not residency: a thrashing slice (working set ≫ capacity)
+//     must read as highly utilized even though each line barely stays
+//     resident, otherwise merge rule (i) can never see the starvation it is
+//     supposed to relieve;
+//   - two-touch filter: lines referenced exactly once (streams) exert no
+//     capacity *utility* — giving them cache space returns nothing — so
+//     they are excluded, mirroring the paper's observation that stale,
+//     unreused data must not inflate the estimate.
+//
+// The hardware ACFV bit-vector of §2.1 (package acfv) approximates exactly
+// this kind of set; Fig. 5 of the paper — reproduced by the fig5 experiment
+// — quantifies how well small vectors track the true footprint. The
+// simulator hands the controller the exact set (the paper's "oracle") so
+// that policy quality is studied separately from estimator fidelity.
+
+// demandSet tracks one (core, slice) footprint: line -> touch count
+// (saturating).
+type demandSet map[mem.Line]uint8
+
+func (d demandSet) mark(line mem.Line) {
+	if v := d[line]; v < 15 {
+		d[line] = v + 1
+	}
+}
+
+// Reuse thresholds: a line belongs to a level's demand when the core
+// touched it at this level at least this many times in the interval. L2
+// marks fire only on L2 hits, so the threshold selects lines whose reuse is
+// actually realized at L2 tempo; L3 marks fire on L3 hits and fills (i.e.,
+// accesses that missed L2), so two touches there identify L3-tempo reuse —
+// including the working set of a thrashing slice, which hits nowhere but
+// keeps coming back. Once-touched lines (streams) never count anywhere.
+const (
+	l2ReuseThreshold = 2
+	l3ReuseThreshold = 2
+)
+
+func reuseThreshold(l Level) uint8 {
+	if l == L2 {
+		return l2ReuseThreshold
+	}
+	return l3ReuseThreshold
+}
+
+func (s *System) markDemand(l Level, core, slice int, line mem.Line) {
+	dd := s.demandL2
+	if l == L3 {
+		dd = s.demandL3
+	}
+	d := dd[core][slice]
+	if d == nil {
+		d = make(demandSet)
+		dd[core][slice] = d
+	}
+	d.mark(line)
+}
+
+// ResetFootprints clears every footprint set; called once per
+// reconfiguration interval so the sets track only the current interval's
+// actively used data (§2.1).
+func (s *System) ResetFootprints() {
+	for c := 0; c < s.p.Cores; c++ {
+		for sl := 0; sl < s.p.Cores; sl++ {
+			s.demandL2[c][sl] = nil
+			s.demandL3[c][sl] = nil
+		}
+	}
+}
+
+func (s *System) sliceLines(l Level) int {
+	if l == L2 {
+		return s.l2Lines
+	}
+	return s.l3Lines
+}
+
+// sliceReused builds the union over cores of one slice's reused lines.
+func (s *System) sliceReused(l Level, slice int, into map[mem.Line]struct{}) {
+	dd := s.demandL2
+	if l == L3 {
+		dd = s.demandL3
+	}
+	thr := reuseThreshold(l)
+	for c := 0; c < s.p.Cores; c++ {
+		for line, v := range dd[c][slice] {
+			if v >= thr {
+				into[line] = struct{}{}
+			}
+		}
+	}
+}
+
+// SliceUtilization returns the reuse demand of one slice as a fraction of
+// its capacity — the signal compared against the MSAT bounds. Values above
+// 1 mean the active working set exceeds the slice.
+func (s *System) SliceUtilization(l Level, slice int) float64 {
+	set := make(map[mem.Line]struct{})
+	s.sliceReused(l, slice, set)
+	return float64(len(set)) / float64(s.sliceLines(l))
+}
+
+// SubsetUtilization returns the juxtaposed utilization of a set of slices
+// (§2.2): total reuse demand over total capacity. With a whole group it is
+// the group's utilization; with half a group it is the signal the split
+// rule examines.
+func (s *System) SubsetUtilization(l Level, slices []int) float64 {
+	set := make(map[mem.Line]struct{})
+	for _, sl := range slices {
+		s.sliceReused(l, sl, set)
+	}
+	return float64(len(set)) / (float64(len(slices)) * float64(s.sliceLines(l)))
+}
+
+// GroupUtilization returns the utilization of a whole group.
+func (s *System) GroupUtilization(l Level, group int) float64 {
+	return s.SubsetUtilization(l, s.grouping(l).Members(group))
+}
+
+// SubsetOverlap returns the data-sharing signal between two slice sets at a
+// level: the fraction of the smaller set's reuse demand that both sets
+// reference. This is the "significant number of common 1s" test of merge
+// rule (ii); the caller is responsible for the same-address-space check.
+func (s *System) SubsetOverlap(l Level, a, b []int) float64 {
+	sa := make(map[mem.Line]struct{})
+	sb := make(map[mem.Line]struct{})
+	for _, sl := range a {
+		s.sliceReused(l, sl, sa)
+	}
+	for _, sl := range b {
+		s.sliceReused(l, sl, sb)
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	small, big := sa, sb
+	if len(sb) < len(sa) {
+		small, big = sb, sa
+	}
+	common := 0
+	for line := range small {
+		if _, ok := big[line]; ok {
+			common++
+		}
+	}
+	return float64(common) / float64(len(small))
+}
+
+// GroupOverlap is SubsetOverlap over two existing groups.
+func (s *System) GroupOverlap(l Level, ga, gb int) float64 {
+	g := s.grouping(l)
+	return s.SubsetOverlap(l, g.Members(ga), g.Members(gb))
+}
+
+// SlicesShareASID reports whether all listed cores run threads of one
+// address space — the precondition of merge rule (ii). Cores map one-to-one
+// to slices, so slice indices double as core ids.
+func (s *System) SlicesShareASID(slices ...[]int) bool {
+	ref := s.coreASID[slices[0][0]]
+	for _, set := range slices {
+		for _, c := range set {
+			if s.coreASID[c] != ref {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// coreReused collects one core's reused lines at a level across every slice
+// its data lands in. This is the paper's per-thread ACF: "the set of unique
+// cache lines referenced by that thread in that epoch" — independent of
+// *where* a merged group placed the lines, which matters because the
+// locality spill spreads a thread's working set across its group.
+func (s *System) coreReused(l Level, core int, into map[mem.Line]struct{}) {
+	dd := s.demandL2
+	if l == L3 {
+		dd = s.demandL3
+	}
+	thr := reuseThreshold(l)
+	for sl := 0; sl < s.p.Cores; sl++ {
+		for line, v := range dd[core][sl] {
+			if v >= thr {
+				into[line] = struct{}{}
+			}
+		}
+	}
+}
+
+// CoresUtilization returns the combined reuse demand of a set of cores
+// (threads) as a fraction of len(cores) slices of capacity — the per-thread
+// ACF signal the controller's merge and split rules compare against the
+// MSAT bounds.
+func (s *System) CoresUtilization(l Level, cores []int) float64 {
+	set := make(map[mem.Line]struct{})
+	for _, c := range cores {
+		s.coreReused(l, c, set)
+	}
+	return float64(len(set)) / (float64(len(cores)) * float64(s.sliceLines(l)))
+}
+
+// CoresOverlap returns the fraction of the smaller side's per-thread reuse
+// demand that both sides reference — the data-sharing signal of merge rule
+// (ii), computed per thread group.
+func (s *System) CoresOverlap(l Level, a, b []int) float64 {
+	sa := make(map[mem.Line]struct{})
+	sb := make(map[mem.Line]struct{})
+	for _, c := range a {
+		s.coreReused(l, c, sa)
+	}
+	for _, c := range b {
+		s.coreReused(l, c, sb)
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	small, big := sa, sb
+	if len(sb) < len(sa) {
+		small, big = sb, sa
+	}
+	common := 0
+	for line := range small {
+		if _, ok := big[line]; ok {
+			common++
+		}
+	}
+	return float64(common) / float64(len(small))
+}

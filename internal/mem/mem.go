@@ -1,0 +1,82 @@
+// Package mem defines the memory addressing vocabulary shared by the whole
+// simulator: byte addresses, cache-line (block) addresses, address spaces,
+// and access records.
+//
+// The simulator is trace-driven at cache-line granularity. Every access
+// carries the address space it belongs to (single-threaded applications in a
+// multiprogrammed mix each own a private address space; all threads of a
+// multithreaded application share one), which is how the hierarchy knows
+// when two cores may share data.
+package mem
+
+import "fmt"
+
+// LineSize is the cache block size in bytes (Table 3: 64-byte lines at every
+// level). It is a package constant rather than a parameter because the paper
+// uses 64 B uniformly and the workload models generate line-granular
+// addresses directly.
+const LineSize = 64
+
+// LineShift is log2(LineSize).
+const LineShift = 6
+
+// Addr is a byte address within an address space.
+type Addr uint64
+
+// Line is a cache-line (block) address: Addr >> LineShift.
+type Line uint64
+
+// LineOf returns the line containing a.
+func LineOf(a Addr) Line { return Line(a >> LineShift) }
+
+// Addr returns the first byte address of the line.
+func (l Line) Addr() Addr { return Addr(l) << LineShift }
+
+// ASID identifies an address space. Accesses with different ASIDs can never
+// alias; accesses with the same ASID and the same line address refer to the
+// same datum.
+type ASID uint16
+
+// Kind distinguishes reads from writes. Writes matter to the hierarchy
+// because a write to a line replicated in several split cache groups
+// invalidates the remote copies (the coherence cost that merging removes).
+type Kind uint8
+
+const (
+	// Read is a data load.
+	Read Kind = iota
+	// Write is a data store.
+	Write
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Access is one memory reference issued by a core.
+type Access struct {
+	// Line is the cache-line address within the address space.
+	Line Line
+	// ASID is the address space of the reference.
+	ASID ASID
+	// Kind is Read or Write.
+	Kind Kind
+}
+
+// GlobalLine is an address-space-qualified line, used as a map key by
+// structures (sharing tracker, oracle footprint sets) that span address
+// spaces.
+type GlobalLine struct {
+	ASID ASID
+	Line Line
+}
+
+// Global returns the address-space-qualified line of the access.
+func (a Access) Global() GlobalLine { return GlobalLine{ASID: a.ASID, Line: a.Line} }

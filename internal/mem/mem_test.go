@@ -1,0 +1,58 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineRoundTrip(t *testing.T) {
+	err := quick.Check(func(a uint64) bool {
+		addr := Addr(a)
+		l := LineOf(addr)
+		// The line's base address is the address with the offset cleared.
+		return l.Addr() == addr&^Addr(LineSize-1)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineSize(t *testing.T) {
+	if LineSize != 1<<LineShift {
+		t.Fatalf("LineSize %d != 1<<LineShift %d", LineSize, 1<<LineShift)
+	}
+	if LineSize != 64 {
+		t.Fatalf("Table 3 uses 64-byte lines, got %d", LineSize)
+	}
+}
+
+func TestSameLine(t *testing.T) {
+	if LineOf(0) != LineOf(63) {
+		t.Fatal("addresses 0 and 63 should share a line")
+	}
+	if LineOf(63) == LineOf(64) {
+		t.Fatal("addresses 63 and 64 should be on different lines")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatalf("Kind strings: %q %q", Read, Write)
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind should still stringify")
+	}
+}
+
+func TestGlobal(t *testing.T) {
+	a := Access{Line: 100, ASID: 7, Kind: Write}
+	g := a.Global()
+	if g.ASID != 7 || g.Line != 100 {
+		t.Fatalf("Global = %+v", g)
+	}
+	// GlobalLine must distinguish address spaces.
+	b := Access{Line: 100, ASID: 8}
+	if a.Global() == b.Global() {
+		t.Fatal("same line in different address spaces must not alias")
+	}
+}

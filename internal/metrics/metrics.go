@@ -1,0 +1,75 @@
+// Package metrics defines the performance measures of the paper's §5:
+// throughput (sum of per-core IPC), weighted speedup (WS), and fair speedup
+// (FS, the harmonic mean of speedups [Smith '88]), plus the per-epoch
+// series the figures plot.
+package metrics
+
+import (
+	"fmt"
+
+	"morphcache/internal/stats"
+)
+
+// Epoch is one reconfiguration interval's measurements.
+type Epoch struct {
+	Index int
+	// PerCoreIPC is instructions retired per cycle, per core, in the epoch.
+	PerCoreIPC []float64
+	// Topology is the configuration in force during the epoch.
+	Topology string
+}
+
+// Throughput is the sum of per-core IPCs (the paper's throughput metric).
+func (e Epoch) Throughput() float64 { return stats.Sum(e.PerCoreIPC) }
+
+// Run aggregates one complete simulation.
+type Run struct {
+	Policy string
+	Epochs []Epoch
+	// PerCoreIPC is the whole-run per-core IPC (instructions over measured
+	// cycles).
+	PerCoreIPC []float64
+	// Reconfigurations and AsymmetricSteps report the §2.4 statistics for
+	// adaptive policies (zero for statics).
+	Reconfigurations int
+	AsymmetricSteps  int
+}
+
+// Throughput returns the whole-run throughput.
+func (r *Run) Throughput() float64 { return stats.Sum(r.PerCoreIPC) }
+
+// EpochThroughputs returns the per-epoch throughput series (Fig. 2(a),
+// Fig. 15 inputs).
+func (r *Run) EpochThroughputs() []float64 {
+	out := make([]float64, len(r.Epochs))
+	for i, e := range r.Epochs {
+		out[i] = e.Throughput()
+	}
+	return out
+}
+
+// WeightedSpeedup is Σ IPC_i / IPCalone_i: equal weight to each
+// application's relative progress (§5.1).
+func WeightedSpeedup(ipc, alone []float64) float64 {
+	if len(ipc) != len(alone) {
+		panic(fmt.Sprintf("metrics: %d IPCs vs %d alone references", len(ipc), len(alone)))
+	}
+	var ws float64
+	for i := range ipc {
+		ws += ipc[i] / alone[i]
+	}
+	return ws
+}
+
+// FairSpeedup is the harmonic mean of per-application speedups, the metric
+// shown to balance fairness and performance (§5.1).
+func FairSpeedup(ipc, alone []float64) float64 {
+	if len(ipc) != len(alone) {
+		panic(fmt.Sprintf("metrics: %d IPCs vs %d alone references", len(ipc), len(alone)))
+	}
+	sp := make([]float64, len(ipc))
+	for i := range ipc {
+		sp[i] = ipc[i] / alone[i]
+	}
+	return stats.HarmonicMean(sp)
+}

@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestThroughput(t *testing.T) {
+	e := Epoch{PerCoreIPC: []float64{0.5, 0.25, 0.25}}
+	if e.Throughput() != 1.0 {
+		t.Fatalf("epoch throughput %v", e.Throughput())
+	}
+	r := Run{PerCoreIPC: []float64{1, 2}}
+	if r.Throughput() != 3 {
+		t.Fatalf("run throughput %v", r.Throughput())
+	}
+}
+
+func TestEpochThroughputs(t *testing.T) {
+	r := Run{Epochs: []Epoch{
+		{PerCoreIPC: []float64{1}},
+		{PerCoreIPC: []float64{2}},
+	}}
+	s := r.EpochThroughputs()
+	if len(s) != 2 || s[0] != 1 || s[1] != 2 {
+		t.Fatalf("series %v", s)
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	// Two apps at half their alone speed: WS = 1 (out of 2).
+	ws := WeightedSpeedup([]float64{0.5, 1}, []float64{1, 2})
+	if ws != 1 {
+		t.Fatalf("WS = %v, want 1", ws)
+	}
+}
+
+func TestFairSpeedup(t *testing.T) {
+	// Equal speedups: FS equals that speedup.
+	fs := FairSpeedup([]float64{0.5, 1}, []float64{1, 2})
+	if fs != 0.5 {
+		t.Fatalf("FS = %v, want 0.5", fs)
+	}
+	// FS penalizes imbalance: (1.0, 0.25) has HM 0.4 < AM 0.625.
+	fs = FairSpeedup([]float64{1, 0.25}, []float64{1, 1})
+	if math.Abs(fs-0.4) > 1e-12 {
+		t.Fatalf("FS = %v, want 0.4", fs)
+	}
+}
+
+func TestSpeedupMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	WeightedSpeedup([]float64{1}, []float64{1, 2})
+}

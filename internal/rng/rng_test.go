@@ -1,0 +1,171 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different seeds collided %d/100 times", same)
+	}
+}
+
+func TestDeriveOrderSensitive(t *testing.T) {
+	a := Derive(7, 1, 2)
+	b := Derive(7, 2, 1)
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("Derive should be sensitive to label order")
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	// Consecutive labels must yield uncorrelated first draws (mixing).
+	var prev uint64
+	for i := uint64(0); i < 64; i++ {
+		v := Derive(1, i).Uint64()
+		if v == prev {
+			t.Fatalf("Derive(1,%d) equals Derive(1,%d)", i, i-1)
+		}
+		prev = v
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	err := quick.Check(func(seed uint64, n int) bool {
+		if n <= 0 {
+			n = -n + 1
+		}
+		if n == 0 {
+			n = 1
+		}
+		v := New(seed).Intn(n)
+		return v >= 0 && v < n
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(5)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := draws / n
+	for i, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("bucket %d has %d draws, want ~%d", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	var sum float64
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+		sum += v
+	}
+	if m := sum / 100000; math.Abs(m-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v, want ~0.5", m)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %v, want ~1", variance)
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := New(seed)
+		for _, n := range []int{1, 2, 17, 1000} {
+			v := r.Zipf(n, 0.5)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// Higher theta concentrates more mass on the head.
+	headMass := func(theta float64) float64 {
+		r := New(3)
+		const n, draws = 1000, 50000
+		head := 0
+		for i := 0; i < draws; i++ {
+			if r.Zipf(n, theta) < n/10 {
+				head++
+			}
+		}
+		return float64(head) / draws
+	}
+	lo, hi := headMass(0.1), headMass(0.7)
+	if hi <= lo {
+		t.Fatalf("Zipf(0.7) head mass %v should exceed Zipf(0.1) head mass %v", hi, lo)
+	}
+	// theta<=0 degenerates to uniform.
+	if m := headMass(0); m < 0.07 || m > 0.13 {
+		t.Fatalf("Zipf(theta=0) head mass %v, want ~0.10", m)
+	}
+}
+
+func TestZipfPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Zipf(0) should panic")
+		}
+	}()
+	New(1).Zipf(0, 0.5)
+}

@@ -1,0 +1,300 @@
+// Package sim is the epoch-based simulation engine: it interleaves the
+// per-core reference streams in virtual time over a cache system, runs the
+// system's reconfiguration/partitioning hook at every epoch boundary, and
+// produces the metrics the experiments report.
+//
+// Time model: each core is an instruction stream punctuated by memory
+// references. Between references a core retires GapInstr instructions at
+// IssueWidth IPC; each reference then stalls the core for the hierarchy's
+// access latency. Cores advance in virtual-time order (always the core with
+// the smallest clock issues next), which interleaves the streams the way a
+// shared cache would see them. An epoch is a fixed window of cycles — the
+// scaled-down analogue of the paper's 300-million-cycle reconfiguration
+// interval (§4).
+package sim
+
+import (
+	"fmt"
+
+	"morphcache/internal/hierarchy"
+	"morphcache/internal/mem"
+	"morphcache/internal/metrics"
+	"morphcache/internal/topology"
+	"morphcache/internal/workload"
+)
+
+// Source is one core's reference stream: the synthetic workload models
+// (workload.Generator) and trace replay cursors (trace.Cursor) both
+// satisfy it.
+type Source interface {
+	// ASID is the address space the stream belongs to.
+	ASID() mem.ASID
+	// BeginEpoch positions the stream at the start of epoch e.
+	BeginEpoch(e int)
+	// Next produces the stream's next reference.
+	Next() mem.Access
+}
+
+// FromGenerators adapts workload generators to Sources.
+func FromGenerators(gens []*workload.Generator) []Source {
+	out := make([]Source, len(gens))
+	for i, g := range gens {
+		out[i] = g
+	}
+	return out
+}
+
+// Target is a simulated cache system under some management policy: the
+// MorphCache-controlled hierarchy, a static hierarchy, or the PIPP/DSR
+// baselines.
+type Target interface {
+	// Name labels the policy in reports.
+	Name() string
+	// Cores returns the core count.
+	Cores() int
+	// SetCoreASID tells the system which address space runs on a core.
+	SetCoreASID(core int, asid mem.ASID)
+	// Access simulates one reference at CPU cycle now.
+	Access(core int, a mem.Access, now uint64) hierarchy.AccessResult
+	// EndEpoch runs the policy's per-interval work (reconfiguration,
+	// repartitioning, monitor reset) after epoch e. It returns the number
+	// of reconfiguration operations and whether the resulting configuration
+	// is asymmetric (§2.4 statistics; zero/false for non-topology policies).
+	EndEpoch(e int) (reconfigs int, asymmetric bool)
+	// Spec describes the current configuration (e.g. "(4:4:1)").
+	Spec() string
+}
+
+// Policy decides reconfigurations for a hierarchy-backed target. Static
+// topologies use NopPolicy; the MorphCache controller implements this.
+type Policy interface {
+	Name() string
+	// EndEpoch runs after an epoch completes, before ACFVs are reset.
+	EndEpoch(e int, sys *hierarchy.System) (reconfigs int, asymmetric bool)
+}
+
+// NopPolicy is the no-op policy of a fixed topology.
+type NopPolicy struct{ Label string }
+
+// Name returns the label.
+func (p NopPolicy) Name() string { return p.Label }
+
+// EndEpoch does nothing.
+func (p NopPolicy) EndEpoch(int, *hierarchy.System) (int, bool) { return 0, false }
+
+// HierarchyTarget adapts a hierarchy.System plus a Policy to the Target
+// interface.
+type HierarchyTarget struct {
+	Sys    *hierarchy.System
+	Policy Policy
+}
+
+// Name implements Target.
+func (t *HierarchyTarget) Name() string { return t.Policy.Name() }
+
+// Cores implements Target.
+func (t *HierarchyTarget) Cores() int { return t.Sys.Cores() }
+
+// SetCoreASID implements Target.
+func (t *HierarchyTarget) SetCoreASID(core int, asid mem.ASID) { t.Sys.SetCoreASID(core, asid) }
+
+// Access implements Target.
+func (t *HierarchyTarget) Access(core int, a mem.Access, now uint64) hierarchy.AccessResult {
+	return t.Sys.Access(core, a, now)
+}
+
+// EndEpoch implements Target: policy first (it reads the interval's ACFVs
+// and miss counters), then the per-interval resets (§2.1).
+func (t *HierarchyTarget) EndEpoch(e int) (int, bool) {
+	r, asym := t.Policy.EndEpoch(e, t.Sys)
+	t.Sys.ResetFootprints()
+	t.Sys.ResetEpochCounters()
+	return r, asym
+}
+
+// Spec implements Target.
+func (t *HierarchyTarget) Spec() string { return t.Sys.Topology().Spec() }
+
+// Config parameterizes a run.
+type Config struct {
+	// EpochCycles is the reconfiguration interval in CPU cycles.
+	EpochCycles uint64
+	// Epochs is the number of measured intervals; WarmupEpochs run first
+	// and are excluded from metrics (the paper measures a region of
+	// interest in a warmed-up cache, §1.2).
+	Epochs, WarmupEpochs int
+	// GapInstr instructions retire between consecutive memory references,
+	// at IssueWidth IPC (4-way issue superscalar, Table 3).
+	GapInstr   int
+	IssueWidth float64
+	// Seed drives all workload randomness.
+	Seed uint64
+}
+
+// DefaultConfig returns the scaled experiment defaults: 20 measured epochs
+// of one million cycles after two warmup epochs.
+func DefaultConfig() Config {
+	return Config{
+		EpochCycles:  1_000_000,
+		Epochs:       20,
+		WarmupEpochs: 2,
+		GapInstr:     8,
+		IssueWidth:   4,
+		Seed:         1,
+	}
+}
+
+// Engine drives one simulation.
+type Engine struct {
+	cfg    Config
+	target Target
+	gens   []Source
+	clock  []uint64 // per-core cycle counters (persist across epochs)
+}
+
+// New builds an engine over a target. There must be exactly one generator
+// per core.
+func New(cfg Config, target Target, gens []*workload.Generator) (*Engine, error) {
+	return NewFromSources(cfg, target, FromGenerators(gens))
+}
+
+// NewFromSources builds an engine over arbitrary reference sources (e.g.
+// trace replay cursors).
+func NewFromSources(cfg Config, target Target, srcs []Source) (*Engine, error) {
+	if len(srcs) != target.Cores() {
+		return nil, fmt.Errorf("sim: %d sources for %d cores", len(srcs), target.Cores())
+	}
+	if cfg.EpochCycles == 0 || cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("sim: bad config %+v", cfg)
+	}
+	return &Engine{
+		cfg:    cfg,
+		target: target,
+		gens:   srcs,
+		clock:  make([]uint64, target.Cores()),
+	}, nil
+}
+
+// Run executes warmup plus measured epochs and returns the metrics.
+func (e *Engine) Run() *metrics.Run {
+	run := &metrics.Run{Policy: e.target.Name()}
+	n := e.target.Cores()
+	totalInstr := make([]uint64, n)
+	gapCycles := uint64(float64(e.cfg.GapInstr) / e.cfg.IssueWidth)
+	if gapCycles == 0 {
+		gapCycles = 1
+	}
+
+	totalEpochs := e.cfg.WarmupEpochs + e.cfg.Epochs
+	for ep := 0; ep < totalEpochs; ep++ {
+		epochStart := uint64(ep) * e.cfg.EpochCycles
+		epochEnd := epochStart + e.cfg.EpochCycles
+		instr := make([]uint64, n)
+		for c := 0; c < n; c++ {
+			e.gens[c].BeginEpoch(ep)
+			e.target.SetCoreASID(c, e.gens[c].ASID())
+			if e.clock[c] < epochStart {
+				e.clock[c] = epochStart
+			}
+		}
+		spec := e.target.Spec()
+		for {
+			// Advance the laggard core still inside the epoch.
+			core := -1
+			var minClock uint64
+			for c := 0; c < n; c++ {
+				if e.clock[c] < epochEnd && (core < 0 || e.clock[c] < minClock) {
+					core, minClock = c, e.clock[c]
+				}
+			}
+			if core < 0 {
+				break
+			}
+			a := e.gens[core].Next()
+			res := e.target.Access(core, a, e.clock[core])
+			e.clock[core] += gapCycles + uint64(res.Latency)
+			instr[core] += uint64(e.cfg.GapInstr)
+		}
+
+		measured := ep >= e.cfg.WarmupEpochs
+		if measured {
+			ipc := make([]float64, n)
+			for c := 0; c < n; c++ {
+				ipc[c] = float64(instr[c]) / float64(e.cfg.EpochCycles)
+				totalInstr[c] += instr[c]
+			}
+			run.Epochs = append(run.Epochs, metrics.Epoch{
+				Index:      ep - e.cfg.WarmupEpochs,
+				PerCoreIPC: ipc,
+				Topology:   spec,
+			})
+		}
+
+		reconf, asym := e.target.EndEpoch(ep)
+		if measured {
+			run.Reconfigurations += reconf
+			if reconf > 0 && asym {
+				run.AsymmetricSteps++
+			}
+		}
+	}
+
+	measuredCycles := float64(uint64(e.cfg.Epochs) * e.cfg.EpochCycles)
+	run.PerCoreIPC = make([]float64, n)
+	for c := 0; c < n; c++ {
+		run.PerCoreIPC[c] = float64(totalInstr[c]) / measuredCycles
+	}
+	return run
+}
+
+// RunStatic builds a hierarchy in a fixed (x:y:z) topology with the paper's
+// idealized static latencies and runs the workload on it.
+func RunStatic(cfg Config, p hierarchy.Params, spec string, gens []*workload.Generator) (*metrics.Run, error) {
+	topo, err := topology.FromSpec(spec, p.Cores)
+	if err != nil {
+		return nil, err
+	}
+	p.ChargeRemote = false
+	sys, err := hierarchy.New(p, topo)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := New(cfg, &HierarchyTarget{Sys: sys, Policy: NopPolicy{Label: spec}}, gens)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(), nil
+}
+
+// RunPolicy builds a MorphCache-style adaptive hierarchy (remote-hit
+// charging on, starting all-private per §2.2) under the given policy.
+func RunPolicy(cfg Config, p hierarchy.Params, policy Policy, gens []*workload.Generator) (*metrics.Run, error) {
+	p.ChargeRemote = true
+	sys, err := hierarchy.New(p, topology.AllPrivate(p.Cores))
+	if err != nil {
+		return nil, err
+	}
+	eng, err := New(cfg, &HierarchyTarget{Sys: sys, Policy: policy}, gens)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(), nil
+}
+
+// SoloIPC runs one benchmark thread alone on a single-core private
+// hierarchy (its fair-share slice, as the QoS discussion of §5.3 frames
+// it) and returns its whole-run IPC — the IPCalone reference for WS/FS.
+func SoloIPC(cfg Config, p hierarchy.Params, prof *workload.Profile, gcfg workload.GenConfig) (float64, error) {
+	p.Cores = 1
+	sys, err := hierarchy.New(p, topology.AllPrivate(1))
+	if err != nil {
+		return 0, err
+	}
+	gen := workload.NewGenerator(prof, gcfg, mem.ASID(1), 0, cfg.Seed)
+	eng, err := New(cfg, &HierarchyTarget{Sys: sys, Policy: NopPolicy{Label: "solo"}}, []*workload.Generator{gen})
+	if err != nil {
+		return 0, err
+	}
+	run := eng.Run()
+	return run.PerCoreIPC[0], nil
+}

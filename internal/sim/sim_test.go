@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"morphcache/internal/hierarchy"
+	"morphcache/internal/mem"
+	"morphcache/internal/topology"
+	"morphcache/internal/trace"
+	"morphcache/internal/workload"
+)
+
+func testConfig() Config {
+	c := DefaultConfig()
+	c.Epochs = 4
+	c.WarmupEpochs = 1
+	c.EpochCycles = 100_000
+	return c
+}
+
+func testGens(t *testing.T, mixName string, cores int) []*workload.Generator {
+	t.Helper()
+	mix, err := workload.MixByName(mixName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix.Benchmarks = mix.Benchmarks[:cores]
+	return workload.MixGenerators(mix, workload.ScaledGenConfig(16), 1)
+}
+
+func TestRunStaticBasics(t *testing.T) {
+	p := hierarchy.ScaledDefault(4, 16)
+	run, err := RunStatic(testConfig(), p, "(4:1:1)", testGens(t, "MIX 01", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Epochs) != 4 {
+		t.Fatalf("%d measured epochs, want 4", len(run.Epochs))
+	}
+	if run.Throughput() <= 0 {
+		t.Fatal("throughput must be positive")
+	}
+	if run.Policy != "(4:1:1)" {
+		t.Fatalf("policy label %q", run.Policy)
+	}
+	if run.Reconfigurations != 0 {
+		t.Fatal("static topology must not reconfigure")
+	}
+	for _, e := range run.Epochs {
+		if e.Topology != "(4:1:1)" {
+			t.Fatalf("epoch topology %q", e.Topology)
+		}
+		if len(e.PerCoreIPC) != 4 {
+			t.Fatalf("per-core IPCs %d", len(e.PerCoreIPC))
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	p := hierarchy.ScaledDefault(4, 16)
+	a, err := RunStatic(testConfig(), p, "(1:1:4)", testGens(t, "MIX 02", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunStatic(testConfig(), p, "(1:1:4)", testGens(t, "MIX 02", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range a.PerCoreIPC {
+		if a.PerCoreIPC[c] != b.PerCoreIPC[c] {
+			t.Fatalf("non-deterministic IPC for core %d: %v vs %v", c, a.PerCoreIPC[c], b.PerCoreIPC[c])
+		}
+	}
+}
+
+func TestGeneratorCountValidation(t *testing.T) {
+	p := hierarchy.ScaledDefault(4, 16)
+	sys, err := hierarchy.New(p, topology.AllPrivate(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(testConfig(), &HierarchyTarget{Sys: sys, Policy: NopPolicy{}}, testGens(t, "MIX 01", 2))
+	if err == nil {
+		t.Fatal("mismatched generator count must be rejected")
+	}
+	bad := testConfig()
+	bad.Epochs = 0
+	_, err = New(bad, &HierarchyTarget{Sys: sys, Policy: NopPolicy{}}, testGens(t, "MIX 01", 4))
+	if err == nil {
+		t.Fatal("zero epochs must be rejected")
+	}
+}
+
+// countingPolicy verifies the engine's policy/epoch contract.
+type countingPolicy struct {
+	calls  int
+	epochs []int
+}
+
+func (p *countingPolicy) Name() string { return "counting" }
+func (p *countingPolicy) EndEpoch(e int, _ *hierarchy.System) (int, bool) {
+	p.calls++
+	p.epochs = append(p.epochs, e)
+	return 1, true // pretend every interval reconfigured asymmetrically
+}
+
+func TestPolicyContract(t *testing.T) {
+	p := hierarchy.ScaledDefault(4, 16)
+	sys, err := hierarchy.New(p, topology.AllPrivate(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := &countingPolicy{}
+	eng, err := New(testConfig(), &HierarchyTarget{Sys: sys, Policy: cp}, testGens(t, "MIX 01", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := eng.Run()
+	// EndEpoch fires after every epoch, warmup included.
+	if cp.calls != 5 {
+		t.Fatalf("policy called %d times, want 5 (1 warmup + 4 measured)", cp.calls)
+	}
+	// Only measured intervals count toward the statistics.
+	if run.Reconfigurations != 4 || run.AsymmetricSteps != 4 {
+		t.Fatalf("reconfig stats %d/%d, want 4/4", run.Reconfigurations, run.AsymmetricSteps)
+	}
+}
+
+func TestRunPolicyStartsPrivate(t *testing.T) {
+	p := hierarchy.ScaledDefault(4, 16)
+	run, err := RunPolicy(testConfig(), p, NopPolicy{Label: "nop"}, testGens(t, "MIX 03", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range run.Epochs {
+		if e.Topology != "(1:1:4)" {
+			t.Fatalf("policy runs start all-private (§2.2), got %q", e.Topology)
+		}
+	}
+}
+
+func TestSoloIPC(t *testing.T) {
+	prof, err := workload.ByName("namd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipc, err := SoloIPC(testConfig(), hierarchy.ScaledDefault(16, 16), prof, workload.ScaledGenConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ipc <= 0 || ipc > 4 {
+		t.Fatalf("solo IPC %v outside (0, issue width]", ipc)
+	}
+}
+
+func TestVirtualTimeInterleaving(t *testing.T) {
+	// A target that records access order must see cores interleaved, not
+	// one core running an epoch alone.
+	p := hierarchy.ScaledDefault(4, 16)
+	sys, err := hierarchy.New(p, topology.AllPrivate(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingTarget{inner: &HierarchyTarget{Sys: sys, Policy: NopPolicy{}}}
+	cfg := testConfig()
+	cfg.Epochs, cfg.WarmupEpochs = 1, 0
+	eng, err := New(cfg, rec, testGens(t, "MIX 01", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	switches := 0
+	for i := 1; i < len(rec.order); i++ {
+		if rec.order[i] != rec.order[i-1] {
+			switches++
+		}
+	}
+	if switches < len(rec.order)/8 {
+		t.Fatalf("cores barely interleave: %d switches over %d accesses", switches, len(rec.order))
+	}
+}
+
+type recordingTarget struct {
+	inner *HierarchyTarget
+	order []int
+}
+
+func (r *recordingTarget) Name() string { return "recording" }
+func (r *recordingTarget) Cores() int   { return r.inner.Cores() }
+func (r *recordingTarget) SetCoreASID(c int, a mem.ASID) {
+	r.inner.SetCoreASID(c, a)
+}
+func (r *recordingTarget) Access(c int, a mem.Access, now uint64) hierarchy.AccessResult {
+	r.order = append(r.order, c)
+	return r.inner.Access(c, a, now)
+}
+func (r *recordingTarget) EndEpoch(e int) (int, bool) { return r.inner.EndEpoch(e) }
+func (r *recordingTarget) Spec() string               { return r.inner.Spec() }
+
+// recordingSource mirrors a source's output into a trace writer (the same
+// interposition cmd/morphsim uses for -trace-out).
+type recordingSource struct {
+	inner Source
+	core  int
+	w     *trace.Writer
+	t     *testing.T
+}
+
+func (r *recordingSource) ASID() mem.ASID { return r.inner.ASID() }
+func (r *recordingSource) BeginEpoch(e int) {
+	if e > 0 && r.core == 0 {
+		if err := r.w.EpochBoundary(); err != nil {
+			r.t.Fatal(err)
+		}
+	}
+	r.inner.BeginEpoch(e)
+}
+func (r *recordingSource) Next() mem.Access {
+	a := r.inner.Next()
+	if err := r.w.Record(r.core, a); err != nil {
+		r.t.Fatal(err)
+	}
+	return a
+}
+
+func TestEngineWithTraceSources(t *testing.T) {
+	// Record the references an actual run consumes, then drive a second run
+	// from the trace: the replay must reproduce the throughput exactly.
+	cfg := testConfig()
+	run := func(srcs []Source) float64 {
+		p := hierarchy.ScaledDefault(4, 16)
+		sys, err := hierarchy.New(p, topology.AllPrivate(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewFromSources(cfg, &HierarchyTarget{Sys: sys, Policy: NopPolicy{Label: "replay"}}, srcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng.Run().Throughput()
+	}
+
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded := make([]Source, 4)
+	for c, g := range testGens(t, "MIX 01", 4) {
+		recorded[c] = &recordingSource{inner: g, core: c, w: w, t: t}
+	}
+	want := run(recorded)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := make([]Source, 4)
+	for c := 0; c < 4; c++ {
+		cur, err := tr.Cursor(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs[c] = cur
+	}
+	got := run(srcs)
+	if got != want {
+		t.Fatalf("trace replay throughput %v != live %v", got, want)
+	}
+}

@@ -1,0 +1,138 @@
+// Package stats provides the small numerical helpers the experiments need:
+// means, standard deviations, harmonic means, Pearson correlation, and
+// geometric means. All functions are defined for the edge cases the harness
+// actually hits (empty slices, zero variance) and return NaN only where the
+// quantity is genuinely undefined.
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs, or NaN if xs is empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs, or NaN if xs is
+// empty. Population (not sample) deviation is what the paper's Table 4
+// σ columns describe: the spread of a benchmark's per-epoch ACFs around its
+// own mean, where the epochs are the entire population of interest.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// HarmonicMean returns the harmonic mean of xs. It returns NaN for an empty
+// slice and 0 if any element is 0 (the limit of the harmonic mean as an
+// element approaches zero). Negative elements are invalid and yield NaN.
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		if x < 0 {
+			return math.NaN()
+		}
+		if x == 0 {
+			return 0
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum
+}
+
+// GeoMean returns the geometric mean of xs, or NaN if xs is empty or any
+// element is negative.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		if x < 0 {
+			return math.NaN()
+		}
+		if x == 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Correlation returns the Pearson correlation coefficient between xs and ys.
+// It panics if the lengths differ, and returns NaN if either series has zero
+// variance or fewer than two points. This is the statistic Fig. 5 of the
+// paper reports between ACFV-estimated and oracle footprints.
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Correlation length mismatch")
+	}
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Min returns the minimum of xs, or NaN if empty.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or NaN if empty.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs (0 for an empty slice).
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

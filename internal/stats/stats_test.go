@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", m)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean of empty should be NaN")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if s := StdDev([]float64{2, 2, 2}); s != 0 {
+		t.Fatalf("StdDev of constants = %v, want 0", s)
+	}
+	// Population std of {1,3} is 1.
+	if s := StdDev([]float64{1, 3}); !approx(s, 1, 1e-12) {
+		t.Fatalf("StdDev = %v, want 1", s)
+	}
+	if !math.IsNaN(StdDev(nil)) {
+		t.Fatal("StdDev of empty should be NaN")
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if h := HarmonicMean([]float64{1, 1, 1}); h != 1 {
+		t.Fatalf("harmonic mean = %v, want 1", h)
+	}
+	// HM(1,2) = 4/3.
+	if h := HarmonicMean([]float64{1, 2}); !approx(h, 4.0/3, 1e-12) {
+		t.Fatalf("harmonic mean = %v, want 4/3", h)
+	}
+	if h := HarmonicMean([]float64{1, 0, 5}); h != 0 {
+		t.Fatalf("harmonic mean with a zero = %v, want 0", h)
+	}
+	if !math.IsNaN(HarmonicMean([]float64{1, -1})) {
+		t.Fatal("harmonic mean with negatives should be NaN")
+	}
+	if !math.IsNaN(HarmonicMean(nil)) {
+		t.Fatal("harmonic mean of empty should be NaN")
+	}
+}
+
+func TestHarmonicLEMean(t *testing.T) {
+	err := quick.Check(func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) && x < 1e100 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		// AM-HM inequality.
+		return HarmonicMean(xs) <= Mean(xs)*(1+1e-9)
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); !approx(g, 2, 1e-12) {
+		t.Fatalf("geomean = %v, want 2", g)
+	}
+	if g := GeoMean([]float64{3, 0}); g != 0 {
+		t.Fatalf("geomean with zero = %v, want 0", g)
+	}
+	if !math.IsNaN(GeoMean([]float64{-1})) {
+		t.Fatal("geomean with negatives should be NaN")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if c := Correlation(x, y); !approx(c, 1, 1e-12) {
+		t.Fatalf("perfect positive correlation = %v, want 1", c)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if c := Correlation(x, neg); !approx(c, -1, 1e-12) {
+		t.Fatalf("perfect negative correlation = %v, want -1", c)
+	}
+	if !math.IsNaN(Correlation(x, []float64{1, 1, 1, 1, 1})) {
+		t.Fatal("correlation with zero-variance series should be NaN")
+	}
+	if !math.IsNaN(Correlation([]float64{1}, []float64{2})) {
+		t.Fatal("correlation of single points should be NaN")
+	}
+}
+
+func TestCorrelationPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	Correlation([]float64{1, 2}, []float64{1})
+}
+
+func TestCorrelationBounded(t *testing.T) {
+	err := quick.Check(func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n < 2 {
+			return true
+		}
+		xs, ys := make([]float64, 0, n), make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			if math.IsNaN(a[i]) || math.IsInf(a[i], 0) || math.IsNaN(b[i]) || math.IsInf(b[i], 0) ||
+				math.Abs(a[i]) > 1e100 || math.Abs(b[i]) > 1e100 {
+				return true
+			}
+			xs, ys = append(xs, a[i]), append(ys, b[i])
+		}
+		c := Correlation(xs, ys)
+		return math.IsNaN(c) || (c >= -1-1e-9 && c <= 1+1e-9)
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 || Sum(xs) != 11 {
+		t.Fatalf("Min/Max/Sum wrong: %v %v %v", Min(xs), Max(xs), Sum(xs))
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Fatal("Min/Max of empty should be NaN")
+	}
+	if Sum(nil) != 0 {
+		t.Fatal("Sum of empty should be 0")
+	}
+}

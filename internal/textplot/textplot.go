@@ -1,0 +1,110 @@
+// Package textplot renders small multi-series line charts as text, for the
+// experiment harness's per-epoch figures (Fig. 2(a), Fig. 15). It is
+// deliberately tiny: fixed-height charts, one rune per series, shared
+// y-scale, an axis legend — enough to see curves cross in a terminal.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	Points []float64
+	// Rune marks the series on the canvas.
+	Rune rune
+}
+
+// DefaultRunes are assigned to series without an explicit rune.
+var DefaultRunes = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the series into a text chart of the given height (rows).
+// All series must have equal length; the x axis is the point index.
+func Render(series []Series, height int) (string, error) {
+	if len(series) == 0 {
+		return "", fmt.Errorf("textplot: no series")
+	}
+	n := len(series[0].Points)
+	if n == 0 {
+		return "", fmt.Errorf("textplot: empty series")
+	}
+	for _, s := range series[1:] {
+		if len(s.Points) != n {
+			return "", fmt.Errorf("textplot: series %q has %d points, want %d", s.Name, len(s.Points), n)
+		}
+	}
+	if height < 2 {
+		height = 2
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Points {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return "", fmt.Errorf("textplot: series %q contains a non-finite value", s.Name)
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if hi == lo {
+		hi = lo + 1 // flat lines render on one row
+	}
+
+	// Canvas: rows x n columns (each point one column).
+	canvas := make([][]rune, height)
+	for r := range canvas {
+		canvas[r] = []rune(strings.Repeat(" ", n))
+	}
+	rowOf := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := int(math.Round(frac * float64(height-1)))
+		return height - 1 - r // row 0 is the top
+	}
+	for si, s := range series {
+		mark := s.Rune
+		if mark == 0 {
+			mark = DefaultRunes[si%len(DefaultRunes)]
+		}
+		for x, v := range s.Points {
+			r := rowOf(v)
+			if canvas[r][x] != ' ' && canvas[r][x] != mark {
+				canvas[r][x] = '?' // collision: several series share the cell
+			} else {
+				canvas[r][x] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	for r, row := range canvas {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.3f ", hi)
+		case height - 1:
+			label = fmt.Sprintf("%7.3f ", lo)
+		}
+		b.WriteString(label)
+		b.WriteString("|")
+		b.WriteString(string(row))
+		b.WriteString("\n")
+	}
+	b.WriteString("        +")
+	b.WriteString(strings.Repeat("-", n))
+	b.WriteString("\n")
+	// Legend.
+	b.WriteString("        ")
+	for si, s := range series {
+		mark := s.Rune
+		if mark == 0 {
+			mark = DefaultRunes[si%len(DefaultRunes)]
+		}
+		fmt.Fprintf(&b, " %c=%s", mark, s.Name)
+	}
+	b.WriteString("\n")
+	return b.String(), nil
+}

@@ -1,0 +1,71 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	out, err := Render([]Series{
+		{Name: "up", Points: []float64{0, 2, 2, 3}},
+		{Name: "down", Points: []float64{3, 2, 1, 0}},
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*=up") || !strings.Contains(out, "o=down") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 6 {
+		t.Fatalf("chart too short:\n%s", out)
+	}
+	// Extremes labeled on the axis.
+	if !strings.Contains(out, "3.000") || !strings.Contains(out, "0.000") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+	// The crossing point collides.
+	if !strings.Contains(out, "?") {
+		t.Fatalf("crossing series should collide somewhere:\n%s", out)
+	}
+}
+
+func TestRenderFlatSeries(t *testing.T) {
+	out, err := Render([]Series{{Name: "flat", Points: []float64{1, 1, 1}}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canvas := out[:strings.Index(out, "+")]
+	if strings.Count(canvas, "*") != 3 {
+		t.Fatalf("flat line should render every point:\n%s", out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := Render(nil, 5); err == nil {
+		t.Fatal("no series accepted")
+	}
+	if _, err := Render([]Series{{Name: "e"}}, 5); err == nil {
+		t.Fatal("empty series accepted")
+	}
+	if _, err := Render([]Series{
+		{Name: "a", Points: []float64{1, 2}},
+		{Name: "b", Points: []float64{1}},
+	}, 5); err == nil {
+		t.Fatal("ragged series accepted")
+	}
+	if _, err := Render([]Series{{Name: "nan", Points: []float64{math.NaN()}}}, 5); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func TestRenderCustomRune(t *testing.T) {
+	out, err := Render([]Series{{Name: "m", Points: []float64{1, 2}, Rune: 'M'}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "M=m") {
+		t.Fatalf("custom rune ignored:\n%s", out)
+	}
+}

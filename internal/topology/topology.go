@@ -1,0 +1,400 @@
+// Package topology describes cache-slice groupings and whole-hierarchy
+// topologies.
+//
+// The paper's notation (§1.2): a configuration (x:y:z) for a 16-core CMP
+// means each L2 slice group is shared by x cores, each L3 group by y L2
+// groups, and there are z L3 groups, with x*y*z = #cores. So (16:1:1) is
+// all-shared L2 and L3, (1:1:16) is fully private, and (1:16:1) is private
+// L2 with one shared L3.
+//
+// A Grouping is a partition of the per-core slices at one level into shared
+// groups. MorphCache's default reconfiguration space restricts groups to
+// aligned power-of-two runs of neighboring slices ("buddies": private, dual,
+// quad, oct, all — §2), which is what the segmented bus can isolate. The
+// §5.5 extensions relax this to arbitrary contiguous runs and, beyond that,
+// to arbitrary sets realized over a spanning physical segment.
+//
+// A Topology is the pair of L2 and L3 groupings plus the inclusiveness
+// correctness rule of §2.2–2.3: every L2 group must be contained in a single
+// L3 group, otherwise a merged L2 could outgrow its (split) L3 and inclusion
+// could not be maintained.
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Grouping partitions n slices into groups. The zero value is not valid;
+// use Private, Shared, FromGroups, or FromSpec.
+type Grouping struct {
+	n       int
+	groupOf []int   // slice -> group id, ids dense, ordered by first member
+	members [][]int // group id -> sorted slice indices
+}
+
+// Private returns the all-private grouping of n slices.
+func Private(n int) Grouping {
+	g := make([][]int, n)
+	for i := range g {
+		g[i] = []int{i}
+	}
+	gr, err := FromGroups(n, g)
+	if err != nil {
+		panic(err)
+	}
+	return gr
+}
+
+// Shared returns the single all-shared group over n slices.
+func Shared(n int) Grouping {
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	gr, err := FromGroups(n, [][]int{all})
+	if err != nil {
+		panic(err)
+	}
+	return gr
+}
+
+// Uniform returns the grouping of n slices into contiguous groups of the
+// given size. size must divide n.
+func Uniform(n, size int) (Grouping, error) {
+	if size <= 0 || n%size != 0 {
+		return Grouping{}, fmt.Errorf("topology: group size %d does not divide %d slices", size, n)
+	}
+	groups := make([][]int, 0, n/size)
+	for base := 0; base < n; base += size {
+		g := make([]int, size)
+		for i := range g {
+			g[i] = base + i
+		}
+		groups = append(groups, g)
+	}
+	return FromGroups(n, groups)
+}
+
+// FromGroups builds a grouping from explicit member lists. The lists must
+// form a partition of [0, n).
+func FromGroups(n int, groups [][]int) (Grouping, error) {
+	if n <= 0 {
+		return Grouping{}, fmt.Errorf("topology: non-positive slice count %d", n)
+	}
+	groupOf := make([]int, n)
+	for i := range groupOf {
+		groupOf[i] = -1
+	}
+	members := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		if len(g) == 0 {
+			return Grouping{}, fmt.Errorf("topology: empty group")
+		}
+		m := append([]int(nil), g...)
+		sort.Ints(m)
+		for _, s := range m {
+			if s < 0 || s >= n {
+				return Grouping{}, fmt.Errorf("topology: slice %d out of range [0,%d)", s, n)
+			}
+			if groupOf[s] != -1 {
+				return Grouping{}, fmt.Errorf("topology: slice %d in two groups", s)
+			}
+			groupOf[s] = -2 // placeholder until ids assigned
+		}
+		members = append(members, m)
+	}
+	for s, g := range groupOf {
+		if g == -1 {
+			return Grouping{}, fmt.Errorf("topology: slice %d not in any group", s)
+		}
+	}
+	// Normalize: order groups by their first (smallest) member and assign
+	// dense ids, so structurally equal groupings compare equal.
+	sort.Slice(members, func(i, j int) bool { return members[i][0] < members[j][0] })
+	for id, m := range members {
+		for _, s := range m {
+			groupOf[s] = id
+		}
+	}
+	return Grouping{n: n, groupOf: groupOf, members: members}, nil
+}
+
+// N returns the number of slices.
+func (g Grouping) N() int { return g.n }
+
+// NumGroups returns the number of groups.
+func (g Grouping) NumGroups() int { return len(g.members) }
+
+// GroupOf returns the group id containing the slice.
+func (g Grouping) GroupOf(slice int) int { return g.groupOf[slice] }
+
+// Members returns the sorted member slices of the group. The returned slice
+// must not be modified.
+func (g Grouping) Members(group int) []int { return g.members[group] }
+
+// GroupSize returns the number of slices in the group.
+func (g Grouping) GroupSize(group int) int { return len(g.members[group]) }
+
+// SameGroup reports whether two slices share a group.
+func (g Grouping) SameGroup(a, b int) bool { return g.groupOf[a] == g.groupOf[b] }
+
+// String renders the grouping as, e.g., "[0-3][4-5][6][7]". Non-contiguous
+// groups render their member list: "[0,2]".
+func (g Grouping) String() string {
+	var b strings.Builder
+	for _, m := range g.members {
+		b.WriteByte('[')
+		if contiguous(m) {
+			if len(m) == 1 {
+				b.WriteString(strconv.Itoa(m[0]))
+			} else {
+				fmt.Fprintf(&b, "%d-%d", m[0], m[len(m)-1])
+			}
+		} else {
+			for i, s := range m {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(strconv.Itoa(s))
+			}
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+// Equal reports structural equality.
+func (g Grouping) Equal(o Grouping) bool {
+	if g.n != o.n || len(g.members) != len(o.members) {
+		return false
+	}
+	for i := range g.groupOf {
+		if g.groupOf[i] != o.groupOf[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func contiguous(m []int) bool {
+	for i := 1; i < len(m); i++ {
+		if m[i] != m[i-1]+1 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsBuddyGrouping reports whether every group is an aligned power-of-two
+// contiguous run — the default MorphCache reconfiguration space (private /
+// dual / quad / oct / all shared modes, §2).
+func (g Grouping) IsBuddyGrouping() bool {
+	for _, m := range g.members {
+		sz := len(m)
+		if sz&(sz-1) != 0 || !contiguous(m) || m[0]%sz != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsContiguous reports whether every group is a contiguous run of neighbors
+// (the §5.5 "arbitrary number of neighboring cores" extension space).
+func (g Grouping) IsContiguous() bool {
+	for _, m := range g.members {
+		if !contiguous(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// Uniform reports whether all groups have equal size, and that size.
+func (g Grouping) Uniform() (size int, ok bool) {
+	size = len(g.members[0])
+	for _, m := range g.members[1:] {
+		if len(m) != size {
+			return 0, false
+		}
+	}
+	return size, true
+}
+
+// MergeGroups returns a new grouping with groups a and b fused. It does not
+// check buddy alignment; callers enforce their own reconfiguration space.
+func (g Grouping) MergeGroups(a, b int) (Grouping, error) {
+	if a == b {
+		return Grouping{}, fmt.Errorf("topology: merging group %d with itself", a)
+	}
+	groups := make([][]int, 0, len(g.members)-1)
+	var fused []int
+	for id, m := range g.members {
+		switch id {
+		case a, b:
+			fused = append(fused, m...)
+		default:
+			groups = append(groups, m)
+		}
+	}
+	groups = append(groups, fused)
+	return FromGroups(g.n, groups)
+}
+
+// SplitGroup returns a new grouping with the group divided into its lower
+// and upper halves (by sorted member order). The group size must be even.
+func (g Grouping) SplitGroup(group int) (Grouping, error) {
+	m := g.members[group]
+	if len(m)%2 != 0 {
+		return Grouping{}, fmt.Errorf("topology: splitting odd-size group %v", m)
+	}
+	groups := make([][]int, 0, len(g.members)+1)
+	for id, mm := range g.members {
+		if id == group {
+			groups = append(groups, mm[:len(mm)/2], mm[len(mm)/2:])
+		} else {
+			groups = append(groups, mm)
+		}
+	}
+	return FromGroups(g.n, groups)
+}
+
+// BuddyOf returns the group id that is the aligned buddy of the given group
+// (the neighbor it may merge with in the buddy space), or -1 if the group
+// has no same-size aligned buddy under the current grouping.
+func (g Grouping) BuddyOf(group int) int {
+	m := g.members[group]
+	sz := len(m)
+	if !contiguous(m) || sz&(sz-1) != 0 || m[0]%sz != 0 {
+		return -1
+	}
+	var buddyFirst int
+	if m[0]%(2*sz) == 0 {
+		buddyFirst = m[0] + sz
+	} else {
+		buddyFirst = m[0] - sz
+	}
+	if buddyFirst < 0 || buddyFirst >= g.n {
+		return -1
+	}
+	b := g.groupOf[buddyFirst]
+	bm := g.members[b]
+	if len(bm) != sz || !contiguous(bm) || bm[0] != buddyFirst {
+		return -1
+	}
+	return b
+}
+
+// Topology is the full two-level sliced arrangement (L1s are always
+// private).
+type Topology struct {
+	// L2 and L3 group the per-core L2 and L3 slices.
+	L2, L3 Grouping
+}
+
+// Validate enforces the §2.2 correctness rule: every L2 group must be
+// contained in exactly one L3 group, so that the inclusive L3 is always at
+// least as large (per group) as the union of L2s beneath it.
+func (t Topology) Validate() error {
+	if t.L2.n != t.L3.n {
+		return fmt.Errorf("topology: L2 has %d slices, L3 has %d", t.L2.n, t.L3.n)
+	}
+	for _, m := range t.L2.members {
+		h := t.L3.groupOf[m[0]]
+		for _, s := range m[1:] {
+			if t.L3.groupOf[s] != h {
+				return fmt.Errorf("topology: L2 group %v spans L3 groups", m)
+			}
+		}
+	}
+	return nil
+}
+
+// IsSymmetric reports whether the topology matches some (x:y:z): uniform
+// group sizes at both levels with contiguous alignment.
+func (t Topology) IsSymmetric() bool {
+	x, ok := t.L2.Uniform()
+	if !ok || !t.L2.IsContiguous() {
+		return false
+	}
+	l3sz, ok := t.L3.Uniform()
+	if !ok || !t.L3.IsContiguous() {
+		return false
+	}
+	return l3sz%x == 0
+}
+
+// Spec returns the (x:y:z) string for a symmetric topology, or the explicit
+// group lists otherwise.
+func (t Topology) Spec() string {
+	if t.IsSymmetric() {
+		x, _ := t.L2.Uniform()
+		l3sz, _ := t.L3.Uniform()
+		y := l3sz / x
+		z := t.L3.NumGroups()
+		return fmt.Sprintf("(%d:%d:%d)", x, y, z)
+	}
+	return "L2" + t.L2.String() + " L3" + t.L3.String()
+}
+
+// String implements fmt.Stringer.
+func (t Topology) String() string { return t.Spec() }
+
+// Equal reports structural equality of both levels.
+func (t Topology) Equal(o Topology) bool { return t.L2.Equal(o.L2) && t.L3.Equal(o.L3) }
+
+// FromSpec parses "(x:y:z)" (parentheses optional) into a symmetric
+// topology over n slices. It requires x*y*z == n.
+func FromSpec(spec string, n int) (Topology, error) {
+	s := strings.TrimSpace(spec)
+	s = strings.TrimPrefix(s, "(")
+	s = strings.TrimSuffix(s, ")")
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return Topology{}, fmt.Errorf("topology: spec %q is not x:y:z", spec)
+	}
+	var xyz [3]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return Topology{}, fmt.Errorf("topology: bad component %q in %q", p, spec)
+		}
+		xyz[i] = v
+	}
+	x, y, z := xyz[0], xyz[1], xyz[2]
+	if x*y*z != n {
+		return Topology{}, fmt.Errorf("topology: %q implies %d cores, want %d", spec, x*y*z, n)
+	}
+	l2, err := Uniform(n, x)
+	if err != nil {
+		return Topology{}, err
+	}
+	l3, err := Uniform(n, x*y)
+	if err != nil {
+		return Topology{}, err
+	}
+	t := Topology{L2: l2, L3: l3}
+	if err := t.Validate(); err != nil {
+		return Topology{}, err
+	}
+	return t, nil
+}
+
+// AllPrivate returns (1:1:n), MorphCache's initial configuration (§2.2).
+func AllPrivate(n int) Topology {
+	return Topology{L2: Private(n), L3: Private(n)}
+}
+
+// AllShared returns (n:1:1), the paper's baseline.
+func AllShared(n int) Topology {
+	return Topology{L2: Shared(n), L3: Shared(n)}
+}
+
+// StandardSpecs lists the static configurations the paper compares against
+// for a 16-core CMP (§5): the baseline and the four alternatives of Fig. 2,
+// plus (2:2:4), the best weighted-speedup static of §5.1.
+func StandardSpecs() []string {
+	return []string{"(16:1:1)", "(1:1:16)", "(4:4:1)", "(8:2:1)", "(1:16:1)", "(2:2:4)"}
+}

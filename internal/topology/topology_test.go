@@ -1,0 +1,294 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"morphcache/internal/rng"
+)
+
+func TestFromSpec(t *testing.T) {
+	cases := []struct {
+		spec               string
+		l2Groups, l3Groups int
+	}{
+		{"(16:1:1)", 1, 1},
+		{"(1:1:16)", 16, 16},
+		{"(4:4:1)", 4, 1},
+		{"(8:2:1)", 2, 1},
+		{"(1:16:1)", 16, 1},
+		{"(2:2:4)", 8, 4},
+	}
+	for _, c := range cases {
+		topo, err := FromSpec(c.spec, 16)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		if topo.L2.NumGroups() != c.l2Groups || topo.L3.NumGroups() != c.l3Groups {
+			t.Fatalf("%s: groups L2=%d L3=%d, want %d/%d",
+				c.spec, topo.L2.NumGroups(), topo.L3.NumGroups(), c.l2Groups, c.l3Groups)
+		}
+		if !topo.IsSymmetric() {
+			t.Fatalf("%s should be symmetric", c.spec)
+		}
+		if topo.Spec() != c.spec {
+			t.Fatalf("round trip: %s -> %s", c.spec, topo.Spec())
+		}
+	}
+}
+
+func TestFromSpecErrors(t *testing.T) {
+	for _, s := range []string{"(4:4:4)", "4:4", "(a:1:1)", "(0:1:16)", "(16:1:1:1)"} {
+		if _, err := FromSpec(s, 16); err == nil {
+			t.Errorf("spec %q should be rejected", s)
+		}
+	}
+	// Parens optional.
+	if _, err := FromSpec("4:4:1", 16); err != nil {
+		t.Fatalf("parenless spec rejected: %v", err)
+	}
+}
+
+func TestPrivateShared(t *testing.T) {
+	p := Private(8)
+	if p.NumGroups() != 8 {
+		t.Fatal("Private groups")
+	}
+	s := Shared(8)
+	if s.NumGroups() != 1 || s.GroupSize(0) != 8 {
+		t.Fatal("Shared groups")
+	}
+	if !p.IsBuddyGrouping() || !s.IsBuddyGrouping() {
+		t.Fatal("private/shared should be buddy groupings")
+	}
+}
+
+func TestFromGroupsValidation(t *testing.T) {
+	if _, err := FromGroups(4, [][]int{{0, 1}, {1, 2, 3}}); err == nil {
+		t.Fatal("overlapping groups should fail")
+	}
+	if _, err := FromGroups(4, [][]int{{0, 1}}); err == nil {
+		t.Fatal("non-covering groups should fail")
+	}
+	if _, err := FromGroups(4, [][]int{{0, 1}, {2, 4}}); err == nil {
+		t.Fatal("out-of-range slice should fail")
+	}
+	if _, err := FromGroups(4, [][]int{{0, 1}, {}, {2, 3}}); err == nil {
+		t.Fatal("empty group should fail")
+	}
+}
+
+func TestMergeSplitRoundTrip(t *testing.T) {
+	g := Private(8)
+	merged, err := g.MergeGroups(g.GroupOf(2), g.GroupOf(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged.SameGroup(2, 3) || merged.NumGroups() != 7 {
+		t.Fatalf("merge failed: %v", merged)
+	}
+	split, err := merged.SplitGroup(merged.GroupOf(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !split.Equal(g) {
+		t.Fatalf("split did not restore: %v vs %v", split, g)
+	}
+}
+
+func TestBuddyOf(t *testing.T) {
+	g := Private(8)
+	if b := g.BuddyOf(g.GroupOf(0)); g.Members(b)[0] != 1 {
+		t.Fatal("buddy of {0} should be {1}")
+	}
+	if b := g.BuddyOf(g.GroupOf(5)); g.Members(b)[0] != 4 {
+		t.Fatal("buddy of {5} should be {4}")
+	}
+	// After merging {0,1}, its buddy is {2,3} only once they are a group.
+	m01, _ := g.MergeGroups(g.GroupOf(0), g.GroupOf(1))
+	if b := m01.BuddyOf(m01.GroupOf(0)); b != -1 {
+		t.Fatalf("buddy of {0,1} should be -1 while {2},{3} are split, got %v", m01.Members(b))
+	}
+	m23, _ := m01.MergeGroups(m01.GroupOf(2), m01.GroupOf(3))
+	if b := m23.BuddyOf(m23.GroupOf(0)); b == -1 || m23.Members(b)[0] != 2 {
+		t.Fatal("buddy of {0,1} should be {2,3}")
+	}
+	// A misaligned pair has no buddy status.
+	mis, err := FromGroups(8, [][]int{{0}, {1, 2}, {3}, {4}, {5}, {6}, {7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mis.IsContiguous() || mis.IsBuddyGrouping() {
+		t.Fatal("{1,2} is contiguous but not an aligned buddy group")
+	}
+}
+
+func TestValidateInclusionRule(t *testing.T) {
+	// L2 group {1,2} spans L3 groups {0,1} and {2,3}: invalid.
+	l2, err := FromGroups(4, [][]int{{0}, {1, 2}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l3, err := FromGroups(4, [][]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := Topology{L2: l2, L3: l3}
+	if topo.Validate() == nil {
+		t.Fatal("L2 group spanning L3 groups must be invalid (§2.2)")
+	}
+	// The reverse nesting is fine.
+	ok := Topology{L2: Private(4), L3: l3}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid topology rejected: %v", err)
+	}
+}
+
+func TestAsymmetricSpec(t *testing.T) {
+	l2, _ := FromGroups(4, [][]int{{0, 1}, {2}, {3}})
+	topo := Topology{L2: l2, L3: Shared(4)}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.IsSymmetric() {
+		t.Fatal("mixed group sizes should be asymmetric")
+	}
+	if topo.Spec() == "" {
+		t.Fatal("asymmetric spec should render")
+	}
+}
+
+func TestGroupingString(t *testing.T) {
+	g, _ := FromGroups(4, [][]int{{0, 1}, {2}, {3}})
+	if s := g.String(); s != "[0-1][2][3]" {
+		t.Fatalf("String = %q", s)
+	}
+	nc, _ := FromGroups(4, [][]int{{0, 2}, {1}, {3}})
+	if s := nc.String(); s != "[0,2][1][3]" {
+		t.Fatalf("non-contiguous String = %q", s)
+	}
+}
+
+func TestStandardSpecsParse(t *testing.T) {
+	for _, s := range StandardSpecs() {
+		if _, err := FromSpec(s, 16); err != nil {
+			t.Fatalf("standard spec %q invalid: %v", s, err)
+		}
+	}
+}
+
+func TestAllPrivateAllShared(t *testing.T) {
+	if AllPrivate(16).Spec() != "(1:1:16)" {
+		t.Fatal("AllPrivate spec")
+	}
+	if AllShared(16).Spec() != "(16:1:1)" {
+		t.Fatal("AllShared spec")
+	}
+}
+
+// TestPartitionInvariant: any sequence of random merges and splits keeps
+// the grouping a partition with consistent GroupOf/Members views.
+func TestPartitionInvariant(t *testing.T) {
+	r := rng.New(12)
+	g := Private(16)
+	check := func() {
+		seen := make([]bool, 16)
+		for gi := 0; gi < g.NumGroups(); gi++ {
+			for _, s := range g.Members(gi) {
+				if seen[s] {
+					t.Fatalf("slice %d in two groups: %v", s, g)
+				}
+				seen[s] = true
+				if g.GroupOf(s) != gi {
+					t.Fatalf("GroupOf(%d)=%d, member of %d", s, g.GroupOf(s), gi)
+				}
+			}
+		}
+		for s, ok := range seen {
+			if !ok {
+				t.Fatalf("slice %d uncovered: %v", s, g)
+			}
+		}
+	}
+	for step := 0; step < 500; step++ {
+		if r.Intn(2) == 0 && g.NumGroups() > 1 {
+			a := r.Intn(g.NumGroups())
+			b := g.BuddyOf(a)
+			if b >= 0 {
+				if ng, err := g.MergeGroups(a, b); err == nil {
+					g = ng
+				}
+			}
+		} else {
+			a := r.Intn(g.NumGroups())
+			if g.GroupSize(a) > 1 {
+				if ng, err := g.SplitGroup(a); err == nil {
+					g = ng
+				}
+			}
+		}
+		check()
+		if !g.IsBuddyGrouping() {
+			t.Fatalf("buddy ops left non-buddy grouping: %v", g)
+		}
+	}
+}
+
+// TestUniformProperty: Uniform(n, size) always yields n/size equal groups.
+func TestUniformProperty(t *testing.T) {
+	err := quick.Check(func(a, b uint8) bool {
+		sizes := []int{1, 2, 4, 8, 16}
+		n := 16
+		size := sizes[int(a)%len(sizes)]
+		g, err := Uniform(n, size)
+		if err != nil {
+			return false
+		}
+		u, ok := g.Uniform()
+		return ok && u == size && g.NumGroups() == n/size
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Uniform(16, 3); err == nil {
+		t.Fatal("Uniform(16,3) should fail")
+	}
+}
+
+func TestMergeGroupsSelfError(t *testing.T) {
+	g := Private(4)
+	if _, err := g.MergeGroups(1, 1); err == nil {
+		t.Fatal("merging a group with itself should fail")
+	}
+}
+
+func TestSplitOddGroupError(t *testing.T) {
+	g, err := FromGroups(4, [][]int{{0, 1, 2}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.SplitGroup(g.GroupOf(0)); err == nil {
+		t.Fatal("splitting an odd-size group should fail")
+	}
+}
+
+func TestNonContiguousBuddy(t *testing.T) {
+	g, err := FromGroups(4, [][]int{{0, 2}, {1}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := g.BuddyOf(g.GroupOf(0)); b != -1 {
+		t.Fatal("non-contiguous group has no buddy")
+	}
+}
+
+func TestUniformOfWholeGrouping(t *testing.T) {
+	g := Shared(8)
+	if sz, ok := g.Uniform(); !ok || sz != 8 {
+		t.Fatalf("uniform of shared: %d %v", sz, ok)
+	}
+	mixed, _ := FromGroups(4, [][]int{{0, 1}, {2}, {3}})
+	if _, ok := mixed.Uniform(); ok {
+		t.Fatal("mixed sizes are not uniform")
+	}
+}

@@ -1,0 +1,218 @@
+// Package trace records and replays per-core memory reference streams.
+//
+// The synthetic workload models (internal/workload) stand in for the
+// paper's benchmark suites, but a downstream user of the simulator will
+// often have real traces — from Pin, DynamoRIO, or another simulator. This
+// package defines a compact binary format for multi-core access traces,
+// a Writer that captures any generator's output, and a Reader whose
+// per-core cursors satisfy the same contract as workload.Generator
+// (BeginEpoch/Next), so recorded or external traces drive the engine
+// unchanged.
+//
+// Format (little-endian):
+//
+//	magic "MCTR" | version u16 | cores u16
+//	then per record: core u8, kind u8, asid u16, line u64  (12 bytes)
+//
+// Epoch boundaries are encoded as a record with core = 0xFF; replaying
+// cursors loop their stream if the engine asks for more references than
+// were recorded (with a documented wrap, so short traces still drive long
+// runs deterministically).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"morphcache/internal/mem"
+)
+
+const (
+	magic   = "MCTR"
+	version = 1
+	// epochMark is the pseudo-core id of an epoch-boundary record.
+	epochMark = 0xFF
+	recordLen = 12
+)
+
+// Writer streams trace records to an io.Writer.
+type Writer struct {
+	w     *bufio.Writer
+	cores int
+	n     uint64
+}
+
+// NewWriter writes the header and returns a Writer for the given core
+// count (at most 255 real cores; core 255 is reserved).
+func NewWriter(w io.Writer, cores int) (*Writer, error) {
+	if cores <= 0 || cores >= epochMark {
+		return nil, fmt.Errorf("trace: unsupported core count %d", cores)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint16(hdr[0:], version)
+	binary.LittleEndian.PutUint16(hdr[2:], uint16(cores))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, cores: cores}, nil
+}
+
+// Record appends one access by a core.
+func (w *Writer) Record(core int, a mem.Access) error {
+	if core < 0 || core >= w.cores {
+		return fmt.Errorf("trace: core %d out of range", core)
+	}
+	return w.write(byte(core), a)
+}
+
+// EpochBoundary marks the end of an epoch across all cores.
+func (w *Writer) EpochBoundary() error {
+	return w.write(epochMark, mem.Access{})
+}
+
+func (w *Writer) write(core byte, a mem.Access) error {
+	var rec [recordLen]byte
+	rec[0] = core
+	rec[1] = byte(a.Kind)
+	binary.LittleEndian.PutUint16(rec[2:], uint16(a.ASID))
+	binary.LittleEndian.PutUint64(rec[4:], uint64(a.Line))
+	if _, err := w.w.Write(rec[:]); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Records returns the number of records written.
+func (w *Writer) Records() uint64 { return w.n }
+
+// Flush flushes buffered records.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Trace is a fully loaded multi-core trace.
+type Trace struct {
+	Cores int
+	// perCore[c] is the ordered access stream of core c; epochStarts[c]
+	// holds indices where epochs begin.
+	perCore     [][]mem.Access
+	epochStarts [][]int
+}
+
+// Read loads a trace written by Writer.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 8)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if string(head[:4]) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", head[:4])
+	}
+	if v := binary.LittleEndian.Uint16(head[4:]); v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	cores := int(binary.LittleEndian.Uint16(head[6:]))
+	if cores <= 0 || cores >= epochMark {
+		return nil, fmt.Errorf("trace: bad core count %d", cores)
+	}
+	t := &Trace{
+		Cores:       cores,
+		perCore:     make([][]mem.Access, cores),
+		epochStarts: make([][]int, cores),
+	}
+	for c := 0; c < cores; c++ {
+		t.epochStarts[c] = []int{0}
+	}
+	var rec [recordLen]byte
+	for {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("trace: truncated record: %w", err)
+		}
+		core := rec[0]
+		if core == epochMark {
+			for c := 0; c < cores; c++ {
+				t.epochStarts[c] = append(t.epochStarts[c], len(t.perCore[c]))
+			}
+			continue
+		}
+		if int(core) >= cores {
+			return nil, fmt.Errorf("trace: record for core %d of %d", core, cores)
+		}
+		t.perCore[core] = append(t.perCore[core], mem.Access{
+			Kind: mem.Kind(rec[1]),
+			ASID: mem.ASID(binary.LittleEndian.Uint16(rec[2:])),
+			Line: mem.Line(binary.LittleEndian.Uint64(rec[4:])),
+		})
+	}
+	return t, nil
+}
+
+// Len returns the number of records for one core.
+func (t *Trace) Len(core int) int { return len(t.perCore[core]) }
+
+// Epochs returns the number of recorded epochs.
+func (t *Trace) Epochs() int { return len(t.epochStarts[0]) }
+
+// EpochLen returns the number of records of one core within one recorded
+// epoch (the final epoch runs to the end of the stream).
+func (t *Trace) EpochLen(core, epoch int) int {
+	starts := t.epochStarts[core]
+	if epoch < 0 || epoch >= len(starts) {
+		return 0
+	}
+	end := len(t.perCore[core])
+	if epoch+1 < len(starts) {
+		end = starts[epoch+1]
+	}
+	return end - starts[epoch]
+}
+
+// Cursor is one core's replay stream. It satisfies the generator contract
+// the engine needs (ASID/BeginEpoch/Next).
+type Cursor struct {
+	t    *Trace
+	core int
+	pos  int
+}
+
+// Cursor returns the replay cursor for one core.
+func (t *Trace) Cursor(core int) (*Cursor, error) {
+	if core < 0 || core >= t.Cores {
+		return nil, fmt.Errorf("trace: core %d out of range", core)
+	}
+	if len(t.perCore[core]) == 0 {
+		return nil, fmt.Errorf("trace: core %d has no records", core)
+	}
+	return &Cursor{t: t, core: core}, nil
+}
+
+// ASID returns the address space of the core's first access (traces are
+// expected to keep a core within one address space, as the simulator does).
+func (c *Cursor) ASID() mem.ASID { return c.t.perCore[c.core][0].ASID }
+
+// BeginEpoch repositions the cursor at the recorded epoch's start; epochs
+// beyond the recording wrap around modulo the recorded epoch count.
+func (c *Cursor) BeginEpoch(e int) {
+	starts := c.t.epochStarts[c.core]
+	c.pos = starts[e%len(starts)]
+}
+
+// Next returns the next access, wrapping at the end of the stream.
+func (c *Cursor) Next() mem.Access {
+	s := c.t.perCore[c.core]
+	a := s[c.pos]
+	c.pos++
+	if c.pos >= len(s) {
+		c.pos = 0
+	}
+	return a
+}

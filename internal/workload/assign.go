@@ -1,0 +1,23 @@
+package workload
+
+import "morphcache/internal/mem"
+
+// MixGenerators builds one generator per core for a multiprogrammed mix:
+// application i runs on core i in its own address space.
+func MixGenerators(m Mix, cfg GenConfig, seed uint64) []*Generator {
+	out := make([]*Generator, len(m.Benchmarks))
+	for i, p := range m.Benchmarks {
+		out[i] = NewGenerator(p, cfg, mem.ASID(i+1), 0, seed)
+	}
+	return out
+}
+
+// ParsecGenerators builds one generator per core for a multithreaded
+// benchmark: `cores` threads of one application sharing one address space.
+func ParsecGenerators(p *Profile, cores int, cfg GenConfig, seed uint64) []*Generator {
+	out := make([]*Generator, cores)
+	for t := 0; t < cores; t++ {
+		out[t] = NewGenerator(p, cfg, mem.ASID(1), t, seed)
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"math"
+
+	"morphcache/internal/mem"
+	"morphcache/internal/rng"
+)
+
+// Region layout within an address space, in line addresses. Each thread
+// owns a private block; shared regions (multithreaded benchmarks) sit at
+// the bottom of the space. Regions are far enough apart that footprints
+// never collide, and bases are multiples of large powers of two so set
+// indexing stays uniform.
+const (
+	sharedHotBase  = 0x0000_0000
+	sharedWarmBase = 0x0040_0000 // 4 Mi lines beyond shared hot
+	threadStride   = 0x1000_0000 // 256 Mi lines between per-thread blocks
+	privHotOff     = 0x0000_0000
+	privWarmOff    = 0x0040_0000
+	privStreamOff  = 0x0080_0000
+	streamLen      = 0x0020_0000 // 2 Mi lines of streaming working set
+)
+
+// GenConfig sizes the generator's notion of one cache slice; the footprint
+// targets of Table 4 are fractions of these (Table 3 defaults: 4096-line L2
+// slices, 16384-line L3 slices). Sensitivity experiments resize them.
+// Model holds the calibration constants (zero value = DefaultModel).
+type GenConfig struct {
+	L2SliceLines int
+	L3SliceLines int
+	Model        Model
+}
+
+// DefaultGenConfig matches Table 3 (256 KB L2, 1 MB L3, 64 B lines).
+func DefaultGenConfig() GenConfig {
+	return GenConfig{L2SliceLines: 4096, L3SliceLines: 16384, Model: DefaultModel()}
+}
+
+// ScaledGenConfig divides the slice line counts by div, matching a
+// hierarchy built with hierarchy.ScaledDefault so footprint fractions — the
+// quantities Table 4 fixes — are preserved on the scaled system.
+func ScaledGenConfig(div int) GenConfig {
+	c := DefaultGenConfig()
+	c.L2SliceLines /= div
+	c.L3SliceLines /= div
+	return c
+}
+
+// Generator produces the deterministic reference stream of one thread of
+// one benchmark. It is not safe for concurrent use; each simulated core
+// owns one generator.
+type Generator struct {
+	prof   *Profile
+	cfg    GenConfig
+	asid   mem.ASID
+	thread int
+	seed   uint64
+
+	// Class-derived region weights.
+	pHot, pWarm float64
+
+	// Spatial factor ψ(thread) (zero-mean, unit-ish variance across
+	// threads), fixed for the run.
+	psi float64
+
+	// Temporal phase parameters, fixed for the run; L2 and L3 get separate
+	// phases so footprints at the two levels drift independently (the
+	// paper's motivation (iii) in §1.2).
+	period2, phase2 float64
+	period3, phase3 float64
+
+	// Per-epoch state.
+	epoch                      int
+	privHot, privWarm          int
+	sharedHot, sharedWarm      int
+	streamCursor               uint64
+	r                          *rng.Stream
+	privBase                   uint64
+	effSharedFrac              float64
+	totalHotLines, totalL3Line int // diagnostics for tests
+}
+
+// NewGenerator builds the generator for one thread. For SPEC benchmarks,
+// thread is 0 and the ASID is unique to the application; for PARSEC, all 16
+// threads share the ASID and are distinguished by thread index. The seed
+// isolates whole experiments from each other.
+func NewGenerator(p *Profile, cfg GenConfig, asid mem.ASID, thread int, seed uint64) *Generator {
+	hot, warm := classMix(p.Class)
+	init := rng.Derive(seed, uint64(asid), uint64(thread), 0xC0FFEE)
+	g := &Generator{
+		prof: p, cfg: cfg, asid: asid, thread: thread, seed: seed,
+		pHot: hot, pWarm: warm,
+		privBase: uint64(thread+1) * threadStride,
+	}
+	// ψ(thread): deterministic, zero-mean-ish spread across threads.
+	g.psi = rng.Derive(seed, uint64(asid), uint64(thread), 0x51A7).NormFloat64()
+	if p.Suite == SPEC {
+		g.psi = 0
+	}
+	g.period2 = 6 + float64(init.Intn(10))
+	g.phase2 = init.Float64()
+	g.period3 = 6 + float64(init.Intn(10))
+	g.phase3 = init.Float64()
+	g.effSharedFrac = p.SharedFrac
+	if p.Suite == SPEC {
+		g.effSharedFrac = 0
+	}
+	g.BeginEpoch(0)
+	return g
+}
+
+// ASID returns the generator's address space.
+func (g *Generator) ASID() mem.ASID { return g.asid }
+
+// Profile returns the benchmark being modeled.
+func (g *Generator) Profile() *Profile { return g.prof }
+
+// phi evaluates the unit-variance temporal factor at epoch e: a smooth
+// sinusoid by default, or a two-level square wave when the model asks for
+// abrupt phases.
+func phi(e int, period, phase float64, square bool) float64 {
+	v := math.Sin(2 * math.Pi * (float64(e)/period + phase))
+	if square {
+		if v >= 0 {
+			return 1
+		}
+		return -1
+	}
+	return math.Sqrt2 * v
+}
+
+// BeginEpoch recomputes the epoch's working-set sizes and reseeds the
+// reference stream (deterministically: the stream depends only on seed,
+// asid, thread, and epoch).
+func (g *Generator) BeginEpoch(e int) {
+	g.epoch = e
+	g.r = rng.Derive(g.seed, uint64(g.asid), uint64(g.thread), uint64(e), 0xACCE55)
+
+	p := g.prof
+	m := g.cfg.Model
+	acf2 := p.L2ACF + m.TemporalGain*p.L2SigmaT*phi(e, g.period2, g.phase2, m.SquarePhases) + m.SpatialGain*p.L2SigmaS*g.psi
+	acf3 := p.L3ACF + m.TemporalGain*p.L3SigmaT*phi(e, g.period3, g.phase3, m.SquarePhases) + m.SpatialGain*p.L3SigmaS*g.psi
+	acf2 = clamp(acf2, 0.02, 1.0)
+	acf3 = clamp(acf3, 0.02, 1.0)
+
+	hot := m.FootprintLines(acf2, g.cfg.L2SliceLines)
+	total3 := m.FootprintLines(acf3, g.cfg.L3SliceLines)
+	warm := total3 - hot
+	if warm < 16 {
+		warm = 16
+	}
+	g.totalHotLines, g.totalL3Line = hot, total3
+
+	// Shared region sizes are common to all threads: they derive from the
+	// profile means with the benchmark-wide (thread-0 parameters are not
+	// used; the shared set simply does not vary spatially) temporal factor
+	// of this epoch using the benchmark-level phase of thread 0.
+	if g.effSharedFrac > 0 {
+		g.sharedHot = int(g.effSharedFrac * float64(hot))
+		g.sharedWarm = int(g.effSharedFrac * float64(warm))
+		if g.sharedHot < 8 {
+			g.sharedHot = 8
+		}
+		if g.sharedWarm < 8 {
+			g.sharedWarm = 8
+		}
+	}
+	g.privHot = max(hot-g.sharedHot, 8)
+	g.privWarm = max(warm-g.sharedWarm, 8)
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Next produces the thread's next memory reference.
+func (g *Generator) Next() mem.Access {
+	r := g.r
+	u := r.Float64()
+	var line uint64
+	switch {
+	case u < g.pHot:
+		if g.effSharedFrac > 0 && r.Float64() < g.effSharedFrac {
+			line = sharedHotBase + uint64(r.Zipf(g.sharedHot, g.cfg.Model.HotTheta))
+		} else {
+			line = g.privBase + privHotOff + uint64(r.Zipf(g.privHot, g.cfg.Model.HotTheta))
+		}
+	case u < g.pHot+g.pWarm:
+		if g.effSharedFrac > 0 && r.Float64() < g.effSharedFrac {
+			line = sharedWarmBase + uint64(r.Zipf(g.sharedWarm, g.cfg.Model.WarmTheta))
+		} else {
+			line = g.privBase + privWarmOff + uint64(r.Zipf(g.privWarm, g.cfg.Model.WarmTheta))
+		}
+	default:
+		line = g.privBase + privStreamOff + g.streamCursor
+		g.streamCursor = (g.streamCursor + 1) % streamLen
+	}
+	kind := mem.Read
+	if r.Float64() < g.prof.WriteFrac {
+		kind = mem.Write
+	}
+	return mem.Access{Line: mem.Line(line), ASID: g.asid, Kind: kind}
+}
+
+// EpochFootprint returns the modeled working-set sizes of the current epoch
+// (hot lines, total L3-level lines), for tests and the Table 4 closed-loop
+// experiment.
+func (g *Generator) EpochFootprint() (hot, total int) {
+	return g.totalHotLines, g.totalL3Line
+}

@@ -1,0 +1,84 @@
+package workload
+
+import "fmt"
+
+// Mix is one multiprogrammed workload: an ordered list of 16 single-threaded
+// benchmarks, one per core (Table 5).
+type Mix struct {
+	Name string
+	// Type is the paper's class census (class0, class1, class2, class3).
+	Type [4]int
+	// Benchmarks holds one profile per core, in core order.
+	Benchmarks []*Profile
+}
+
+// mixRows transcribes Table 5 (shorthand names resolve via ByName).
+var mixRows = []struct {
+	name  string
+	typ   [4]int
+	names []string
+}{
+	{"MIX 01", [4]int{0, 0, 10, 6}, []string{"calculix", "bwaves", "leslie", "namd", "sjeng", "bzip2", "povray", "soplex", "cactus", "tonto", "xalanc", "zeusmp", "dealII", "gcc", "gobmk", "h264"}},
+	{"MIX 02", [4]int{0, 4, 6, 6}, []string{"dealII", "gcc", "leslie", "namd", "sjeng", "zeusmp", "bzip2", "calculix", "gobmk", "h264", "gomacs", "hmmer", "wrf", "milc", "tonto", "xalanc"}},
+	{"MIX 03", [4]int{0, 8, 4, 4}, []string{"gromacs", "hmmer", "mcf", "sphinx", "wrf", "astar", "milc", "omnetpp", "namd", "cactus", "gobmk", "soplex", "gcc", "calculix", "h264", "tonto"}},
+	{"MIX 04", [4]int{0, 8, 8, 0}, []string{"gromacs", "hmmer", "mcf", "sphinx", "wrf", "astar", "milc", "omnetpp", "bwaves", "namd", "leslie", "sjeng", "zeusmp", "bzip2", "povray", "soplex"}},
+	{"MIX 05", [4]int{2, 2, 6, 6}, []string{"gamess", "libm", "sphinx", "astar", "bwaves", "namd", "sjeng", "gobmk", "povray", "soplex", "dealII", "gcc", "calculix", "h264", "tonto", "xalanc"}},
+	{"MIX 06", [4]int{2, 6, 2, 6}, []string{"dealII", "libq", "perl", "gromacs", "hmmer", "mcf", "wrf", "astar", "milc", "sjeng", "gobmk", "gcc", "calculix", "h264", "tonto", "xalanc"}},
+	{"MIX 07", [4]int{4, 0, 6, 6}, []string{"gcc", "libm", "libq", "perl", "cactus", "zeusmp", "bzip2", "gobmk", "povray", "soplex", "dealII", "gamess", "calculix", "h264", "tonto", "xalanc"}},
+	{"MIX 08", [4]int{4, 4, 4, 4}, []string{"hmmer", "mcf", "libq", "wrf", "omnetpp", "Gems", "bwaves", "bzip2", "gobmk", "perl", "povray", "gcc", "calculix", "libm", "h264", "xalanc"}},
+	{"MIX 09", [4]int{4, 4, 8, 0}, []string{"Gems", "gamess", "libm", "libq", "astar", "gromacs", "hmmer", "milc", "bwaves", "leslie", "sjeng", "povray", "gobmk", "soplex", "bzip2", "zeusmp"}},
+	{"MIX 10", [4]int{4, 6, 0, 6}, []string{"perl", "hmmer", "mcf", "wrf", "astar", "milc", "Gems", "omnetpp", "dealII", "libm", "gcc", "calculix", "h264", "gamess", "tonto", "xalanc"}},
+	{"MIX 11", [4]int{4, 8, 0, 4}, []string{"libm", "libq", "gromacs", "hmmer", "mcf", "sphinx", "wrf", "gamess", "astar", "milc", "omnetpp", "gcc", "Gems", "h264", "tonto", "xalanc"}},
+	{"MIX 12", [4]int{4, 8, 4, 0}, []string{"gamess", "libm", "libq", "perl", "gromacs", "hmmer", "mcf", "sphinx", "wrf", "astar", "milc", "omnetpp", "sjeng", "zeusmp", "gobmk", "soplex"}},
+}
+
+// Mixes returns the 12 Table 5 multiprogrammed workloads.
+func Mixes() []Mix {
+	out := make([]Mix, 0, len(mixRows))
+	for _, row := range mixRows {
+		m := Mix{Name: row.name, Type: row.typ}
+		for _, n := range row.names {
+			p, err := ByName(n)
+			if err != nil {
+				panic(err) // the table is a program constant
+			}
+			m.Benchmarks = append(m.Benchmarks, p)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// Mixes8 derives 8-application mixes for the paper's 8-core sensitivity
+// study (§5.4: "we also experimented with 8 core configurations ... with
+// multiple 8-application mixes"): each Table 5 mix contributes its even-
+// indexed applications, preserving its class balance roughly by
+// construction (classes are spread through the listing).
+func Mixes8() []Mix {
+	out := make([]Mix, 0, len(mixRows))
+	for _, m := range Mixes() {
+		m8 := Mix{Name: m.Name + " (8)"}
+		for i := 0; i < len(m.Benchmarks); i += 2 {
+			b := m.Benchmarks[i]
+			m8.Benchmarks = append(m8.Benchmarks, b)
+			m8.Type[b.Class]++
+		}
+		out = append(out, m8)
+	}
+	return out
+}
+
+// MixByName returns one Table 5 mix ("MIX 01" ... "MIX 12").
+func MixByName(name string) (Mix, error) {
+	for _, m := range Mixes() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	for _, m := range Mixes8() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("workload: unknown mix %q", name)
+}

@@ -1,0 +1,311 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"morphcache/internal/mem"
+)
+
+func TestTablesComplete(t *testing.T) {
+	if n := len(SPECProfiles()); n != 29 {
+		t.Fatalf("Table 4 has 29 SPEC rows, got %d", n)
+	}
+	if n := len(PARSECProfiles()); n != 12 {
+		t.Fatalf("Table 4 has 12 PARSEC rows, got %d", n)
+	}
+	if n := len(Mixes()); n != 12 {
+		t.Fatalf("Table 5 has 12 mixes, got %d", n)
+	}
+}
+
+func TestProfileRanges(t *testing.T) {
+	for _, p := range SPECProfiles() {
+		if p.L2ACF <= 0 || p.L2ACF > 1 || p.L3ACF <= 0 || p.L3ACF > 1 {
+			t.Errorf("%s: ACFs out of range", p.Name)
+		}
+		if p.Class < 0 || p.Class > 3 {
+			t.Errorf("%s: class %d", p.Name, p.Class)
+		}
+		if p.Suite != SPEC || p.L2SigmaS != 0 {
+			t.Errorf("%s: SPEC rows must have no spatial deviation", p.Name)
+		}
+	}
+	for _, p := range PARSECProfiles() {
+		if p.Suite != PARSEC || p.Class != -1 {
+			t.Errorf("%s: PARSEC row misclassified", p.Name)
+		}
+		if p.SharedFrac <= 0 || p.SharedFrac >= 1 {
+			t.Errorf("%s: shared fraction %v", p.Name, p.SharedFrac)
+		}
+	}
+}
+
+// TestMixClassCensus cross-checks the transcription of Table 5: the class
+// census of each mix's benchmarks must equal the mix's declared type.
+func TestMixClassCensus(t *testing.T) {
+	for _, m := range Mixes() {
+		if len(m.Benchmarks) != 16 {
+			t.Fatalf("%s has %d benchmarks, want 16", m.Name, len(m.Benchmarks))
+		}
+		var census [4]int
+		for _, b := range m.Benchmarks {
+			census[b.Class]++
+		}
+		if census != m.Type {
+			t.Errorf("%s: census %v != declared type %v", m.Name, census, m.Type)
+		}
+	}
+}
+
+func TestByNameAliases(t *testing.T) {
+	for alias, full := range map[string]string{
+		"Gems": "GemsFDTD", "cactus": "cactusADM", "leslie": "leslie3d",
+		"h264": "h264ref", "libm": "lbm", "libq": "libquantum",
+		"perl": "perlbench", "xalanc": "xalancbmk",
+	} {
+		a, err := ByName(alias)
+		if err != nil {
+			t.Fatalf("alias %q: %v", alias, err)
+		}
+		f, err := ByName(full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != f {
+			t.Fatalf("alias %q != %q", alias, full)
+		}
+	}
+	if _, err := ByName("nosuchbench"); err == nil {
+		t.Fatal("unknown name should error")
+	}
+}
+
+func TestMixByName(t *testing.T) {
+	if _, err := MixByName("MIX 07"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MixByName("MIX 13"); err == nil {
+		t.Fatal("unknown mix should error")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p, _ := ByName("gcc")
+	cfg := ScaledGenConfig(16)
+	a := NewGenerator(p, cfg, 3, 0, 42)
+	b := NewGenerator(p, cfg, 3, 0, 42)
+	for e := 0; e < 3; e++ {
+		a.BeginEpoch(e)
+		b.BeginEpoch(e)
+		for i := 0; i < 5000; i++ {
+			if a.Next() != b.Next() {
+				t.Fatalf("generators diverged at epoch %d ref %d", e, i)
+			}
+		}
+	}
+	// Different seeds diverge.
+	c := NewGenerator(p, cfg, 3, 0, 43)
+	c.BeginEpoch(0)
+	a.BeginEpoch(0)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestGeneratorASIDAndKinds(t *testing.T) {
+	p, _ := ByName("mcf")
+	g := NewGenerator(p, ScaledGenConfig(16), 9, 0, 1)
+	writes := 0
+	for i := 0; i < 10000; i++ {
+		a := g.Next()
+		if a.ASID != 9 {
+			t.Fatalf("wrong ASID %d", a.ASID)
+		}
+		if a.Kind == mem.Write {
+			writes++
+		}
+	}
+	// WriteFrac is 0.2.
+	if writes < 1600 || writes > 2400 {
+		t.Fatalf("write fraction %v, want ~0.2", float64(writes)/10000)
+	}
+}
+
+func TestParsecSharing(t *testing.T) {
+	p, _ := ByName("dedup")
+	cfg := ScaledGenConfig(16)
+	g0 := NewGenerator(p, cfg, 1, 0, 7)
+	g1 := NewGenerator(p, cfg, 1, 1, 7)
+	seen0 := map[mem.Line]bool{}
+	for i := 0; i < 20000; i++ {
+		seen0[g0.Next().Line] = true
+	}
+	shared := 0
+	for i := 0; i < 20000; i++ {
+		if seen0[g1.Next().Line] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("threads of a PARSEC app must reference common lines")
+	}
+	// SPEC apps in different address spaces never share (and even their raw
+	// line ranges coincide only because thread index matches; the ASID
+	// disambiguates). Two SPEC generators with different ASIDs:
+	s1, _ := ByName("gcc")
+	a := NewGenerator(s1, cfg, 2, 0, 7)
+	b := NewGenerator(s1, cfg, 3, 0, 7)
+	if x, y := a.Next(), b.Next(); x.ASID == y.ASID {
+		t.Fatal("distinct SPEC applications must use distinct address spaces")
+	}
+}
+
+func TestSpatialSpread(t *testing.T) {
+	// PARSEC threads with σs > 0 get different footprints; SPEC threads are
+	// unaffected by thread index (they never have siblings).
+	p, _ := ByName("canneal") // σs = 0.18/0.14
+	cfg := ScaledGenConfig(16)
+	sizes := map[int]bool{}
+	for th := 0; th < 8; th++ {
+		g := NewGenerator(p, cfg, 1, th, 11)
+		_, tot := g.EpochFootprint()
+		sizes[tot] = true
+	}
+	if len(sizes) < 4 {
+		t.Fatalf("spatial deviation should spread per-thread footprints, got %d distinct sizes", len(sizes))
+	}
+}
+
+func TestTemporalVariation(t *testing.T) {
+	p, _ := ByName("bzip2") // σt = 0.18/0.22
+	g := NewGenerator(p, ScaledGenConfig(16), 1, 0, 5)
+	sizes := map[int]bool{}
+	for e := 0; e < 12; e++ {
+		g.BeginEpoch(e)
+		_, tot := g.EpochFootprint()
+		sizes[tot] = true
+	}
+	if len(sizes) < 6 {
+		t.Fatalf("temporal deviation should vary footprints across epochs, got %d distinct", len(sizes))
+	}
+}
+
+func TestFootprintLinesProperties(t *testing.T) {
+	m := DefaultModel()
+	err := quick.Check(func(a, b float64) bool {
+		x := clampUnit(a)
+		y := clampUnit(b)
+		if x > y {
+			x, y = y, x
+		}
+		fx := m.FootprintLines(x, 4096)
+		fy := m.FootprintLines(y, 4096)
+		return fx >= 16 && fx <= fy // monotone, floored
+	}, &quick.Config{MaxCount: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identity below the ramp.
+	if got := m.FootprintLines(0.30, 1000); got != 300 {
+		t.Fatalf("below-ramp footprint %d, want 300", got)
+	}
+	// Inflation above.
+	if got := m.FootprintLines(0.70, 1000); got <= 700 {
+		t.Fatalf("above-ramp footprint %d should be inflated", got)
+	}
+}
+
+func clampUnit(v float64) float64 {
+	if v != v || v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func TestScaledGenConfig(t *testing.T) {
+	c := ScaledGenConfig(16)
+	if c.L2SliceLines != 256 || c.L3SliceLines != 1024 {
+		t.Fatalf("scaled lines %d/%d", c.L2SliceLines, c.L3SliceLines)
+	}
+	d := DefaultGenConfig()
+	if d.L2SliceLines != 4096 || d.L3SliceLines != 16384 {
+		t.Fatalf("default lines %d/%d (Table 3)", d.L2SliceLines, d.L3SliceLines)
+	}
+}
+
+func TestMixGenerators(t *testing.T) {
+	m, _ := MixByName("MIX 03")
+	gens := MixGenerators(m, ScaledGenConfig(16), 1)
+	if len(gens) != 16 {
+		t.Fatalf("%d generators", len(gens))
+	}
+	seen := map[mem.ASID]bool{}
+	for _, g := range gens {
+		if seen[g.ASID()] {
+			t.Fatal("duplicate ASID across applications")
+		}
+		seen[g.ASID()] = true
+	}
+}
+
+func TestParsecGenerators(t *testing.T) {
+	p, _ := ByName("ferret")
+	gens := ParsecGenerators(p, 16, ScaledGenConfig(16), 1)
+	if len(gens) != 16 {
+		t.Fatalf("%d generators", len(gens))
+	}
+	for _, g := range gens {
+		if g.ASID() != gens[0].ASID() {
+			t.Fatal("threads must share one address space")
+		}
+	}
+}
+
+func TestMixes8(t *testing.T) {
+	m8s := Mixes8()
+	if len(m8s) != 12 {
+		t.Fatalf("%d 8-app mixes", len(m8s))
+	}
+	for _, m := range m8s {
+		if len(m.Benchmarks) != 8 {
+			t.Fatalf("%s has %d benchmarks", m.Name, len(m.Benchmarks))
+		}
+		var census [4]int
+		for _, b := range m.Benchmarks {
+			census[b.Class]++
+		}
+		if census != m.Type {
+			t.Fatalf("%s census %v != type %v", m.Name, census, m.Type)
+		}
+	}
+	if _, err := MixByName("MIX 03 (8)"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSquarePhases(t *testing.T) {
+	p, _ := ByName("bzip2")
+	cfg := ScaledGenConfig(16)
+	cfg.Model.SquarePhases = true
+	g := NewGenerator(p, cfg, 1, 0, 5)
+	sizes := map[int]int{}
+	for e := 0; e < 24; e++ {
+		g.BeginEpoch(e)
+		_, tot := g.EpochFootprint()
+		sizes[tot]++
+	}
+	// A square wave visits exactly two footprint levels per cache level.
+	if len(sizes) != 2 {
+		t.Fatalf("square phases should produce 2 distinct footprints, got %d (%v)", len(sizes), sizes)
+	}
+}

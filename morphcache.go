@@ -1,0 +1,325 @@
+// Package morphcache is a trace-driven simulator of MorphCache, the
+// reconfigurable adaptive multi-level cache hierarchy of Srikantaiah et
+// al. (HPCA 2011), together with every baseline the paper evaluates
+// against: arbitrary static (x:y:z) topologies, PIPP and DSR extended to
+// two cache levels, and the per-epoch ideal offline scheme.
+//
+// This root package is the high-level entry point: it wires the calibrated
+// workload models (synthetic SPEC CPU 2006 / PARSEC stand-ins parameterized
+// by the paper's Table 4), the three-level inclusive cache hierarchy, the
+// segmented-bus interconnect model, and the MorphCache controller into
+// one-call experiment runners. The sub-systems live in internal/ packages:
+//
+//	internal/cache      set-associative slices (LRU, tree-PLRU)
+//	internal/acfv       Active Cache Footprint Vector hardware model (§2.1)
+//	internal/topology   (x:y:z) topologies, groupings, buddy operations
+//	internal/bus        segmented bus, arbiter tree, physical model (§3)
+//	internal/hierarchy  inclusive L1/L2/L3 system with merged groups
+//	internal/core       the MorphCache controller (§2)
+//	internal/baselines  pipp, dsr, offline
+//	internal/workload   Table 4/5 benchmark models and mixes
+//	internal/sim        epoch-based engine and metrics
+//
+// The quickstart example (examples/quickstart) shows typical use:
+//
+//	cfg := morphcache.LabConfig()
+//	res, err := morphcache.RunMorphCache(cfg, morphcache.Mix("MIX 01"))
+//	base, err := morphcache.RunStatic(cfg, "(16:1:1)", morphcache.Mix("MIX 01"))
+//	fmt.Println(res.Throughput / base.Throughput)
+package morphcache
+
+import (
+	"fmt"
+
+	"morphcache/internal/baselines/dsr"
+	"morphcache/internal/baselines/offline"
+	"morphcache/internal/baselines/pipp"
+	"morphcache/internal/core"
+	"morphcache/internal/hierarchy"
+	"morphcache/internal/metrics"
+	"morphcache/internal/sim"
+	"morphcache/internal/topology"
+	"morphcache/internal/workload"
+)
+
+// Config sizes one experiment. The zero value is not valid; start from
+// LabConfig (the calibrated scaled system all experiments use) or
+// PaperConfig (the full Table 3 capacities) and adjust.
+type Config struct {
+	// Cores is the CMP size (power of two; the paper evaluates 16 and 8).
+	Cores int
+	// Scale divides every cache capacity (L1 by Scale/4) and the workload
+	// footprints by the same factor, preserving capacity-pressure ratios
+	// while keeping runs fast. 1 = full Table 3 sizes.
+	Scale int
+	// Epochs is the number of measured reconfiguration intervals;
+	// WarmupEpochs run first, unmeasured.
+	Epochs, WarmupEpochs int
+	// EpochCycles is the interval length in CPU cycles (the scaled
+	// analogue of the paper's 300M-cycle interval).
+	EpochCycles uint64
+	// Seed drives all workload generation deterministically.
+	Seed uint64
+	// Morph configures the controller (zero value: DefaultOptions).
+	Morph core.Options
+}
+
+// LabConfig returns the calibrated experiment configuration: a 16-core
+// system at 1/16 capacity scale, 20 measured epochs of one million cycles
+// (matching the 20-interval structure of the paper's Fig. 2(a)).
+func LabConfig() Config {
+	return Config{
+		Cores:        16,
+		Scale:        16,
+		Epochs:       20,
+		WarmupEpochs: 2,
+		EpochCycles:  1_000_000,
+		Seed:         1,
+		Morph:        core.DefaultOptions(),
+	}
+}
+
+// PaperConfig returns the full-size Table 3 configuration (slow: one run
+// needs hundreds of millions of simulated references to exercise the
+// full-size working sets).
+func PaperConfig() Config {
+	c := LabConfig()
+	c.Scale = 1
+	c.EpochCycles = 16_000_000
+	return c
+}
+
+// simConfig converts to the engine configuration.
+func (c Config) simConfig() sim.Config {
+	return sim.Config{
+		EpochCycles:  c.EpochCycles,
+		Epochs:       c.Epochs,
+		WarmupEpochs: c.WarmupEpochs,
+		GapInstr:     8,
+		IssueWidth:   4,
+		Seed:         c.Seed,
+	}
+}
+
+// Params returns the hierarchy parameters implied by the configuration.
+func (c Config) Params() hierarchy.Params {
+	if c.Scale <= 1 {
+		return hierarchy.Default(c.Cores)
+	}
+	return hierarchy.ScaledDefault(c.Cores, c.Scale)
+}
+
+// genConfig returns the matching workload generator configuration.
+func (c Config) genConfig() workload.GenConfig {
+	if c.Scale <= 1 {
+		return workload.DefaultGenConfig()
+	}
+	return workload.ScaledGenConfig(c.Scale)
+}
+
+// Workload names a workload: a Table 5 multiprogrammed mix or a PARSEC
+// application run with one thread per core.
+type Workload struct {
+	name string
+	mix  bool
+}
+
+// Mix selects a Table 5 multiprogrammed mix ("MIX 01" .. "MIX 12").
+func Mix(name string) Workload { return Workload{name: name, mix: true} }
+
+// Parsec selects a PARSEC benchmark (e.g. "dedup") with Cores threads.
+func Parsec(name string) Workload { return Workload{name: name} }
+
+// String returns the workload name.
+func (w Workload) String() string { return w.name }
+
+// Generators instantiates the per-core reference generators.
+func (w Workload) Generators(c Config) ([]*workload.Generator, error) {
+	g := c.genConfig()
+	if w.mix {
+		mix, err := workload.MixByName(w.name)
+		if err != nil {
+			return nil, err
+		}
+		if len(mix.Benchmarks) != c.Cores {
+			if c.Cores > len(mix.Benchmarks) {
+				return nil, fmt.Errorf("morphcache: mix %q has %d applications, config has %d cores", w.name, len(mix.Benchmarks), c.Cores)
+			}
+			mix.Benchmarks = mix.Benchmarks[:c.Cores]
+		}
+		return workload.MixGenerators(mix, g, c.Seed), nil
+	}
+	p, err := workload.ByName(w.name)
+	if err != nil {
+		return nil, err
+	}
+	if p.Suite != workload.PARSEC {
+		return nil, fmt.Errorf("morphcache: %q is a SPEC benchmark; use Mix(...) for multiprogrammed workloads", w.name)
+	}
+	return workload.ParsecGenerators(p, c.Cores, g, c.Seed), nil
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	// Policy labels the management scheme.
+	Policy string
+	// Throughput is the whole-run sum of per-core IPC (the paper's
+	// throughput metric).
+	Throughput float64
+	// PerCoreIPC is the whole-run IPC per core.
+	PerCoreIPC []float64
+	// EpochThroughputs is the per-epoch series (Fig. 2(a) style).
+	EpochThroughputs []float64
+	// EpochTopologies records the configuration in force each epoch.
+	EpochTopologies []string
+	// Reconfigurations counts merge/split operations over the measured
+	// epochs; AsymmetricSteps counts intervals whose reconfiguration left
+	// an asymmetric configuration (§2.4).
+	Reconfigurations, AsymmetricSteps int
+}
+
+func fromRun(r *metrics.Run) *Result {
+	res := &Result{
+		Policy:           r.Policy,
+		Throughput:       r.Throughput(),
+		PerCoreIPC:       r.PerCoreIPC,
+		EpochThroughputs: r.EpochThroughputs(),
+		Reconfigurations: r.Reconfigurations,
+		AsymmetricSteps:  r.AsymmetricSteps,
+	}
+	for _, e := range r.Epochs {
+		res.EpochTopologies = append(res.EpochTopologies, e.Topology)
+	}
+	return res
+}
+
+// RunStatic runs the workload on a fixed (x:y:z) topology with the paper's
+// idealized static latencies.
+func RunStatic(c Config, spec string, w Workload) (*Result, error) {
+	gens, err := w.Generators(c)
+	if err != nil {
+		return nil, err
+	}
+	run, err := sim.RunStatic(c.simConfig(), c.Params(), spec, gens)
+	if err != nil {
+		return nil, err
+	}
+	return fromRun(run), nil
+}
+
+// RunMorphCache runs the workload under the MorphCache controller
+// (starting all-private, remote-hit charging on).
+func RunMorphCache(c Config, w Workload) (*Result, error) {
+	res, _, err := RunMorphCacheWithController(c, w)
+	return res, err
+}
+
+// RunMorphCacheWithController is RunMorphCache plus the controller for
+// post-run inspection (merge/split counts, throttled MSAT bounds).
+func RunMorphCacheWithController(c Config, w Workload) (*Result, *core.Controller, error) {
+	gens, err := w.Generators(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctrl := core.New(c.Morph)
+	run, err := sim.RunPolicy(c.simConfig(), c.Params(), ctrl, gens)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fromRun(run), ctrl, nil
+}
+
+// RunPIPP runs the workload under the PIPP baseline (shared L2 and L3,
+// promotion/insertion pseudo-partitioning).
+func RunPIPP(c Config, w Workload) (*Result, error) {
+	gens, err := w.Generators(c)
+	if err != nil {
+		return nil, err
+	}
+	run, err := pipp.Run(c.simConfig(), c.Params(), gens)
+	if err != nil {
+		return nil, err
+	}
+	return fromRun(run), nil
+}
+
+// RunDSR runs the workload under the DSR baseline (private slices with
+// dynamic spill-receive at both levels).
+func RunDSR(c Config, w Workload) (*Result, error) {
+	gens, err := w.Generators(c)
+	if err != nil {
+		return nil, err
+	}
+	run, err := dsr.Run(c.simConfig(), c.Params(), gens)
+	if err != nil {
+		return nil, err
+	}
+	return fromRun(run), nil
+}
+
+// StandardStatics lists the paper's static comparison topologies for the
+// configured core count.
+func StandardStatics(c Config) []string {
+	if c.Cores == 16 {
+		return topology.StandardSpecs()
+	}
+	n := c.Cores
+	return []string{
+		fmt.Sprintf("(%d:1:1)", n),
+		fmt.Sprintf("(1:1:%d)", n),
+		fmt.Sprintf("(4:%d:1)", n/4),
+		fmt.Sprintf("(1:%d:1)", n),
+	}
+}
+
+// IdealOffline composes the per-epoch upper envelope over a set of static
+// results (the paper's ideal offline scheme, Fig. 15). It returns the
+// per-epoch best throughput, which configuration achieved it, and the mean.
+func IdealOffline(results []*Result) (series []float64, choice []string, mean float64, err error) {
+	runs := make([]*metrics.Run, len(results))
+	for i, r := range results {
+		run := &metrics.Run{Policy: r.Policy}
+		for e, t := range r.EpochThroughputs {
+			// Reconstruct a one-core epoch carrying the throughput.
+			run.Epochs = append(run.Epochs, metrics.Epoch{Index: e, PerCoreIPC: []float64{t}})
+		}
+		runs[i] = run
+	}
+	series, choice, err = offline.Ideal(runs)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return series, choice, offline.Throughput(series), nil
+}
+
+// WeightedSpeedup computes Σ IPC_i/IPCalone_i for a result against
+// per-benchmark alone-IPC references.
+func WeightedSpeedup(r *Result, alone []float64) float64 {
+	return metrics.WeightedSpeedup(r.PerCoreIPC, alone)
+}
+
+// FairSpeedup computes the harmonic mean of per-application speedups.
+func FairSpeedup(r *Result, alone []float64) float64 {
+	return metrics.FairSpeedup(r.PerCoreIPC, alone)
+}
+
+// SoloIPCs measures each application of a mix running alone on a
+// single-core private hierarchy — the IPCalone references for WS/FS.
+func SoloIPCs(c Config, w Workload) ([]float64, error) {
+	if !w.mix {
+		return nil, fmt.Errorf("morphcache: SoloIPCs needs a multiprogrammed mix")
+	}
+	mix, err := workload.MixByName(w.name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(mix.Benchmarks))
+	for i, b := range mix.Benchmarks {
+		ipc, err := sim.SoloIPC(c.simConfig(), c.Params(), b, c.genConfig())
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ipc
+	}
+	return out, nil
+}
