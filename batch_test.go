@@ -1,0 +1,149 @@
+package morphcache
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"morphcache/internal/core"
+)
+
+// batchTestConfig is a reduced configuration that keeps the sweep fast.
+func batchTestConfig() Config {
+	c := LabConfig()
+	c.Epochs = 4
+	c.WarmupEpochs = 1
+	c.EpochCycles = 200_000
+	return c
+}
+
+// fig13Specs enumerates a reduced Fig. 13-style sweep: each mix under the
+// static comparison set plus MorphCache, exactly the job shape
+// cmd/experiments submits.
+func fig13Specs(mixes []string) []RunSpec {
+	var specs []RunSpec
+	for _, mn := range mixes {
+		w := Mix(mn)
+		for _, s := range []string{"(16:1:1)", "(4:4:1)"} {
+			specs = append(specs, RunSpec{Policy: s, Workload: w})
+		}
+		specs = append(specs, RunSpec{Policy: "morph", Workload: w})
+	}
+	return specs
+}
+
+// TestRunBatchDeterministicAcrossWorkers asserts the DESIGN.md §6 invariant
+// across worker counts: a Fig. 13-style sweep must produce identical
+// metrics for -jobs 1, -jobs 4, and -jobs GOMAXPROCS with the same seed.
+func TestRunBatchDeterministicAcrossWorkers(t *testing.T) {
+	cfg := batchTestConfig()
+	specs := fig13Specs([]string{"MIX 01", "MIX 05"})
+
+	ref, err := RunBatch(cfg, specs, BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != len(specs) {
+		t.Fatalf("%d results for %d specs", len(ref), len(specs))
+	}
+
+	workerCounts := []int{4, runtime.GOMAXPROCS(0)}
+	for _, workers := range workerCounts {
+		got, err := RunBatch(cfg, specs, BatchOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range specs {
+			if !reflect.DeepEqual(ref[i], got[i]) {
+				t.Errorf("workers=%d: job %d (%s) diverges from sequential run:\nseq: %+v\npar: %+v",
+					workers, i, specs[i].Label(), ref[i], got[i])
+			}
+		}
+	}
+}
+
+// TestRunBatchMatchesDirectCalls asserts batch results are identical to the
+// corresponding direct facade calls (the refactor must not change any
+// number anywhere).
+func TestRunBatchMatchesDirectCalls(t *testing.T) {
+	cfg := batchTestConfig()
+	w := Mix("MIX 08")
+	specs := []RunSpec{
+		{Policy: "(16:1:1)", Workload: w},
+		{Policy: "morph", Workload: w},
+		{Policy: "pipp", Workload: w},
+		{Policy: "dsr", Workload: w},
+	}
+	batch, err := RunBatch(cfg, specs, BatchOptions{Workers: len(specs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := RunStatic(cfg, "(16:1:1)", w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	morph, err := RunMorphCache(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipp, err := RunPIPP(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsr, err := RunDSR(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []*Result{static, morph, pipp, dsr} {
+		if !reflect.DeepEqual(want, batch[i]) {
+			t.Errorf("job %d (%s) differs from the direct call", i, specs[i].Label())
+		}
+	}
+}
+
+// TestRunBatchOverrides checks per-job Config and Morph overrides take
+// effect and leave the batch config untouched.
+func TestRunBatchOverrides(t *testing.T) {
+	cfg := batchTestConfig()
+	seeded := cfg
+	seeded.Seed = 7
+	qos := core.DefaultOptions()
+	qos.QoS = true
+	w := Mix("MIX 05")
+	specs := []RunSpec{
+		{Policy: "morph", Workload: w},
+		{Policy: "morph", Workload: w, Config: &seeded},
+		{Policy: "morph", Workload: w, Morph: &qos},
+	}
+	res, err := RunBatch(cfg, specs, BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(res[0], res[1]) {
+		t.Error("seed override had no effect")
+	}
+	direct, err := RunMorphCache(seeded, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, res[1]) {
+		t.Error("config override diverges from direct call with that config")
+	}
+	if res[2].Policy == "" {
+		t.Error("missing policy label on morph-options job")
+	}
+}
+
+// TestRunBatchErrorLabel checks a failing spec surfaces with its label and
+// does not torpedo determinism of the rest.
+func TestRunBatchErrorLabel(t *testing.T) {
+	cfg := batchTestConfig()
+	specs := []RunSpec{
+		{Policy: "(16:1:1)", Workload: Mix("MIX 01")},
+		{Policy: "(16:1:1)", Workload: Mix("NO SUCH MIX")},
+	}
+	_, err := RunBatch(cfg, specs, BatchOptions{Workers: 2})
+	if err == nil {
+		t.Fatal("unknown mix must fail the batch")
+	}
+}

@@ -171,20 +171,26 @@ func BenchmarkFig14(b *testing.B) {
 	}
 }
 
-// BenchmarkFig15 — MorphCache against the ideal offline envelope.
+// BenchmarkFig15 — MorphCache against the ideal offline envelope. The four
+// runs are independent, so they go through the parallel batch runner.
 func BenchmarkFig15(b *testing.B) {
 	cfg := benchConfig()
+	specs := []RunSpec{
+		{Policy: "(16:1:1)", Workload: Mix("MIX 01")},
+		{Policy: "(1:1:16)", Workload: Mix("MIX 01")},
+		{Policy: "(4:4:1)", Workload: Mix("MIX 01")},
+		{Policy: "morph", Workload: Mix("MIX 01")},
+	}
 	for i := 0; i < b.N; i++ {
-		var rs []*Result
-		for _, s := range []string{"(16:1:1)", "(1:1:16)", "(4:4:1)"} {
-			rs = append(rs, mustRunStatic(b, cfg, s, Mix("MIX 01")))
-		}
-		_, _, ideal, err := IdealOffline(rs)
+		rs, err := RunBatch(cfg, specs, BatchOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
-		m := mustRunMorph(b, cfg, Mix("MIX 01"))
-		b.ReportMetric(m.Throughput/ideal, "morph/ideal")
+		_, _, ideal, err := IdealOffline(rs[:3])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rs[3].Throughput/ideal, "morph/ideal")
 	}
 }
 
@@ -198,21 +204,21 @@ func BenchmarkFig16(b *testing.B) {
 	}
 }
 
-// BenchmarkFig17 — MorphCache vs PIPP and DSR on one mix.
+// BenchmarkFig17 — MorphCache vs PIPP and DSR on one mix, batched.
 func BenchmarkFig17(b *testing.B) {
 	cfg := benchConfig()
+	specs := []RunSpec{
+		{Policy: "pipp", Workload: Mix("MIX 05")},
+		{Policy: "dsr", Workload: Mix("MIX 05")},
+		{Policy: "morph", Workload: Mix("MIX 05")},
+	}
 	for i := 0; i < b.N; i++ {
-		p, err := RunPIPP(cfg, Mix("MIX 05"))
+		rs, err := RunBatch(cfg, specs, BatchOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
-		d, err := RunDSR(cfg, Mix("MIX 05"))
-		if err != nil {
-			b.Fatal(err)
-		}
-		m := mustRunMorph(b, cfg, Mix("MIX 05"))
-		b.ReportMetric(m.Throughput/p.Throughput, "morph/pipp")
-		b.ReportMetric(m.Throughput/d.Throughput, "morph/dsr")
+		b.ReportMetric(rs[2].Throughput/rs[0].Throughput, "morph/pipp")
+		b.ReportMetric(rs[2].Throughput/rs[1].Throughput, "morph/dsr")
 	}
 }
 
@@ -260,22 +266,53 @@ func BenchmarkSensitivity(b *testing.B) {
 	}
 }
 
-// BenchmarkExtensions — §5.5: the relaxed reconfiguration spaces.
+// BenchmarkExtensions — §5.5: the relaxed reconfiguration spaces, expressed
+// as per-spec controller-option overrides on one batch.
 func BenchmarkExtensions(b *testing.B) {
-	base := benchConfig()
-	arb := base
-	arb.Morph = core.DefaultOptions()
-	arb.Morph.AllowArbitrarySizes = true
-	non := base
-	non.Morph = core.DefaultOptions()
-	non.Morph.AllowArbitrarySizes = true
-	non.Morph.AllowNonNeighbors = true
+	cfg := benchConfig()
+	arbOpts := core.DefaultOptions()
+	arbOpts.AllowArbitrarySizes = true
+	nonOpts := core.DefaultOptions()
+	nonOpts.AllowArbitrarySizes = true
+	nonOpts.AllowNonNeighbors = true
+	specs := []RunSpec{
+		{Policy: "morph", Workload: Mix("MIX 05")},
+		{Policy: "morph", Workload: Mix("MIX 05"), Morph: &arbOpts},
+		{Policy: "morph", Workload: Mix("MIX 05"), Morph: &nonOpts},
+	}
 	for i := 0; i < b.N; i++ {
-		d := mustRunMorph(b, base, Mix("MIX 05"))
-		a := mustRunMorph(b, arb, Mix("MIX 05"))
-		n := mustRunMorph(b, non, Mix("MIX 05"))
-		b.ReportMetric(a.Throughput/d.Throughput, "arbitrary/default")
-		b.ReportMetric(n.Throughput/d.Throughput, "nonneighbor/default")
+		rs, err := RunBatch(cfg, specs, BatchOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rs[1].Throughput/rs[0].Throughput, "arbitrary/default")
+		b.ReportMetric(rs[2].Throughput/rs[0].Throughput, "nonneighbor/default")
+	}
+}
+
+// BenchmarkBatchSweep — a Fig. 13-shaped sweep submitted through the batch
+// runner at the default worker count; run with -cpu 1,N to compare the
+// sequential and parallel cost of the same job list.
+func BenchmarkBatchSweep(b *testing.B) {
+	cfg := benchConfig()
+	var specs []RunSpec
+	for _, mn := range []string{"MIX 01", "MIX 05"} {
+		w := Mix(mn)
+		for _, s := range []string{"(16:1:1)", "(1:1:16)", "(4:4:1)"} {
+			specs = append(specs, RunSpec{Policy: s, Workload: w})
+		}
+		specs = append(specs, RunSpec{Policy: "morph", Workload: w})
+	}
+	for i := 0; i < b.N; i++ {
+		rs, err := RunBatch(cfg, specs, BatchOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, r := range rs {
+			sum += r.Throughput
+		}
+		b.ReportMetric(sum/float64(len(rs)), "mean-throughput")
 	}
 }
 

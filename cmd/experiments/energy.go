@@ -8,6 +8,7 @@ import (
 	"morphcache/internal/core"
 	"morphcache/internal/energy"
 	"morphcache/internal/hierarchy"
+	"morphcache/internal/runner"
 	"morphcache/internal/sim"
 	"morphcache/internal/stats"
 	"morphcache/internal/topology"
@@ -27,53 +28,68 @@ func energyExp(cfg mc.Config, quick bool) error {
 	if len(names) > 4 {
 		names = names[:4]
 	}
+	// One metering job per mix; each job builds its own hierarchies and
+	// meters, returning only the numbers the table needs.
+	type energyRow struct{ segUJ, monoUJ, sharedUJ, saving float64 }
+	rows, err := runner.Map(names, runner.Options{Workers: jobCount(), Progress: runnerProgress},
+		func(_ int, mn string) (energyRow, error) {
+			w := mc.Mix(mn)
+			gens, err := w.Generators(cfg)
+			if err != nil {
+				return energyRow{}, err
+			}
+			p := cfg.Params()
+			p.ChargeRemote = true
+			sys, err := hierarchy.New(p, topology.AllPrivate(p.Cores))
+			if err != nil {
+				return energyRow{}, err
+			}
+			seg := energy.NewMeter(energy.Default())
+			mono := energy.NewMeter(energy.Default())
+			pol := &meteredPolicy{inner: core.New(cfg.Morph), sys: sys, seg: seg, mono: mono}
+			eng, err := sim.New(simConfigOf(cfg), &sim.HierarchyTarget{Sys: sys, Policy: pol}, gens)
+			if err != nil {
+				return energyRow{}, err
+			}
+			eng.Run()
+			pol.flush()
+
+			// The all-shared static baseline, metered on its own traffic.
+			gens2, err := w.Generators(cfg)
+			if err != nil {
+				return energyRow{}, err
+			}
+			sp := cfg.Params()
+			sp.ChargeRemote = false
+			ssys, err := hierarchy.New(sp, topology.AllShared(sp.Cores))
+			if err != nil {
+				return energyRow{}, err
+			}
+			seng, err := sim.New(simConfigOf(cfg), &sim.HierarchyTarget{Sys: ssys, Policy: sim.NopPolicy{Label: "(16:1:1)"}}, gens2)
+			if err != nil {
+				return energyRow{}, err
+			}
+			seng.Run()
+			sharedMeter := energy.NewMeter(energy.Default())
+			sharedMeter.Charge(hierarchy.Stats{}, *ssys.Stats(), energy.MonolithicTopology(sp.Cores))
+
+			return energyRow{
+				segUJ:    seg.TotalNJ / 1000,
+				monoUJ:   mono.TotalNJ / 1000,
+				sharedUJ: sharedMeter.TotalNJ / 1000,
+				saving:   1 - seg.BusNJ/mono.BusNJ,
+			}, nil
+		})
+	if err != nil {
+		return err
+	}
 	header("mix", []string{"morph-seg", "morph-mono", "shared", "seg-saving"})
 	var savings []float64
-	for _, mn := range names {
-		w := mc.Mix(mn)
-		gens, err := w.Generators(cfg)
-		if err != nil {
-			return err
-		}
-		p := cfg.Params()
-		p.ChargeRemote = true
-		sys, err := hierarchy.New(p, topology.AllPrivate(p.Cores))
-		if err != nil {
-			return err
-		}
-		seg := energy.NewMeter(energy.Default())
-		mono := energy.NewMeter(energy.Default())
-		pol := &meteredPolicy{inner: core.New(cfg.Morph), sys: sys, seg: seg, mono: mono}
-		eng, err := sim.New(simConfigOf(cfg), &sim.HierarchyTarget{Sys: sys, Policy: pol}, gens)
-		if err != nil {
-			return err
-		}
-		eng.Run()
-		pol.flush()
-
-		// The all-shared static baseline, metered on its own traffic.
-		gens2, err := w.Generators(cfg)
-		if err != nil {
-			return err
-		}
-		sp := cfg.Params()
-		sp.ChargeRemote = false
-		ssys, err := hierarchy.New(sp, topology.AllShared(sp.Cores))
-		if err != nil {
-			return err
-		}
-		seng, err := sim.New(simConfigOf(cfg), &sim.HierarchyTarget{Sys: ssys, Policy: sim.NopPolicy{Label: "(16:1:1)"}}, gens2)
-		if err != nil {
-			return err
-		}
-		seng.Run()
-		sharedMeter := energy.NewMeter(energy.Default())
-		sharedMeter.Charge(hierarchy.Stats{}, *ssys.Stats(), energy.MonolithicTopology(sp.Cores))
-
-		saving := 1 - seg.BusNJ/mono.BusNJ
+	for i, mn := range names {
+		r := rows[i]
 		fmt.Printf("%-14s %9.1fuJ %9.1fuJ %9.1fuJ %9.0f%%\n",
-			mn, seg.TotalNJ/1000, mono.TotalNJ/1000, sharedMeter.TotalNJ/1000, 100*saving)
-		savings = append(savings, saving)
+			mn, r.segUJ, r.monoUJ, r.sharedUJ, 100*r.saving)
+		savings = append(savings, r.saving)
 	}
 	fmt.Printf("\nmean interconnect energy saved by segmentation (same traffic): %.0f%%\n",
 		100*stats.Mean(savings))

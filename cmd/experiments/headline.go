@@ -13,7 +13,24 @@ import (
 // baseline. Paper averages: MorphCache +29.9% over (16:1:1), +29.3% over
 // (1:1:16), +19.9% over (4:4:1), +18.8% over (8:2:1), +27.9% over (1:16:1);
 // mixes 1-3, 6-7 and 10 (uniformly large ACFs) gain least.
+// fig13Jobs enumerates the sweep's independent runs: every mix under every
+// static topology plus MorphCache (fig14/fig15 reuse the same runs).
+func fig13Jobs(quick bool) []mc.RunSpec {
+	var specs []mc.RunSpec
+	for _, mn := range mixNames(quick) {
+		w := mc.Mix(mn)
+		for _, s := range staticSpecs {
+			specs = append(specs, mc.RunSpec{Policy: s, Workload: w})
+		}
+		specs = append(specs, mc.RunSpec{Policy: "morph", Workload: w})
+	}
+	return specs
+}
+
 func fig13(cfg mc.Config, quick bool) error {
+	if err := prefetch(cfg, fig13Jobs(quick)); err != nil {
+		return err
+	}
 	cols := append(append([]string{}, staticSpecs...), "morph")
 	header("mix", cols)
 	gains := map[string][]float64{}
@@ -58,6 +75,16 @@ func fig13(cfg mc.Config, quick bool) error {
 // +29.7% FS over baseline, +10.8% over the best FS static (4:4:1).
 func fig14(cfg mc.Config, quick bool) error {
 	specs := append(append([]string{}, staticSpecs...), "(2:2:4)")
+	jobs := fig13Jobs(quick)
+	for _, mn := range mixNames(quick) {
+		jobs = append(jobs, mc.RunSpec{Policy: "(2:2:4)", Workload: mc.Mix(mn)})
+	}
+	if err := prefetch(cfg, jobs); err != nil {
+		return err
+	}
+	if err := prefetchSolo(cfg, mixNames(quick)); err != nil {
+		return err
+	}
 	header("mix", []string{"WS-base", "WS-best", "FS-base", "FS-best"})
 	var wsBase, wsBest, fsBase, fsBest []float64
 	for _, mn := range mixNames(quick) {
@@ -108,6 +135,9 @@ func fig14(cfg mc.Config, quick bool) error {
 // that picks the best static topology for every epoch with perfect
 // foresight. Paper: MorphCache reaches ≈97% of the ideal scheme.
 func fig15(cfg mc.Config, quick bool) error {
+	if err := prefetch(cfg, fig13Jobs(quick)); err != nil {
+		return err
+	}
 	header("mix", []string{"morph", "ideal", "ratio"})
 	var ratios []float64
 	for _, mn := range mixNames(quick) {

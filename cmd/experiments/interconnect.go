@@ -8,6 +8,7 @@ import (
 	"morphcache/internal/bus"
 	"morphcache/internal/core"
 	"morphcache/internal/hierarchy"
+	"morphcache/internal/runner"
 	"morphcache/internal/sim"
 	"morphcache/internal/stats"
 	"morphcache/internal/topology"
@@ -23,55 +24,68 @@ func xbar(cfg mc.Config, quick bool) error {
 	if len(names) > 4 {
 		names = names[:4]
 	}
+	// Flatten the sweep into 4 labeled jobs per mix (shared/morph × bus/xbar)
+	// so every run can execute concurrently; results come back in submission
+	// order, so the table below is identical at any worker count.
+	run := func(mn string, kind hierarchy.InterconnectKind, morph bool) (float64, error) {
+		w := mc.Mix(mn)
+		gens, err := w.Generators(cfg)
+		if err != nil {
+			return 0, err
+		}
+		p := cfg.Params()
+		p.Interconnect = kind
+		var target sim.Target
+		if morph {
+			p.ChargeRemote = true
+			sys, err := hierarchy.New(p, topology.AllPrivate(p.Cores))
+			if err != nil {
+				return 0, err
+			}
+			target = &sim.HierarchyTarget{Sys: sys, Policy: core.New(cfg.Morph)}
+		} else {
+			p.ChargeRemote = false
+			sys, err := hierarchy.New(p, topology.AllShared(p.Cores))
+			if err != nil {
+				return 0, err
+			}
+			target = &sim.HierarchyTarget{Sys: sys, Policy: sim.NopPolicy{Label: "(16:1:1)"}}
+		}
+		eng, err := sim.New(simConfigOf(cfg), target, gens)
+		if err != nil {
+			return 0, err
+		}
+		return eng.Run().Throughput(), nil
+	}
+	cases := []struct {
+		name  string
+		kind  hierarchy.InterconnectKind
+		morph bool
+	}{
+		{"shared-bus", hierarchy.Bus, false},
+		{"shared-xbar", hierarchy.Crossbar, false},
+		{"morph-bus", hierarchy.Bus, true},
+		{"morph-xbar", hierarchy.Crossbar, true},
+	}
+	var jobs []runner.Job[float64]
+	for _, mn := range names {
+		mn := mn
+		for _, cse := range cases {
+			cse := cse
+			jobs = append(jobs, runner.Job[float64]{
+				Label: mn + " " + cse.name,
+				Run:   func() (float64, error) { return run(mn, cse.kind, cse.morph) },
+			})
+		}
+	}
+	vals, err := runner.Run(jobs, runner.Options{Workers: jobCount(), Progress: runnerProgress})
+	if err != nil {
+		return err
+	}
 	header("mix", []string{"shared-bus", "shared-xbar", "morph-bus", "morph-xbar"})
 	var sharedGain, morphGain []float64
-	for _, mn := range names {
-		w := mc.Mix(mn)
-		run := func(kind hierarchy.InterconnectKind, morph bool) (float64, error) {
-			gens, err := w.Generators(cfg)
-			if err != nil {
-				return 0, err
-			}
-			p := cfg.Params()
-			p.Interconnect = kind
-			var target sim.Target
-			if morph {
-				p.ChargeRemote = true
-				sys, err := hierarchy.New(p, topology.AllPrivate(p.Cores))
-				if err != nil {
-					return 0, err
-				}
-				target = &sim.HierarchyTarget{Sys: sys, Policy: core.New(cfg.Morph)}
-			} else {
-				p.ChargeRemote = false
-				sys, err := hierarchy.New(p, topology.AllShared(p.Cores))
-				if err != nil {
-					return 0, err
-				}
-				target = &sim.HierarchyTarget{Sys: sys, Policy: sim.NopPolicy{Label: "(16:1:1)"}}
-			}
-			eng, err := sim.New(simConfigOf(cfg), target, gens)
-			if err != nil {
-				return 0, err
-			}
-			return eng.Run().Throughput(), nil
-		}
-		sb, err := run(hierarchy.Bus, false)
-		if err != nil {
-			return err
-		}
-		sx, err := run(hierarchy.Crossbar, false)
-		if err != nil {
-			return err
-		}
-		mb, err := run(hierarchy.Bus, true)
-		if err != nil {
-			return err
-		}
-		mx, err := run(hierarchy.Crossbar, true)
-		if err != nil {
-			return err
-		}
+	for i, mn := range names {
+		sb, sx, mb, mx := vals[4*i], vals[4*i+1], vals[4*i+2], vals[4*i+3]
 		row(mn, []float64{sb, sx, mb, mx}, sb)
 		sharedGain = append(sharedGain, sx/sb)
 		morphGain = append(morphGain, mx/mb)

@@ -29,20 +29,39 @@ func interval(cfg mc.Config, quick bool) error {
 	for i, f := range factors {
 		cols[i] = f.label
 	}
+	// One job per (mix, interval length, policy): the sweep configs differ
+	// in EpochCycles/Epochs, which the memo keys on.
+	cfgFor := func(mul float64) *mc.Config {
+		c := cfg
+		c.EpochCycles = uint64(float64(cfg.EpochCycles) * mul)
+		c.Epochs = int(float64(cfg.Epochs) / mul)
+		return &c
+	}
+	var jobs []mc.RunSpec
+	for _, mn := range names {
+		w := mc.Mix(mn)
+		for _, f := range factors {
+			c := cfgFor(f.mul)
+			jobs = append(jobs,
+				mc.RunSpec{Policy: "(16:1:1)", Workload: w, Config: c},
+				mc.RunSpec{Policy: "morph", Workload: w, Config: c})
+		}
+	}
+	if err := prefetch(cfg, jobs); err != nil {
+		return err
+	}
 	header("mix", cols)
 	means := make([][]float64, len(factors))
 	for _, mn := range names {
 		w := mc.Mix(mn)
 		vals := make([]float64, len(factors))
 		for i, f := range factors {
-			c := cfg
-			c.EpochCycles = uint64(float64(cfg.EpochCycles) * f.mul)
-			c.Epochs = int(float64(cfg.Epochs) / f.mul)
+			c := *cfgFor(f.mul)
 			base, err := staticResult(c, "(16:1:1)", w)
 			if err != nil {
 				return err
 			}
-			m, err := mc.RunMorphCache(c, w)
+			m, err := morphResult(c, w)
 			if err != nil {
 				return err
 			}

@@ -21,9 +21,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	mc "morphcache"
+
+	"morphcache/internal/runner"
 )
 
 // experiment is one reproducible artifact.
@@ -54,15 +58,54 @@ var registry = []experiment{
 	{"interval", "reconfiguration-interval sweep (§4 epoch choice)", interval},
 }
 
+// jobsFlag is the worker-pool size every batch in this process uses; set in
+// main from -jobs, defaulting to GOMAXPROCS. -jobs 1 restores strictly
+// sequential execution. Report output on stdout is byte-identical at every
+// value (per-job progress goes to stderr).
+var jobsFlag = runtime.GOMAXPROCS(0)
+
+// jobCount returns the configured worker-pool size.
+func jobCount() int { return jobsFlag }
+
+// batchProgress prints one per-job timing line to stderr as facade batch
+// jobs complete (observability for long sweeps; stdout stays clean).
+func batchProgress(ev mc.JobEvent) {
+	status := ""
+	if ev.Err != nil {
+		status = " FAILED: " + ev.Err.Error()
+	}
+	fmt.Fprintf(os.Stderr, "experiments: [%d/%d] %s (%s)%s\n",
+		ev.Done, ev.Total, ev.Label, ev.Elapsed.Round(time.Millisecond), status)
+}
+
+// runnerProgress is batchProgress for direct internal/runner batches (solo
+// IPC references, custom-hierarchy sweeps).
+func runnerProgress(ev runner.Event) {
+	status := ""
+	if ev.Err != nil {
+		status = " FAILED: " + ev.Err.Error()
+	}
+	fmt.Fprintf(os.Stderr, "experiments: [%d/%d] %s (%s)%s\n",
+		ev.Done, ev.Total, ev.Label, ev.Elapsed.Round(time.Millisecond), status)
+}
+
 func main() {
 	var (
 		runList = flag.String("run", "", "comma-separated experiment ids, or 'all'")
 		list    = flag.Bool("list", false, "list experiments")
 		quick   = flag.Bool("quick", false, "reduced configuration (smoke run)")
 		seed    = flag.Uint64("seed", 1, "workload seed")
+		jobs    = flag.Int("jobs", runtime.GOMAXPROCS(0), "simulation worker-pool size (1 = sequential; results are identical at any value)")
 	)
 	flag.Parse()
 
+	// A stray positional argument ("experiments fig13" instead of
+	// "-run fig13") must not fall through to the default listing and exit 0.
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: unexpected arguments %q (did you mean -run %s?)\n",
+			flag.Args(), flag.Arg(0))
+		os.Exit(2)
+	}
 	if *list || *runList == "" {
 		fmt.Println("experiments:")
 		for _, e := range registry {
@@ -70,6 +113,11 @@ func main() {
 		}
 		return
 	}
+	if *jobs < 1 {
+		fmt.Fprintf(os.Stderr, "experiments: -jobs must be >= 1 (got %d)\n", *jobs)
+		os.Exit(2)
+	}
+	jobsFlag = *jobs
 
 	cfg := mc.LabConfig()
 	cfg.Seed = *seed
@@ -78,9 +126,18 @@ func main() {
 		cfg.WarmupEpochs = 2
 	}
 
+	// Resolve the -run list. Empty ids (stray commas, trailing separators)
+	// are dropped; if nothing is left, or any id is unknown, exit non-zero —
+	// a selection that runs nothing must never look like success.
 	want := map[string]bool{}
 	for _, id := range strings.Split(*runList, ",") {
-		want[strings.TrimSpace(id)] = true
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
+	}
+	if len(want) == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -run %q selects no experiments (use -list)\n", *runList)
+		os.Exit(2)
 	}
 	all := want["all"]
 	known := map[string]bool{}
@@ -94,15 +151,24 @@ func main() {
 		}
 	}
 
+	ran := 0
 	for _, e := range registry {
 		if !all && !want[e.id] {
 			continue
 		}
 		fmt.Printf("\n==================== %s — %s ====================\n", e.id, e.about)
+		start := time.Now()
 		if err := e.run(cfg, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
 			os.Exit(1)
 		}
+		fmt.Fprintf(os.Stderr, "experiments: %s finished in %s (-jobs %d)\n",
+			e.id, time.Since(start).Round(time.Millisecond), jobsFlag)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: selection %q ran no experiments\n", *runList)
+		os.Exit(1)
 	}
 }
 

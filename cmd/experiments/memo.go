@@ -2,77 +2,182 @@ package main
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	mc "morphcache"
 
+	"morphcache/internal/core"
+	"morphcache/internal/runner"
 	"morphcache/internal/sim"
 	"morphcache/internal/workload"
 )
 
 // Results are memoized per (config, policy, workload) so that experiments
 // sharing runs (fig13/fig14/fig15/fig17) do not recompute them within one
-// invocation.
-var memo = map[string]*mc.Result{}
+// invocation. The memo is written concurrently by the worker pool, so all
+// access goes through memoMu; everything else the jobs can reach
+// (workload profiles, mix tables) is read-only after package init.
+var (
+	memoMu sync.Mutex
+	memo   = map[string]*mc.Result{}
+)
 
-func memoKey(cfg mc.Config, policy string, w mc.Workload) string {
-	return fmt.Sprintf("%s|%s|%d|%d|%d|%d", policy, w, cfg.Cores, cfg.Scale, cfg.Epochs, cfg.Seed)
+// specKey fingerprints one job: the policy (with effective controller
+// options for morph jobs), the workload, and every configuration field that
+// changes results. Seeds, epoch counts AND epoch lengths are all part of
+// the key — the interval experiment varies EpochCycles, the robustness
+// experiment varies Seed, and the QoS/extension experiments vary the
+// controller options, and none of those runs may alias another.
+func specKey(cfg mc.Config, s mc.RunSpec) string {
+	c := cfg
+	if s.Config != nil {
+		c = *s.Config
+	}
+	policy := s.Policy
+	if s.Policy == "morph" {
+		opts := c.Morph
+		if s.Morph != nil {
+			opts = *s.Morph
+		}
+		opts.Trace = nil // diagnostics sink, not part of the result
+		policy = fmt.Sprintf("morph%+v", opts)
+	}
+	return fmt.Sprintf("%s|%s|%d|%d|%d|%d|%d|%d",
+		policy, s.Workload, c.Cores, c.Scale, c.Epochs, c.WarmupEpochs, c.EpochCycles, c.Seed)
+}
+
+// prefetch computes every not-yet-memoized spec across the worker pool and
+// stores the results. Experiments call it with their full job list up
+// front, then read rows back through the accessors below (all memo hits),
+// so report output is byte-identical to a sequential run at any -jobs
+// count. Progress goes to stderr only.
+func prefetch(cfg mc.Config, specs []mc.RunSpec) error {
+	var missing []mc.RunSpec
+	seen := map[string]bool{}
+	memoMu.Lock()
+	for _, s := range specs {
+		k := specKey(cfg, s)
+		if memo[k] != nil || seen[k] {
+			continue
+		}
+		seen[k] = true
+		missing = append(missing, s)
+	}
+	memoMu.Unlock()
+	if len(missing) == 0 {
+		return nil
+	}
+	results, err := mc.RunBatch(cfg, missing, mc.BatchOptions{
+		Workers:  jobCount(),
+		Progress: batchProgress,
+	})
+	if err != nil {
+		return err
+	}
+	memoMu.Lock()
+	for i, s := range missing {
+		memo[specKey(cfg, s)] = results[i]
+	}
+	memoMu.Unlock()
+	return nil
+}
+
+// specResult returns one spec's result, computing it (sequentially) on a
+// memo miss — experiments that prefetched correctly never miss.
+func specResult(cfg mc.Config, s mc.RunSpec) (*mc.Result, error) {
+	k := specKey(cfg, s)
+	memoMu.Lock()
+	r := memo[k]
+	memoMu.Unlock()
+	if r != nil {
+		return r, nil
+	}
+	results, err := mc.RunBatch(cfg, []mc.RunSpec{s}, mc.BatchOptions{Workers: 1})
+	if err != nil {
+		return nil, err
+	}
+	memoMu.Lock()
+	memo[k] = results[0]
+	memoMu.Unlock()
+	return results[0], nil
 }
 
 func staticResult(cfg mc.Config, spec string, w mc.Workload) (*mc.Result, error) {
-	k := memoKey(cfg, spec, w)
-	if r, ok := memo[k]; ok {
-		return r, nil
-	}
-	r, err := mc.RunStatic(cfg, spec, w)
-	if err != nil {
-		return nil, err
-	}
-	memo[k] = r
-	return r, nil
+	return specResult(cfg, mc.RunSpec{Policy: spec, Workload: w})
 }
 
 func morphResult(cfg mc.Config, w mc.Workload) (*mc.Result, error) {
-	k := memoKey(cfg, "morph", w)
-	if r, ok := memo[k]; ok {
-		return r, nil
-	}
-	r, err := mc.RunMorphCache(cfg, w)
-	if err != nil {
-		return nil, err
-	}
-	memo[k] = r
-	return r, nil
+	return specResult(cfg, mc.RunSpec{Policy: "morph", Workload: w})
+}
+
+// morphOptResult is morphResult under explicit controller options (QoS,
+// §5.5 extensions).
+func morphOptResult(cfg mc.Config, opts core.Options, w mc.Workload) (*mc.Result, error) {
+	return specResult(cfg, mc.RunSpec{Policy: "morph", Workload: w, Morph: &opts})
 }
 
 func pippResult(cfg mc.Config, w mc.Workload) (*mc.Result, error) {
-	k := memoKey(cfg, "pipp", w)
-	if r, ok := memo[k]; ok {
-		return r, nil
-	}
-	r, err := mc.RunPIPP(cfg, w)
-	if err != nil {
-		return nil, err
-	}
-	memo[k] = r
-	return r, nil
+	return specResult(cfg, mc.RunSpec{Policy: "pipp", Workload: w})
 }
 
 func dsrResult(cfg mc.Config, w mc.Workload) (*mc.Result, error) {
-	k := memoKey(cfg, "dsr", w)
-	if r, ok := memo[k]; ok {
-		return r, nil
-	}
-	r, err := mc.RunDSR(cfg, w)
-	if err != nil {
-		return nil, err
-	}
-	memo[k] = r
-	return r, nil
+	return specResult(cfg, mc.RunSpec{Policy: "dsr", Workload: w})
 }
 
 // soloMemo caches per-benchmark alone-IPC references (benchmarks repeat
-// across mixes, so the cache is keyed by benchmark, not by mix).
-var soloMemo = map[string]float64{}
+// across mixes, so the cache is keyed by benchmark, not by mix). Guarded by
+// soloMu: the solo prefetch fills it from the worker pool.
+var (
+	soloMu   sync.Mutex
+	soloMemo = map[string]float64{}
+)
+
+func soloKey(cfg mc.Config, bench string) string {
+	return fmt.Sprintf("%s|%d|%d|%d|%d|%d", bench, cfg.Scale, cfg.Epochs, cfg.WarmupEpochs, cfg.EpochCycles, cfg.Seed)
+}
+
+// prefetchSolo computes the alone-IPC references of every benchmark that
+// appears in the given mixes, fanned out across the worker pool. Each job
+// runs one benchmark on its own single-core hierarchy — nothing shared.
+func prefetchSolo(cfg mc.Config, mixNames []string) error {
+	seen := map[string]*workload.Profile{}
+	for _, mn := range mixNames {
+		mix, err := workload.MixByName(mn)
+		if err != nil {
+			return err
+		}
+		for _, b := range mix.Benchmarks {
+			k := soloKey(cfg, b.Name)
+			soloMu.Lock()
+			_, have := soloMemo[k]
+			soloMu.Unlock()
+			if !have && seen[k] == nil {
+				seen[k] = b
+			}
+		}
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic job order
+	_, err := runner.Map(keys, runner.Options{Workers: jobCount(), Progress: runnerProgress}, func(_ int, k string) (struct{}, error) {
+		b := seen[k]
+		v, err := sim.SoloIPC(simConfigOf(cfg), cfg.Params(), b, genConfigOf(cfg))
+		if err != nil {
+			return struct{}{}, err
+		}
+		soloMu.Lock()
+		soloMemo[k] = v
+		soloMu.Unlock()
+		return struct{}{}, nil
+	})
+	return err
+}
 
 func soloIPCs(cfg mc.Config, mixName string) ([]float64, error) {
 	mix, err := workload.MixByName(mixName)
@@ -81,23 +186,30 @@ func soloIPCs(cfg mc.Config, mixName string) ([]float64, error) {
 	}
 	out := make([]float64, len(mix.Benchmarks))
 	for i, b := range mix.Benchmarks {
-		k := fmt.Sprintf("%s|%d|%d", b.Name, cfg.Scale, cfg.Seed)
-		if v, ok := soloMemo[k]; ok {
-			out[i] = v
-			continue
+		k := soloKey(cfg, b.Name)
+		soloMu.Lock()
+		v, ok := soloMemo[k]
+		soloMu.Unlock()
+		if !ok {
+			v, err = sim.SoloIPC(simConfigOf(cfg), cfg.Params(), b, genConfigOf(cfg))
+			if err != nil {
+				return nil, err
+			}
+			soloMu.Lock()
+			soloMemo[k] = v
+			soloMu.Unlock()
 		}
-		gcfg := workload.ScaledGenConfig(cfg.Scale)
-		if cfg.Scale <= 1 {
-			gcfg = workload.DefaultGenConfig()
-		}
-		v, err := sim.SoloIPC(simConfigOf(cfg), cfg.Params(), b, gcfg)
-		if err != nil {
-			return nil, err
-		}
-		soloMemo[k] = v
 		out[i] = v
 	}
 	return out, nil
+}
+
+// genConfigOf mirrors Config.genConfig (unexported in the facade).
+func genConfigOf(cfg mc.Config) workload.GenConfig {
+	if cfg.Scale <= 1 {
+		return workload.DefaultGenConfig()
+	}
+	return workload.ScaledGenConfig(cfg.Scale)
 }
 
 // simConfigOf mirrors Config.simConfig (unexported in the facade).

@@ -14,14 +14,21 @@ import (
 // curves cross), spanning roughly 0.75–1.35 of the baseline.
 func fig2a(cfg mc.Config, _ bool) error {
 	w := mc.Mix("MIX 01")
-	base, err := mc.RunStatic(cfg, "(16:1:1)", w)
+	specs := []string{"(1:1:16)", "(4:4:1)", "(8:2:1)", "(1:16:1)"}
+	jobs := []mc.RunSpec{{Policy: "(16:1:1)", Workload: w}}
+	for _, s := range specs {
+		jobs = append(jobs, mc.RunSpec{Policy: s, Workload: w})
+	}
+	if err := prefetch(cfg, jobs); err != nil {
+		return err
+	}
+	base, err := staticResult(cfg, "(16:1:1)", w)
 	if err != nil {
 		return err
 	}
-	specs := []string{"(1:1:16)", "(4:4:1)", "(8:2:1)", "(1:16:1)"}
 	series := make(map[string][]float64)
 	for _, s := range specs {
-		r, err := mc.RunStatic(cfg, s, w)
+		r, err := staticResult(cfg, s, w)
 		if err != nil {
 			return err
 		}
@@ -72,16 +79,28 @@ func fig2a(cfg mc.Config, _ bool) error {
 // at (1:16:1) (~1.15); fully private is worst for both (~0.82).
 func fig2b(cfg mc.Config, _ bool) error {
 	specs := []string{"(1:1:16)", "(4:4:1)", "(8:2:1)", "(1:16:1)"}
-	header("app", specs)
-	for _, app := range []string{"dedup", "freqmine"} {
+	apps := []string{"dedup", "freqmine"}
+	var jobs []mc.RunSpec
+	for _, app := range apps {
 		w := mc.Parsec(app)
-		base, err := mc.RunStatic(cfg, "(16:1:1)", w)
+		jobs = append(jobs, mc.RunSpec{Policy: "(16:1:1)", Workload: w})
+		for _, s := range specs {
+			jobs = append(jobs, mc.RunSpec{Policy: s, Workload: w})
+		}
+	}
+	if err := prefetch(cfg, jobs); err != nil {
+		return err
+	}
+	header("app", specs)
+	for _, app := range apps {
+		w := mc.Parsec(app)
+		base, err := staticResult(cfg, "(16:1:1)", w)
 		if err != nil {
 			return err
 		}
 		vals := make([]float64, len(specs))
 		for i, s := range specs {
-			r, err := mc.RunStatic(cfg, s, w)
+			r, err := staticResult(cfg, s, w)
 			if err != nil {
 				return err
 			}

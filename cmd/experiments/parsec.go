@@ -13,6 +13,17 @@ import (
 // +12.3% over (4:4:1), +7.5% over (8:2:1), +8.5% over (1:16:1); facesim,
 // ferret, freqmine and x264 (high spatial ACF variance) gain most.
 func fig16(cfg mc.Config, quick bool) error {
+	var jobs []mc.RunSpec
+	for _, app := range parsecNames(quick) {
+		w := mc.Parsec(app)
+		for _, s := range staticSpecs {
+			jobs = append(jobs, mc.RunSpec{Policy: s, Workload: w})
+		}
+		jobs = append(jobs, mc.RunSpec{Policy: "morph", Workload: w})
+	}
+	if err := prefetch(cfg, jobs); err != nil {
+		return err
+	}
 	cols := append(append([]string{}, staticSpecs...), "morph")
 	header("app", cols)
 	gains := map[string][]float64{}
@@ -58,6 +69,18 @@ func fig16(cfg mc.Config, quick bool) error {
 // MorphCache +6.6% over PIPP and +5.7% over DSR on average, with MIX 04
 // and MIX 08 (little ACF variation) as the weak cases.
 func fig17(cfg mc.Config, quick bool) error {
+	var jobs []mc.RunSpec
+	for _, mn := range mixNames(quick) {
+		w := mc.Mix(mn)
+		jobs = append(jobs,
+			mc.RunSpec{Policy: "(16:1:1)", Workload: w},
+			mc.RunSpec{Policy: "pipp", Workload: w},
+			mc.RunSpec{Policy: "dsr", Workload: w},
+			mc.RunSpec{Policy: "morph", Workload: w})
+	}
+	if err := prefetch(cfg, jobs); err != nil {
+		return err
+	}
 	header("mix", []string{"pipp", "dsr", "morph"})
 	var overPIPP, overDSR []float64
 	for _, mn := range mixNames(quick) {

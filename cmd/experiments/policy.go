@@ -18,6 +18,16 @@ import (
 // simulator's scaled interval count the comparable quantities are the
 // per-interval reconfiguration rate and the asymmetric share.
 func recon(cfg mc.Config, quick bool) error {
+	var jobs []mc.RunSpec
+	for _, mn := range mixNames(quick) {
+		jobs = append(jobs, mc.RunSpec{Policy: "morph", Workload: mc.Mix(mn)})
+	}
+	for _, app := range parsecNames(quick) {
+		jobs = append(jobs, mc.RunSpec{Policy: "morph", Workload: mc.Parsec(app)})
+	}
+	if err := prefetch(cfg, jobs); err != nil {
+		return err
+	}
 	report := func(label string, names []string, mk func(string) mc.Workload) error {
 		var rates, asymShare []float64
 		var minR, maxR = 1 << 30, 0
@@ -73,6 +83,19 @@ func qos(cfg mc.Config, quick bool) error {
 	if len(names) > 4 && quick {
 		names = names[:4]
 	}
+	qosOpts := core.DefaultOptions()
+	qosOpts.QoS = true
+	var jobs []mc.RunSpec
+	for _, mn := range names {
+		w := mc.Mix(mn)
+		jobs = append(jobs,
+			mc.RunSpec{Policy: "(1:1:16)", Workload: w},
+			mc.RunSpec{Policy: "morph", Workload: w},
+			mc.RunSpec{Policy: "morph", Workload: w, Morph: &qosOpts})
+	}
+	if err := prefetch(cfg, jobs); err != nil {
+		return err
+	}
 	header("mix", []string{"minSU", "minSU-QoS", "thr", "thr-QoS"})
 	var worst, worstQ []float64
 	for _, mn := range names {
@@ -86,10 +109,7 @@ func qos(cfg mc.Config, quick bool) error {
 		if err != nil {
 			return err
 		}
-		qcfg := cfg
-		qcfg.Morph = core.DefaultOptions()
-		qcfg.Morph.QoS = true
-		qres, _, err := mc.RunMorphCacheWithController(qcfg, w)
+		qres, err := morphOptResult(cfg, qosOpts, w)
 		if err != nil {
 			return err
 		}
@@ -125,6 +145,22 @@ func ext(cfg mc.Config, quick bool) error {
 	if !quick && len(names) > 6 {
 		names = names[:6]
 	}
+	arbOpts := core.DefaultOptions()
+	arbOpts.AllowArbitrarySizes = true
+	nonOpts := core.DefaultOptions()
+	nonOpts.AllowArbitrarySizes = true
+	nonOpts.AllowNonNeighbors = true
+	var jobs []mc.RunSpec
+	for _, mn := range names {
+		w := mc.Mix(mn)
+		jobs = append(jobs,
+			mc.RunSpec{Policy: "morph", Workload: w},
+			mc.RunSpec{Policy: "morph", Workload: w, Morph: &arbOpts},
+			mc.RunSpec{Policy: "morph", Workload: w, Morph: &nonOpts})
+	}
+	if err := prefetch(cfg, jobs); err != nil {
+		return err
+	}
 	header("mix", []string{"default", "arbitrary", "nonneigh"})
 	var arb, non []float64
 	for _, mn := range names {
@@ -133,18 +169,11 @@ func ext(cfg mc.Config, quick bool) error {
 		if err != nil {
 			return err
 		}
-		acfg := cfg
-		acfg.Morph = core.DefaultOptions()
-		acfg.Morph.AllowArbitrarySizes = true
-		a, err := mc.RunMorphCache(acfg, w)
+		a, err := morphOptResult(cfg, arbOpts, w)
 		if err != nil {
 			return err
 		}
-		ncfg := cfg
-		ncfg.Morph = core.DefaultOptions()
-		ncfg.Morph.AllowArbitrarySizes = true
-		ncfg.Morph.AllowNonNeighbors = true
-		n, err := mc.RunMorphCache(ncfg, w)
+		n, err := morphOptResult(cfg, nonOpts, w)
 		if err != nil {
 			return err
 		}

@@ -17,19 +17,37 @@ func seeds(cfg mc.Config, quick bool) error {
 		names = names[:2]
 	}
 	seedList := []uint64{1, 2, 3}
+	// One job per (mix, seed, policy): seeds live in per-job configs.
+	cfgFor := func(sd uint64) *mc.Config {
+		c := cfg
+		c.Seed = sd
+		return &c
+	}
+	var jobs []mc.RunSpec
+	for _, mn := range names {
+		w := mc.Mix(mn)
+		for _, sd := range seedList {
+			c := cfgFor(sd)
+			jobs = append(jobs,
+				mc.RunSpec{Policy: "(16:1:1)", Workload: w, Config: c},
+				mc.RunSpec{Policy: "morph", Workload: w, Config: c})
+		}
+	}
+	if err := prefetch(cfg, jobs); err != nil {
+		return err
+	}
 	header("mix", []string{"seed1", "seed2", "seed3", "mean", "std"})
 	var all []float64
 	for _, mn := range names {
 		var gains []float64
 		for _, sd := range seedList {
-			c := cfg
-			c.Seed = sd
+			c := *cfgFor(sd)
 			w := mc.Mix(mn)
-			base, err := mc.RunStatic(c, "(16:1:1)", w)
+			base, err := staticResult(c, "(16:1:1)", w)
 			if err != nil {
 				return err
 			}
-			m, err := mc.RunMorphCache(c, w)
+			m, err := morphResult(c, w)
 			if err != nil {
 				return err
 			}

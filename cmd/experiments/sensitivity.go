@@ -7,9 +7,9 @@ import (
 
 	"morphcache/internal/core"
 	"morphcache/internal/hierarchy"
+	"morphcache/internal/runner"
 	"morphcache/internal/sim"
 	"morphcache/internal/stats"
-	"morphcache/internal/topology"
 )
 
 // sens reproduces the §5.4 sensitivity study. Paper findings: doubling the
@@ -24,45 +24,46 @@ func sens(cfg mc.Config, quick bool) error {
 		names = names[:2]
 	}
 
+	// Each (mix, parameter-mutation) pair is an independent job: the job
+	// builds its own generators and hierarchies, so the per-case fan-out is
+	// safe at any worker count and the mean is taken over in-order results.
 	gain := func(mut func(*hierarchy.Params), cores int) (float64, error) {
-		var gains []float64
-		for _, mn := range names {
-			c := cfg
-			c.Cores = cores
-			if cores == 8 {
-				// The paper's 8-core study uses 8-application mixes (§5.4).
-				mn += " (8)"
-			}
-			w := mc.Mix(mn)
-			gens, err := w.Generators(c)
-			if err != nil {
-				return 0, err
-			}
-			p := c.Params()
-			if mut != nil {
-				mut(&p)
-			}
-			baseSpec := fmt.Sprintf("(%d:1:1)", cores)
-			topoBase, err := topology.FromSpec(baseSpec, cores)
-			if err != nil {
-				return 0, err
-			}
-			_ = topoBase
-			sp := p
-			sp.ChargeRemote = false
-			base, err := sim.RunStatic(simConfigOf(c), sp, baseSpec, gens)
-			if err != nil {
-				return 0, err
-			}
-			gens2, err := w.Generators(c)
-			if err != nil {
-				return 0, err
-			}
-			mrun, err := sim.RunPolicy(simConfigOf(c), p, core.New(core.DefaultOptions()), gens2)
-			if err != nil {
-				return 0, err
-			}
-			gains = append(gains, mrun.Throughput()/base.Throughput())
+		gains, err := runner.Map(names, runner.Options{Workers: jobCount(), Progress: runnerProgress},
+			func(_ int, mn string) (float64, error) {
+				c := cfg
+				c.Cores = cores
+				if cores == 8 {
+					// The paper's 8-core study uses 8-application mixes (§5.4).
+					mn += " (8)"
+				}
+				w := mc.Mix(mn)
+				gens, err := w.Generators(c)
+				if err != nil {
+					return 0, err
+				}
+				p := c.Params()
+				if mut != nil {
+					mut(&p)
+				}
+				baseSpec := fmt.Sprintf("(%d:1:1)", cores)
+				sp := p
+				sp.ChargeRemote = false
+				base, err := sim.RunStatic(simConfigOf(c), sp, baseSpec, gens)
+				if err != nil {
+					return 0, err
+				}
+				gens2, err := w.Generators(c)
+				if err != nil {
+					return 0, err
+				}
+				mrun, err := sim.RunPolicy(simConfigOf(c), p, core.New(core.DefaultOptions()), gens2)
+				if err != nil {
+					return 0, err
+				}
+				return mrun.Throughput() / base.Throughput(), nil
+			})
+		if err != nil {
+			return 0, err
 		}
 		return stats.Mean(gains), nil
 	}

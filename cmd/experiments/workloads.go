@@ -6,6 +6,7 @@ import (
 	mc "morphcache"
 
 	"morphcache/internal/hierarchy"
+	"morphcache/internal/runner"
 	"morphcache/internal/sim"
 	"morphcache/internal/stats"
 	"morphcache/internal/topology"
@@ -88,13 +89,26 @@ func table4(cfg mc.Config, quick bool) error {
 	if quick {
 		profiles = profiles[:8]
 	}
-	var tabL2, tabL3, meaL2, meaL3 []float64
-	for _, p := range profiles {
-		gens := []*workload.Generator{workload.NewGenerator(p, gcfg, 1, 0, cfg.Seed)}
-		mp, err := measureFootprints(cfg, gens, 1)
-		if err != nil {
-			return err
+	// One measurement run per benchmark; each job builds its own generator
+	// and private hierarchy, so the sweep parallelizes cleanly.
+	specJobs := make([]runner.Job[*measurePolicy], len(profiles))
+	for i, p := range profiles {
+		p := p
+		specJobs[i] = runner.Job[*measurePolicy]{
+			Label: "table4 " + p.Name,
+			Run: func() (*measurePolicy, error) {
+				gens := []*workload.Generator{workload.NewGenerator(p, gcfg, 1, 0, cfg.Seed)}
+				return measureFootprints(cfg, gens, 1)
+			},
 		}
+	}
+	specMPs, err := runner.Run(specJobs, runner.Options{Workers: jobCount(), Progress: runnerProgress})
+	if err != nil {
+		return err
+	}
+	var tabL2, tabL3, meaL2, meaL3 []float64
+	for i, p := range profiles {
+		mp := specMPs[i]
 		m2, s2 := temporal(mp.l2, 0)
 		m3, s3 := temporal(mp.l3, 0)
 		fmt.Printf("%-12s %5.2f %4.2f %5.2f %5.2f %5.2f %4.2f %5.2f %5.2f\n",
@@ -114,13 +128,24 @@ func table4(cfg mc.Config, quick bool) error {
 	if quick {
 		papps = papps[:4]
 	}
-	var ptab3, pmea3 []float64
-	for _, p := range papps {
-		gens := workload.ParsecGenerators(p, cfg.Cores, gcfg, cfg.Seed)
-		mp, err := measureFootprints(cfg, gens, cfg.Cores)
-		if err != nil {
-			return err
+	parsecJobs := make([]runner.Job[*measurePolicy], len(papps))
+	for i, p := range papps {
+		p := p
+		parsecJobs[i] = runner.Job[*measurePolicy]{
+			Label: "table4 " + p.Name,
+			Run: func() (*measurePolicy, error) {
+				gens := workload.ParsecGenerators(p, cfg.Cores, gcfg, cfg.Seed)
+				return measureFootprints(cfg, gens, cfg.Cores)
+			},
 		}
+	}
+	parsecMPs, err := runner.Run(parsecJobs, runner.Options{Workers: jobCount(), Progress: runnerProgress})
+	if err != nil {
+		return err
+	}
+	var ptab3, pmea3 []float64
+	for i, p := range papps {
+		mp := parsecMPs[i]
 		var m2s, s2s, m3s, s3s []float64
 		for c := 0; c < cfg.Cores; c++ {
 			m2, s2 := temporal(mp.l2, c)

@@ -47,6 +47,11 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "emit the run report as JSON on stdout")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		// A stray positional argument is a mistyped flag, not a request for
+		// the default run; succeeding silently would hide it.
+		fatal(fmt.Errorf("unexpected arguments: %v (all options are flags)", flag.Args()))
+	}
 
 	cfg := sim.DefaultConfig()
 	cfg.Epochs = *epochs

@@ -1,0 +1,146 @@
+// Package runner fans independent simulation jobs out across a bounded
+// worker pool. Every figure of the paper's evaluation is an embarrassingly
+// parallel sweep — mixes × policies, each one independent Engine.Run — and
+// this package is the one place that parallelism lives.
+//
+// Contract:
+//
+//   - Results come back in submission order, regardless of completion
+//     order, so reports built from them are byte-identical to a sequential
+//     run (DESIGN.md §6: identical seeds ⇒ identical results, now at every
+//     worker count).
+//   - Jobs must be self-contained: each builds its own hierarchy.System,
+//     generators, and RNG streams from its spec, sharing nothing mutable
+//     with other jobs (read-only tables like workload profiles are fine).
+//   - One worker (Workers: 1) restores strictly sequential execution.
+//
+// Progress events are delivered serially (under an internal lock) in
+// completion order, so callers may print from the callback without their
+// own synchronization; anything they print must go to a side channel
+// (stderr) if report output is to stay byte-identical across worker counts.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Job is one independent unit of work producing a T.
+type Job[T any] struct {
+	// Label identifies the job in progress events and error messages.
+	Label string
+	// Run computes the job's result. It must not share mutable state with
+	// any other job in the batch.
+	Run func() (T, error)
+}
+
+// Event describes one completed job.
+type Event struct {
+	// Index is the job's submission position.
+	Index int
+	// Label is the job's label.
+	Label string
+	// Elapsed is the job's wall-clock duration.
+	Elapsed time.Duration
+	// Err is the job's error, if any.
+	Err error
+	// Done jobs out of Total have completed, this one included.
+	Done, Total int
+}
+
+// Options configures a batch.
+type Options struct {
+	// Workers is the pool size; <= 0 means runtime.GOMAXPROCS(0).
+	// 1 restores sequential execution.
+	Workers int
+	// Progress, when non-nil, receives one Event per completed job, in
+	// completion order. Events are delivered serially.
+	Progress func(Event)
+}
+
+// Run executes the jobs across the pool and returns their results in
+// submission order. If any job fails, the error of the earliest-submitted
+// failing job is returned (deterministically, whatever the completion
+// order was) alongside the partial results. A panicking job is converted
+// to an error rather than crashing the process.
+func Run[T any](jobs []Job[T], opts Options) ([]T, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]T, len(jobs))
+	errs := make([]error, len(jobs))
+	if len(jobs) == 0 {
+		return results, nil
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards done and serializes Progress
+	done := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				start := time.Now()
+				results[i], errs[i] = call(jobs[i])
+				if opts.Progress != nil {
+					mu.Lock()
+					done++
+					opts.Progress(Event{
+						Index:   i,
+						Label:   jobs[i].Label,
+						Elapsed: time.Since(start),
+						Err:     errs[i],
+						Done:    done,
+						Total:   len(jobs),
+					})
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("runner: job %d (%s): %w", i, jobs[i].Label, err)
+		}
+	}
+	return results, nil
+}
+
+// call runs one job, converting a panic into an error so one bad job
+// surfaces with its label instead of killing the whole sweep.
+func call[T any](j Job[T]) (res T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return j.Run()
+}
+
+// Map runs fn over items with the given options and returns the outputs in
+// item order. Labels default to the item's fmt.Sprint rendering.
+func Map[S, T any](items []S, opts Options, fn func(i int, item S) (T, error)) ([]T, error) {
+	jobs := make([]Job[T], len(items))
+	for i := range items {
+		i, item := i, items[i]
+		jobs[i] = Job[T]{
+			Label: fmt.Sprint(item),
+			Run:   func() (T, error) { return fn(i, item) },
+		}
+	}
+	return Run(jobs, opts)
+}

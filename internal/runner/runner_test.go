@@ -1,0 +1,158 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSubmissionOrder checks results land by submission index even when
+// completion order is scrambled.
+func TestSubmissionOrder(t *testing.T) {
+	const n = 64
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Label: fmt.Sprintf("job-%d", i),
+			Run: func() (int, error) {
+				// Earlier jobs sleep longer so they finish later.
+				time.Sleep(time.Duration(n-i) * 100 * time.Microsecond)
+				return i * i, nil
+			},
+		}
+	}
+	for _, workers := range []int{1, 2, 7, n, 2 * n} {
+		got, err := Run(jobs, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestFirstErrorBySubmissionOrder checks the returned error is the
+// earliest-submitted failure, not the first to complete.
+func TestFirstErrorBySubmissionOrder(t *testing.T) {
+	sentinel := errors.New("boom")
+	jobs := []Job[int]{
+		{Label: "ok", Run: func() (int, error) { return 1, nil }},
+		{Label: "slow-fail", Run: func() (int, error) {
+			time.Sleep(5 * time.Millisecond)
+			return 0, sentinel
+		}},
+		{Label: "fast-fail", Run: func() (int, error) { return 0, errors.New("later job") }},
+	}
+	_, err := Run(jobs, Options{Workers: 3})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("want earliest-submitted failure (job 1), got %v", err)
+	}
+	if !strings.Contains(err.Error(), "slow-fail") {
+		t.Fatalf("error must carry the job label, got %v", err)
+	}
+}
+
+// TestPanicBecomesError checks a panicking job is reported, not fatal.
+func TestPanicBecomesError(t *testing.T) {
+	jobs := []Job[int]{
+		{Label: "panicky", Run: func() (int, error) { panic("kaboom") }},
+	}
+	_, err := Run(jobs, Options{Workers: 2})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("panic must surface as an error, got %v", err)
+	}
+}
+
+// TestProgressEvents checks every job produces exactly one event with a
+// monotonically increasing Done counter.
+func TestProgressEvents(t *testing.T) {
+	const n = 20
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Label: fmt.Sprintf("j%d", i), Run: func() (int, error) { return i, nil }}
+	}
+	seen := make([]bool, n)
+	lastDone := 0
+	_, err := Run(jobs, Options{Workers: 4, Progress: func(ev Event) {
+		if ev.Total != n {
+			t.Errorf("Total = %d, want %d", ev.Total, n)
+		}
+		if ev.Done != lastDone+1 {
+			t.Errorf("Done = %d after %d", ev.Done, lastDone)
+		}
+		lastDone = ev.Done
+		if seen[ev.Index] {
+			t.Errorf("job %d reported twice", ev.Index)
+		}
+		seen[ev.Index] = true
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("job %d never reported", i)
+		}
+	}
+}
+
+// TestEmptyBatch checks the degenerate case.
+func TestEmptyBatch(t *testing.T) {
+	got, err := Run([]Job[int]{}, Options{})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty batch: %v, %v", got, err)
+	}
+}
+
+// TestWorkerCap checks no more than Workers jobs run concurrently.
+func TestWorkerCap(t *testing.T) {
+	var running, peak atomic.Int32
+	jobs := make([]Job[int], 16)
+	for i := range jobs {
+		jobs[i] = Job[int]{Run: func() (int, error) {
+			cur := running.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			running.Add(-1)
+			return 0, nil
+		}}
+	}
+	if _, err := Run(jobs, Options{Workers: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > 3 {
+		t.Fatalf("peak concurrency %d exceeds worker cap 3", got)
+	}
+}
+
+// TestMap checks the convenience wrapper keeps item order.
+func TestMap(t *testing.T) {
+	items := []string{"a", "bb", "ccc"}
+	got, err := Map(items, Options{Workers: 2}, func(i int, s string) (int, error) {
+		return len(s), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != len(items[i]) {
+			t.Fatalf("result[%d] = %d", i, v)
+		}
+	}
+}

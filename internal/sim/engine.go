@@ -124,7 +124,15 @@ type Config struct {
 	// interest in a warmed-up cache, §1.2).
 	Epochs, WarmupEpochs int
 	// GapInstr instructions retire between consecutive memory references,
-	// at IssueWidth IPC (4-way issue superscalar, Table 3).
+	// at IssueWidth IPC (4-way issue superscalar, Table 3), so each
+	// reference charges GapInstr/IssueWidth cycles of compute on top of the
+	// access latency. The quotient need not be an integer: the engine
+	// accumulates the fractional part per core and charges a whole cycle
+	// whenever the carry reaches one, so over a run the average gap charge
+	// equals GapInstr/IssueWidth exactly (e.g. GapInstr=10, IssueWidth=4
+	// alternates 2- and 3-cycle gaps, averaging 2.5 — not the 2 that plain
+	// integer truncation used to charge, which skewed any sensitivity sweep
+	// varying issue width). IssueWidth must be positive.
 	GapInstr   int
 	IssueWidth float64
 	// Seed drives all workload randomness.
@@ -146,10 +154,11 @@ func DefaultConfig() Config {
 
 // Engine drives one simulation.
 type Engine struct {
-	cfg    Config
-	target Target
-	gens   []Source
-	clock  []uint64 // per-core cycle counters (persist across epochs)
+	cfg      Config
+	target   Target
+	gens     []Source
+	clock    []uint64  // per-core cycle counters (persist across epochs)
+	gapCarry []float64 // per-core fractional gap cycles not yet charged
 }
 
 // New builds an engine over a target. There must be exactly one generator
@@ -167,11 +176,15 @@ func NewFromSources(cfg Config, target Target, srcs []Source) (*Engine, error) {
 	if cfg.EpochCycles == 0 || cfg.Epochs <= 0 {
 		return nil, fmt.Errorf("sim: bad config %+v", cfg)
 	}
+	if cfg.IssueWidth <= 0 || cfg.GapInstr < 0 {
+		return nil, fmt.Errorf("sim: bad gap model (GapInstr=%d, IssueWidth=%v)", cfg.GapInstr, cfg.IssueWidth)
+	}
 	return &Engine{
-		cfg:    cfg,
-		target: target,
-		gens:   srcs,
-		clock:  make([]uint64, target.Cores()),
+		cfg:      cfg,
+		target:   target,
+		gens:     srcs,
+		clock:    make([]uint64, target.Cores()),
+		gapCarry: make([]float64, target.Cores()),
 	}, nil
 }
 
@@ -180,10 +193,9 @@ func (e *Engine) Run() *metrics.Run {
 	run := &metrics.Run{Policy: e.target.Name()}
 	n := e.target.Cores()
 	totalInstr := make([]uint64, n)
-	gapCycles := uint64(float64(e.cfg.GapInstr) / e.cfg.IssueWidth)
-	if gapCycles == 0 {
-		gapCycles = 1
-	}
+	gap := float64(e.cfg.GapInstr) / e.cfg.IssueWidth
+	gapWhole := uint64(gap)
+	gapFrac := gap - float64(gapWhole)
 
 	totalEpochs := e.cfg.WarmupEpochs + e.cfg.Epochs
 	for ep := 0; ep < totalEpochs; ep++ {
@@ -212,7 +224,19 @@ func (e *Engine) Run() *metrics.Run {
 			}
 			a := e.gens[core].Next()
 			res := e.target.Access(core, a, e.clock[core])
-			e.clock[core] += gapCycles + uint64(res.Latency)
+			charge := gapWhole
+			if gapFrac > 0 {
+				e.gapCarry[core] += gapFrac
+				if e.gapCarry[core] >= 1 {
+					whole := uint64(e.gapCarry[core])
+					charge += whole
+					e.gapCarry[core] -= float64(whole)
+				}
+			}
+			if charge == 0 && res.Latency <= 0 {
+				charge = 1 // guarantee forward progress in virtual time
+			}
+			e.clock[core] += charge + uint64(res.Latency)
 			instr[core] += uint64(e.cfg.GapInstr)
 		}
 

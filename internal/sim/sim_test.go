@@ -198,6 +198,88 @@ func (r *recordingTarget) Access(c int, a mem.Access, now uint64) hierarchy.Acce
 func (r *recordingTarget) EndEpoch(e int) (int, bool) { return r.inner.EndEpoch(e) }
 func (r *recordingTarget) Spec() string               { return r.inner.Spec() }
 
+// flatTarget is a 1-core target with a fixed access latency, for exact
+// cycle-accounting tests.
+type flatTarget struct {
+	latency  int
+	accesses int
+}
+
+func (f *flatTarget) Name() string              { return "flat" }
+func (f *flatTarget) Cores() int                { return 1 }
+func (f *flatTarget) SetCoreASID(int, mem.ASID) {}
+func (f *flatTarget) EndEpoch(int) (int, bool)  { return 0, false }
+func (f *flatTarget) Spec() string              { return "(1:1:1)" }
+func (f *flatTarget) Access(int, mem.Access, uint64) hierarchy.AccessResult {
+	f.accesses++
+	return hierarchy.AccessResult{Latency: f.latency}
+}
+
+// flatSource emits the same line forever.
+type flatSource struct{}
+
+func (flatSource) ASID() mem.ASID   { return 1 }
+func (flatSource) BeginEpoch(int)   {}
+func (flatSource) Next() mem.Access { return mem.Access{Line: 1, ASID: 1} }
+
+// TestFractionalGapCycles checks the engine charges the exact average
+// GapInstr/IssueWidth compute gap instead of truncating it: GapInstr=10 at
+// IssueWidth=4 must cost 2.5 cycles per reference on average (alternating
+// 2 and 3), so 1000 zero-latency cycles fit exactly 400 references — not
+// the 500 that integer truncation to 2 cycles used to admit.
+func TestFractionalGapCycles(t *testing.T) {
+	cfg := Config{EpochCycles: 1000, Epochs: 1, GapInstr: 10, IssueWidth: 4, Seed: 1}
+	ft := &flatTarget{latency: 0}
+	eng, err := NewFromSources(cfg, ft, []Source{flatSource{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if ft.accesses != 400 {
+		t.Fatalf("%d accesses in 1000 cycles at 2.5 cycles/gap, want 400", ft.accesses)
+	}
+
+	// The exactly-divisible default (8/4 = 2.0) must be unchanged: 500
+	// references in the same window (paper-metric parity with the seed).
+	cfg.GapInstr, cfg.IssueWidth = 8, 4
+	ft = &flatTarget{latency: 0}
+	eng, err = NewFromSources(cfg, ft, []Source{flatSource{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if ft.accesses != 500 {
+		t.Fatalf("%d accesses at 2.0 cycles/gap, want 500", ft.accesses)
+	}
+
+	// Sub-cycle gaps (GapInstr < IssueWidth) now charge their true average
+	// too: 2/4 = 0.5 cycles per reference with 1-cycle latency = 1.5
+	// cycles/reference, so 1000 cycles fit 667 references (the old
+	// clamp-to-1 model admitted only 500).
+	cfg.GapInstr, cfg.IssueWidth = 2, 4
+	ft = &flatTarget{latency: 1}
+	eng, err = NewFromSources(cfg, ft, []Source{flatSource{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if ft.accesses != 667 {
+		t.Fatalf("%d accesses at 1.5 cycles/reference, want 667", ft.accesses)
+	}
+}
+
+// TestGapModelValidation checks degenerate gap parameters are rejected.
+func TestGapModelValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{EpochCycles: 1000, Epochs: 1, GapInstr: 8, IssueWidth: 0},
+		{EpochCycles: 1000, Epochs: 1, GapInstr: -1, IssueWidth: 4},
+	} {
+		if _, err := NewFromSources(cfg, &flatTarget{}, []Source{flatSource{}}); err == nil {
+			t.Fatalf("config %+v must be rejected", cfg)
+		}
+	}
+}
+
 // recordingSource mirrors a source's output into a trace writer (the same
 // interposition cmd/morphsim uses for -trace-out).
 type recordingSource struct {

@@ -30,6 +30,7 @@ package morphcache
 
 import (
 	"fmt"
+	"time"
 
 	"morphcache/internal/baselines/dsr"
 	"morphcache/internal/baselines/offline"
@@ -37,6 +38,7 @@ import (
 	"morphcache/internal/core"
 	"morphcache/internal/hierarchy"
 	"morphcache/internal/metrics"
+	"morphcache/internal/runner"
 	"morphcache/internal/sim"
 	"morphcache/internal/topology"
 	"morphcache/internal/workload"
@@ -255,6 +257,110 @@ func RunDSR(c Config, w Workload) (*Result, error) {
 		return nil, err
 	}
 	return fromRun(run), nil
+}
+
+// RunSpec names one independent simulation job for RunBatch: a workload
+// under a policy, optionally with its own configuration.
+type RunSpec struct {
+	// Policy selects the management scheme: a static "(x:y:z)" spec,
+	// "morph", "pipp", or "dsr".
+	Policy string
+	// Workload is the mix or PARSEC application to run.
+	Workload Workload
+	// Morph, when non-nil, overrides the controller options for a "morph"
+	// job (QoS, conflict policy, §5.5 extensions, ...).
+	Morph *core.Options
+	// Config, when non-nil, overrides the batch configuration for this job
+	// (sensitivity sweeps vary seeds, epoch lengths, and scales per job).
+	Config *Config
+}
+
+// Label renders the spec for progress reporting.
+func (s RunSpec) Label() string {
+	l := s.Policy + " " + s.Workload.String()
+	if s.Morph != nil {
+		l += " (opts)"
+	}
+	if s.Config != nil {
+		l += fmt.Sprintf(" (seed %d, %d epochs)", s.Config.Seed, s.Config.Epochs)
+	}
+	return l
+}
+
+// run executes one spec.
+func (s RunSpec) run(cfg Config) (*Result, error) {
+	c := cfg
+	if s.Config != nil {
+		c = *s.Config
+	}
+	switch s.Policy {
+	case "morph":
+		if s.Morph != nil {
+			c.Morph = *s.Morph
+		}
+		return RunMorphCache(c, s.Workload)
+	case "pipp":
+		return RunPIPP(c, s.Workload)
+	case "dsr":
+		return RunDSR(c, s.Workload)
+	default:
+		return RunStatic(c, s.Policy, s.Workload)
+	}
+}
+
+// JobEvent reports one completed batch job to a BatchOptions.Progress
+// callback. Events arrive serially, in completion order.
+type JobEvent struct {
+	// Index is the job's position in the submitted spec slice.
+	Index int
+	// Label describes the job (policy + workload).
+	Label string
+	// Elapsed is the job's wall-clock duration.
+	Elapsed time.Duration
+	// Err is the job's error, if any.
+	Err error
+	// Done jobs out of Total have completed, this one included.
+	Done, Total int
+}
+
+// BatchOptions configures RunBatch.
+type BatchOptions struct {
+	// Workers is the worker-pool size; <= 0 uses GOMAXPROCS, 1 restores
+	// strictly sequential execution.
+	Workers int
+	// Progress, when non-nil, receives one JobEvent per completed job.
+	Progress func(JobEvent)
+}
+
+// RunBatch executes the specs concurrently across a worker pool and returns
+// their results in submission order. Every job builds its own hierarchy and
+// generators from its spec — jobs share nothing mutable — and all
+// randomness derives from each job's seed via rng.Derive, so results are
+// identical at every worker count (DESIGN.md §6) and identical to calling
+// the corresponding Run* functions in a loop.
+func RunBatch(cfg Config, specs []RunSpec, opts BatchOptions) ([]*Result, error) {
+	jobs := make([]runner.Job[*Result], len(specs))
+	for i := range specs {
+		s := specs[i]
+		jobs[i] = runner.Job[*Result]{
+			Label: s.Label(),
+			Run:   func() (*Result, error) { return s.run(cfg) },
+		}
+	}
+	var progress func(runner.Event)
+	if opts.Progress != nil {
+		progress = func(ev runner.Event) {
+			opts.Progress(JobEvent{
+				Index:   ev.Index,
+				Label:   ev.Label,
+				Elapsed: ev.Elapsed,
+				Err:     ev.Err,
+				Done:    ev.Done,
+				Total:   ev.Total,
+			})
+		}
+	}
+	return runner.Run(jobs, runner.Options{Workers: opts.Workers, Progress: progress})
 }
 
 // StandardStatics lists the paper's static comparison topologies for the
