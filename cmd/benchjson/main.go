@@ -1,0 +1,128 @@
+// Command benchjson converts `go test -bench` text output (read from stdin)
+// into a stable JSON document, so benchmark baselines can be committed and
+// diffed structurally instead of as free-form text:
+//
+//	go test -bench BatchSweep -benchtime 1x -run '^$' . | benchjson > BENCH_runner.json
+//
+// The schema is intentionally tiny: the context lines go test prints
+// (goos/goarch/pkg/cpu) plus one entry per benchmark result line with every
+// reported metric, custom b.ReportMetric units included. A FAIL anywhere in
+// the stream exits non-zero — a baseline must never be refreshed from a
+// failing run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchSchema versions the document; bump on any field change.
+const benchSchema = "morphcache-bench/v1"
+
+type doc struct {
+	Schema     string            `json:"schema"`
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []bench           `json:"benchmarks"`
+}
+
+type bench struct {
+	Name       string `json:"name"`
+	Procs      int    `json:"procs,omitempty"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps unit -> value ("ns/op", "B/op", "allocs/op", custom
+	// units). encoding/json emits map keys sorted, so output is stable.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(stdin io.Reader, stdout, stderr io.Writer) int {
+	d, err := parse(stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	return 0
+}
+
+// parse reads the benchmark text stream. Context lines ("key: value")
+// before the first result are kept; PASS/ok trailers are ignored; any FAIL
+// line is an error.
+func parse(r io.Reader) (*doc, error) {
+	d := &doc{Schema: benchSchema, Benchmarks: []bench{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseResult(line)
+			if err != nil {
+				return nil, err
+			}
+			d.Benchmarks = append(d.Benchmarks, b)
+		case strings.HasPrefix(line, "FAIL"):
+			return nil, fmt.Errorf("input stream contains a FAIL line: %q", line)
+		case strings.HasPrefix(line, "PASS"), strings.HasPrefix(line, "ok "), strings.HasPrefix(line, "ok\t"):
+			// test binary trailers
+		default:
+			if k, v, ok := strings.Cut(line, ": "); ok && !strings.Contains(k, " ") {
+				if d.Context == nil {
+					d.Context = map[string]string{}
+				}
+				d.Context[k] = strings.TrimSpace(v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(d.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines in input")
+	}
+	return d, nil
+}
+
+// parseResult decodes one "BenchmarkName-P  N  v1 u1  v2 u2 ..." line.
+func parseResult(line string) (bench, error) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return bench{}, fmt.Errorf("malformed benchmark line %q", line)
+	}
+	b := bench{Name: f[0], Metrics: map[string]float64{}}
+	// The -P suffix is GOMAXPROCS; absent when it is 1 or was overridden.
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	n, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return bench{}, fmt.Errorf("benchmark line %q: iterations: %w", line, err)
+	}
+	b.Iterations = n
+	rest := f[2:]
+	if len(rest)%2 != 0 {
+		return bench{}, fmt.Errorf("benchmark line %q: odd value/unit pairing", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return bench{}, fmt.Errorf("benchmark line %q: value %q: %w", line, rest[i], err)
+		}
+		b.Metrics[rest[i+1]] = v
+	}
+	return b, nil
+}

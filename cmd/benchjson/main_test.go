@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleStream = `goos: linux
+goarch: amd64
+pkg: morphcache
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkBatchSweep 	       1	5063608700 ns/op	         2.774 mean-throughput
+BenchmarkEpochStep-8 	     120	   9876543 ns/op	  123456 B/op	     789 allocs/op
+PASS
+ok  	morphcache	5.067s
+`
+
+func TestParse(t *testing.T) {
+	d, err := parse(strings.NewReader(sampleStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Schema != benchSchema {
+		t.Errorf("schema = %q, want %q", d.Schema, benchSchema)
+	}
+	wantCtx := map[string]string{
+		"goos": "linux", "goarch": "amd64", "pkg": "morphcache",
+		"cpu": "Intel(R) Xeon(R) Processor @ 2.70GHz",
+	}
+	if !reflect.DeepEqual(d.Context, wantCtx) {
+		t.Errorf("context = %v, want %v", d.Context, wantCtx)
+	}
+	want := []bench{
+		{Name: "BenchmarkBatchSweep", Iterations: 1,
+			Metrics: map[string]float64{"ns/op": 5063608700, "mean-throughput": 2.774}},
+		{Name: "BenchmarkEpochStep", Procs: 8, Iterations: 120,
+			Metrics: map[string]float64{"ns/op": 9876543, "B/op": 123456, "allocs/op": 789}},
+	}
+	if !reflect.DeepEqual(d.Benchmarks, want) {
+		t.Errorf("benchmarks = %+v, want %+v", d.Benchmarks, want)
+	}
+}
+
+func TestParseRejectsFailure(t *testing.T) {
+	in := "BenchmarkX 1 10 ns/op\nFAIL\nFAIL\tmorphcache\t1.0s\n"
+	if _, err := parse(strings.NewReader(in)); err == nil {
+		t.Error("parse accepted a FAIL stream")
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok \tmorphcache\t0.1s\n")); err == nil {
+		t.Error("parse accepted a stream with no benchmark lines")
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, in := range []string{
+		"BenchmarkX\n",              // no iteration count
+		"BenchmarkX 1 10\n",         // value without unit
+		"BenchmarkX one 10 ns/op\n", // non-numeric iterations
+		"BenchmarkX 1 ten ns/op\n",  // non-numeric value
+	} {
+		if _, err := parse(strings.NewReader(in)); err == nil {
+			t.Errorf("parse accepted malformed input %q", in)
+		}
+	}
+}
+
+func TestRunEmitsDeterministicJSON(t *testing.T) {
+	var a, b, errb bytes.Buffer
+	if code := run(strings.NewReader(sampleStream), &a, &errb); code != 0 {
+		t.Fatalf("run = %d (stderr: %s)", code, errb.String())
+	}
+	if code := run(strings.NewReader(sampleStream), &b, &errb); code != 0 {
+		t.Fatalf("run = %d (stderr: %s)", code, errb.String())
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same input produced different JSON")
+	}
+	var d doc
+	if err := json.Unmarshal(a.Bytes(), &d); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(d.Benchmarks) != 2 {
+		t.Errorf("decoded %d benchmarks, want 2", len(d.Benchmarks))
+	}
+}
+
+func TestRunReportsErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(strings.NewReader("FAIL\n"), &out, &errb); code != 1 {
+		t.Errorf("run(FAIL) = %d, want 1", code)
+	}
+	if errb.Len() == 0 {
+		t.Error("failure produced no stderr diagnostics")
+	}
+}

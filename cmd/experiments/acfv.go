@@ -95,14 +95,14 @@ func fig5(cfg mc.Config, quick bool) error {
 		oracle.Reset()
 	}
 
-	fmt.Println("correlation with oracle ACF estimator (hmmer, 1 MB slice):")
+	fmt.Fprintln(outw, "correlation with oracle ACF estimator (hmmer, 1 MB slice):")
 	header("bits", []string{"xor", "modulo"})
 	for wi, w := range widths {
 		_ = wi
 		x := stats.Correlation(samples[fmt.Sprintf("xor/%d", w)], oracleSamples)
 		m := stats.Correlation(samples[fmt.Sprintf("modulo/%d", w)], oracleSamples)
-		fmt.Printf("%-14d %10.3f %10.3f\n", w, x, m)
+		fmt.Fprintf(outw, "%-14d %10.3f %10.3f\n", w, x, m)
 	}
-	fmt.Println("\npaper reference: 0.94 at 64 bits, 0.96 at 128 bits; small vectors suffice.")
+	fmt.Fprintln(outw, "\npaper reference: 0.94 at 64 bits, 0.96 at 128 bits; small vectors suffice.")
 	return nil
 }

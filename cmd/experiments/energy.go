@@ -87,14 +87,14 @@ func energyExp(cfg mc.Config, quick bool) error {
 	var savings []float64
 	for i, mn := range names {
 		r := rows[i]
-		fmt.Printf("%-14s %9.1fuJ %9.1fuJ %9.1fuJ %9.0f%%\n",
+		fmt.Fprintf(outw, "%-14s %9.1fuJ %9.1fuJ %9.1fuJ %9.0f%%\n",
 			mn, r.segUJ, r.monoUJ, r.sharedUJ, 100*r.saving)
 		savings = append(savings, r.saving)
 	}
-	fmt.Printf("\nmean interconnect energy saved by segmentation (same traffic): %.0f%%\n",
+	fmt.Fprintf(outw, "\nmean interconnect energy saved by segmentation (same traffic): %.0f%%\n",
 		100*stats.Mean(savings))
-	fmt.Println("(the paper's §7 expectation, quantified: isolated segments switch only")
-	fmt.Println("their own capacitance, so right-sized groups cut bus energy sharply)")
+	fmt.Fprintln(outw, "(the paper's §7 expectation, quantified: isolated segments switch only")
+	fmt.Fprintln(outw, "their own capacitance, so right-sized groups cut bus energy sharply)")
 	return nil
 }
 

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	mc "morphcache"
+)
+
+// The golden tests pin the structured report byte-for-byte: any change that
+// moves a paper-visible number (throughputs, per-epoch telemetry,
+// reconfiguration decisions) fails the comparison until the goldens are
+// regenerated with -update and the diff is reviewed.
+var (
+	updateGolden = flag.Bool("update", false, "rewrite the golden report files with current output")
+	goldenFull   = flag.Bool("golden-full", false, "also check the fig13 -quick golden (slow; the CI golden job passes this)")
+)
+
+// goldenCompare checks got against testdata/golden/<name>, rewriting the
+// file when -update is set.
+func goldenCompare(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with: go test ./cmd/experiments -run TestGolden -update)", err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	line, gotLine, wantLine := firstDiffLine(got, want)
+	t.Errorf("report differs from %s at line %d:\n  got:  %s\n  want: %s\n"+
+		"if the change is intentional, regenerate with: go test ./cmd/experiments -run TestGolden -update",
+		path, line, gotLine, wantLine)
+}
+
+// firstDiffLine locates the first differing line of two byte slices.
+func firstDiffLine(a, b []byte) (line int, al, bl string) {
+	as := bytes.Split(a, []byte("\n"))
+	bs := bytes.Split(b, []byte("\n"))
+	for i := 0; i < len(as) || i < len(bs); i++ {
+		var av, bv []byte
+		if i < len(as) {
+			av = as[i]
+		}
+		if i < len(bs) {
+			bv = bs[i]
+		}
+		if !bytes.Equal(av, bv) {
+			return i + 1, string(av), string(bv)
+		}
+	}
+	return 0, "", ""
+}
+
+// smallGoldenConfig is a deliberately tiny configuration (few epochs, short
+// intervals, heavy scaling) so the small golden stays fast enough for the
+// default `go test ./...` run, -race included.
+func smallGoldenConfig() mc.Config {
+	cfg := mc.LabConfig()
+	cfg.Scale = 64
+	cfg.Epochs = 4
+	cfg.WarmupEpochs = 1
+	cfg.EpochCycles = 200_000
+	cfg.Telemetry = true
+	return cfg
+}
+
+// TestGoldenReportSmall drives a small morph-vs-static-vs-PIPP sweep through
+// the same memo -> report -> JSON pipeline `experiments -out json` uses and
+// compares the document byte-for-byte against testdata/golden.
+func TestGoldenReportSmall(t *testing.T) {
+	resetState(io.Discard, io.Discard)
+	defer resetState(os.Stdout, os.Stderr)
+	jobsFlag = 2
+
+	cfg := smallGoldenConfig()
+	reportInit(cfg, false)
+	specs := []mc.RunSpec{
+		{Policy: "morph", Workload: mc.Mix("MIX 01")},
+		{Policy: "(16:1:1)", Workload: mc.Mix("MIX 01")},
+		{Policy: "(1:1:16)", Workload: mc.Mix("MIX 01")},
+		{Policy: "pipp", Workload: mc.Mix("MIX 01")},
+	}
+	if err := prefetch(cfg, specs); err != nil {
+		t.Fatal(err)
+	}
+	reportAddExperiment("golden-small", "golden regression fixture", "")
+
+	var buf bytes.Buffer
+	if err := reportWriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkReportShape(t, buf.Bytes(), len(specs))
+	goldenCompare(t, "report-small.json", buf.Bytes())
+}
+
+// TestGoldenReportFig13Quick pins the full `experiments -run fig13 -quick
+// -out json` document — the paper's headline figure. It is slow (~1-2 min),
+// so it only runs when the CI golden job passes -golden-full.
+func TestGoldenReportFig13Quick(t *testing.T) {
+	if !*goldenFull {
+		t.Skip("fig13 -quick golden is slow; run with -golden-full (the CI golden job does)")
+	}
+	defer resetState(os.Stdout, os.Stderr)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-run", "fig13", "-quick", "-out", "json"}, &out, &errb); code != 0 {
+		t.Fatalf("run exited %d: %s", code, errb.String())
+	}
+	checkReportShape(t, out.Bytes(), 24)
+	goldenCompare(t, "fig13-quick.json", out.Bytes())
+}
+
+// checkReportShape validates the document independently of the golden bytes,
+// so a freshly -update'd golden is still checked for the properties the
+// schema promises: the declared schema tag, the expected run count, and at
+// least one MorphCache run carrying epoch records and a reconfiguration
+// event with its ACFV decision inputs.
+func checkReportShape(t *testing.T, doc []byte, wantRuns int) {
+	t.Helper()
+	var rep reportDoc
+	if err := json.Unmarshal(doc, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Schema != reportSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, reportSchema)
+	}
+	if len(rep.Runs) != wantRuns {
+		t.Errorf("report has %d runs, want %d", len(rep.Runs), wantRuns)
+	}
+	morphEvents := 0
+	for _, r := range rep.Runs {
+		if r.Telemetry == nil {
+			continue
+		}
+		if len(r.Telemetry.Epochs) == 0 {
+			t.Errorf("run %s has telemetry but no epoch records", r.Key)
+		}
+		if r.Policy == "MorphCache" {
+			morphEvents += len(r.Telemetry.Reconfigs)
+			for _, ev := range r.Telemetry.Reconfigs {
+				if ev.Op != "merge" && ev.Op != "split" {
+					t.Errorf("run %s: reconfig op %q", r.Key, ev.Op)
+				}
+				if ev.Rule == "" {
+					t.Errorf("run %s: reconfig event without a rule: %+v", r.Key, ev)
+				}
+			}
+		}
+	}
+	if morphEvents == 0 {
+		t.Error("no MorphCache run recorded any reconfiguration event")
+	}
+}
+
+// TestMain lets the golden flags parse before tests run.
+func TestMain(m *testing.M) {
+	flag.Parse()
+	os.Exit(m.Run())
+}

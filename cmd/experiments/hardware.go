@@ -18,19 +18,19 @@ import (
 func table2(_ mc.Config, _ bool) error {
 	rep := bus.Characterize(bus.DefaultTech(), bus.DefaultFloorplan())
 
-	fmt.Println("segmented bus characterization (measured | paper):")
-	fmt.Printf("%-34s %18s %18s\n", "", "L2 bus (per side)", "L3 bus")
-	fmt.Printf("%-34s %12d | 7  %13d | 15\n", "arbiters", rep.L2.NumArbiters, rep.L3.NumArbiters)
-	fmt.Printf("%-34s %9d | 3     %10d | 4\n", "tree levels", rep.L2.Levels, rep.L3.Levels)
-	fmt.Printf("%-34s %8.1f | 160.5 %8.1f | 343.9\n", "total arbiter area (um^2)", rep.L2.TotalAreaUM2, rep.L3.TotalAreaUM2)
-	fmt.Printf("%-34s %8.2f | 0.31  %8.2f | 0.40\n", "request wire delay (ns)", rep.L2.ReqWireNs, rep.L3.ReqWireNs)
-	fmt.Printf("%-34s %8.2f | 0.38  %8.2f | 0.49\n", "request logic delay (ns)", rep.L2.ReqLogicNs, rep.L3.ReqLogicNs)
-	fmt.Printf("%-34s %8.2f | 0.32  %8.2f | 0.32\n", "grant logic delay (ns)", rep.L2.GntLogicNs, rep.L3.GntLogicNs)
-	fmt.Printf("%-34s %8.2f | 0.31  %8.2f | 0.40\n", "grant wire delay (ns)", rep.L2.GntWireNs, rep.L3.GntWireNs)
-	fmt.Printf("\nmax single-cycle path: %.2f ns (paper: 0.89 ns)\n", rep.MaxPathNs)
-	fmt.Printf("max bus frequency:     %.2f GHz (paper: 1.12 GHz); operating point %.0f GHz\n", rep.MaxBusGHz, rep.ChosenBusGHz)
-	fmt.Printf("bus transaction:       %d bus cycles (paper: 3)\n", rep.TransactionBusCycles)
-	fmt.Printf("merged-access overhead: %d CPU cycles unpipelined, %d pipelined (paper: 15 / 10)\n",
+	fmt.Fprintln(outw, "segmented bus characterization (measured | paper):")
+	fmt.Fprintf(outw, "%-34s %18s %18s\n", "", "L2 bus (per side)", "L3 bus")
+	fmt.Fprintf(outw, "%-34s %12d | 7  %13d | 15\n", "arbiters", rep.L2.NumArbiters, rep.L3.NumArbiters)
+	fmt.Fprintf(outw, "%-34s %9d | 3     %10d | 4\n", "tree levels", rep.L2.Levels, rep.L3.Levels)
+	fmt.Fprintf(outw, "%-34s %8.1f | 160.5 %8.1f | 343.9\n", "total arbiter area (um^2)", rep.L2.TotalAreaUM2, rep.L3.TotalAreaUM2)
+	fmt.Fprintf(outw, "%-34s %8.2f | 0.31  %8.2f | 0.40\n", "request wire delay (ns)", rep.L2.ReqWireNs, rep.L3.ReqWireNs)
+	fmt.Fprintf(outw, "%-34s %8.2f | 0.38  %8.2f | 0.49\n", "request logic delay (ns)", rep.L2.ReqLogicNs, rep.L3.ReqLogicNs)
+	fmt.Fprintf(outw, "%-34s %8.2f | 0.32  %8.2f | 0.32\n", "grant logic delay (ns)", rep.L2.GntLogicNs, rep.L3.GntLogicNs)
+	fmt.Fprintf(outw, "%-34s %8.2f | 0.31  %8.2f | 0.40\n", "grant wire delay (ns)", rep.L2.GntWireNs, rep.L3.GntWireNs)
+	fmt.Fprintf(outw, "\nmax single-cycle path: %.2f ns (paper: 0.89 ns)\n", rep.MaxPathNs)
+	fmt.Fprintf(outw, "max bus frequency:     %.2f GHz (paper: 1.12 GHz); operating point %.0f GHz\n", rep.MaxBusGHz, rep.ChosenBusGHz)
+	fmt.Fprintf(outw, "bus transaction:       %d bus cycles (paper: 3)\n", rep.TransactionBusCycles)
+	fmt.Fprintf(outw, "merged-access overhead: %d CPU cycles unpipelined, %d pipelined (paper: 15 / 10)\n",
 		rep.OverheadCPUCycles, rep.PipelinedOverheadCPUCycles)
 
 	// Functional spot check: a 4-shared segment group arbitrates round-robin.
@@ -51,7 +51,7 @@ func table2(_ mc.Config, _ bool) error {
 			}
 		}
 	}
-	fmt.Printf("\narbiter-tree fairness over 64 rounds, groups (4,2,1,1), requesters 0-5: grants %v\n", grantCounts[:6])
-	fmt.Println("(each 4-shared requester should get ~16, each 2-shared ~32)")
+	fmt.Fprintf(outw, "\narbiter-tree fairness over 64 rounds, groups (4,2,1,1), requesters 0-5: grants %v\n", grantCounts[:6])
+	fmt.Fprintln(outw, "(each 4-shared requester should get ~16, each 2-shared ~32)")
 	return nil
 }

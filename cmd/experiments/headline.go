@@ -58,13 +58,13 @@ func fig13(cfg mc.Config, quick bool) error {
 			gains[s] = append(gains[s], m.Throughput/vals[i])
 		}
 	}
-	fmt.Println("\naverage MorphCache gain over each static (measured | paper):")
+	fmt.Fprintln(outw, "\naverage MorphCache gain over each static (measured | paper):")
 	paper := map[string]string{
 		"(16:1:1)": "+29.9%", "(1:1:16)": "+29.3%", "(4:4:1)": "+19.9%",
 		"(8:2:1)": "+18.8%", "(1:16:1)": "+27.9%",
 	}
 	for _, s := range staticSpecs {
-		fmt.Printf("  vs %-9s %+6.1f%% | %s\n", s, 100*(mean(gains[s])-1), paper[s])
+		fmt.Fprintf(outw, "  vs %-9s %+6.1f%% | %s\n", s, 100*(mean(gains[s])-1), paper[s])
 	}
 	return nil
 }
@@ -117,17 +117,17 @@ func fig14(cfg mc.Config, quick bool) error {
 				bestFS = fs
 			}
 		}
-		fmt.Printf("%-14s %10.3f %10.3f %10.3f %10.3f\n", mn, mws/baseWS, mws/bestWS, mfs/baseFS, mfs/bestFS)
+		fmt.Fprintf(outw, "%-14s %10.3f %10.3f %10.3f %10.3f\n", mn, mws/baseWS, mws/bestWS, mfs/baseFS, mfs/bestFS)
 		wsBase = append(wsBase, mws/baseWS)
 		wsBest = append(wsBest, mws/bestWS)
 		fsBase = append(fsBase, mfs/baseFS)
 		fsBest = append(fsBest, mfs/bestFS)
 	}
-	fmt.Printf("\naverages (measured | paper):\n")
-	fmt.Printf("  WS vs baseline:    %+6.1f%% | +32.8%%\n", 100*(mean(wsBase)-1))
-	fmt.Printf("  WS vs best static: %+6.1f%% | +12.3%%\n", 100*(mean(wsBest)-1))
-	fmt.Printf("  FS vs baseline:    %+6.1f%% | +29.7%%\n", 100*(mean(fsBase)-1))
-	fmt.Printf("  FS vs best static: %+6.1f%% | +10.8%%\n", 100*(mean(fsBest)-1))
+	fmt.Fprintf(outw, "\naverages (measured | paper):\n")
+	fmt.Fprintf(outw, "  WS vs baseline:    %+6.1f%% | +32.8%%\n", 100*(mean(wsBase)-1))
+	fmt.Fprintf(outw, "  WS vs best static: %+6.1f%% | +12.3%%\n", 100*(mean(wsBest)-1))
+	fmt.Fprintf(outw, "  FS vs baseline:    %+6.1f%% | +29.7%%\n", 100*(mean(fsBase)-1))
+	fmt.Fprintf(outw, "  FS vs best static: %+6.1f%% | +10.8%%\n", 100*(mean(fsBest)-1))
 	return nil
 }
 
@@ -162,11 +162,11 @@ func fig15(cfg mc.Config, quick bool) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-14s %10.3f %10.3f %10.3f\n", mn, m.Throughput/base, ideal/base, m.Throughput/ideal)
+		fmt.Fprintf(outw, "%-14s %10.3f %10.3f %10.3f\n", mn, m.Throughput/base, ideal/base, m.Throughput/ideal)
 		ratios = append(ratios, m.Throughput/ideal)
 	}
-	fmt.Printf("\naverage MorphCache / ideal-offline: %.1f%% (paper: ~97%%)\n", 100*mean(ratios))
-	fmt.Printf("spread of per-mix ratios: min %.3f max %.3f\n",
+	fmt.Fprintf(outw, "\naverage MorphCache / ideal-offline: %.1f%% (paper: ~97%%)\n", 100*mean(ratios))
+	fmt.Fprintf(outw, "spread of per-mix ratios: min %.3f max %.3f\n",
 		stats.Min(ratios), stats.Max(ratios))
 	return nil
 }

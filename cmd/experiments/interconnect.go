@@ -94,12 +94,12 @@ func xbar(cfg mc.Config, quick bool) error {
 	rep := bus.Characterize(tech, bus.DefaultFloorplan())
 	treeArea := 2*rep.L2.TotalAreaUM2 + rep.L3.TotalAreaUM2
 	xbarArea := bus.CrossbarAreaUM2(tech, 16) * 2 // one fabric per level
-	fmt.Printf("\ncrossbar lifts the all-shared static by %+.1f%% and MorphCache by %+.1f%% on average\n",
+	fmt.Fprintf(outw, "\ncrossbar lifts the all-shared static by %+.1f%% and MorphCache by %+.1f%% on average\n",
 		100*(stats.Mean(sharedGain)-1), 100*(stats.Mean(morphGain)-1))
-	fmt.Printf("arbitration area: segmented-bus trees %.0f um^2 vs crossbars %.0f um^2 (%.0fx)\n",
+	fmt.Fprintf(outw, "arbitration area: segmented-bus trees %.0f um^2 vs crossbars %.0f um^2 (%.0fx)\n",
 		treeArea, xbarArea, xbarArea/treeArea)
-	fmt.Println("(the paper's §3.1 trade-off, quantified: the crossbar buys back the")
-	fmt.Println("bandwidth that penalizes wide sharing, at an order-of-magnitude area cost —")
-	fmt.Println("reconfigurable segmentation gets most of the benefit for a fraction of it)")
+	fmt.Fprintln(outw, "(the paper's §3.1 trade-off, quantified: the crossbar buys back the")
+	fmt.Fprintln(outw, "bandwidth that penalizes wide sharing, at an order-of-magnitude area cost —")
+	fmt.Fprintln(outw, "reconfigurable segmentation gets most of the benefit for a fraction of it)")
 	return nil
 }

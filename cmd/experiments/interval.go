@@ -70,12 +70,12 @@ func interval(cfg mc.Config, quick bool) error {
 		}
 		row(mn, vals, 1)
 	}
-	fmt.Print("\nmean MorphCache/baseline per interval length:")
+	fmt.Fprint(outw, "\nmean MorphCache/baseline per interval length:")
 	for i, f := range factors {
-		fmt.Printf(" %s=%.3f", f.label, stats.Mean(means[i]))
+		fmt.Fprintf(outw, " %s=%.3f", f.label, stats.Mean(means[i]))
 	}
-	fmt.Println()
-	fmt.Println("(the default interval sits on the flat part of this curve; the paper's")
-	fmt.Println("300M-cycle choice makes the decision+switching cost negligible, §4)")
+	fmt.Fprintln(outw)
+	fmt.Fprintln(outw, "(the default interval sits on the flat part of this curve; the paper's")
+	fmt.Fprintln(outw, "300M-cycle choice makes the decision+switching cost negligible, §4)")
 	return nil
 }

@@ -9,20 +9,33 @@
 //	experiments -run fig2a,fig2b,fig5
 //	experiments -run all            # full suite (~30-45 minutes)
 //	experiments -run fig13 -quick   # reduced epochs/workloads for smoke runs
+//	experiments -run all -quick -out json > report.json
+//	experiments -run fig13 -quick -epochlog epochs.json
 //
 // Every experiment prints the paper's reported numbers next to the
 // measured ones. Absolute throughputs are not expected to match (the
 // substrate is a calibrated synthetic simulator, not the authors' Simics
 // testbed); the comparisons of interest are orderings, crossovers, and
 // rough factors.
+//
+// With -out json|csv, stdout carries a machine-readable report instead of
+// the text tables: every facade simulation the selected experiments
+// performed, with per-epoch telemetry (see DESIGN.md §8 for the schema),
+// plus each experiment's text rendering. The report is deterministic —
+// byte-identical at every -jobs value — which is what the golden-report CI
+// gate pins. -epochlog writes just the per-run epoch logs to a file while
+// stdout keeps the default text tables.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	mc "morphcache"
@@ -58,8 +71,17 @@ var registry = []experiment{
 	{"interval", "reconfiguration-interval sweep (§4 epoch choice)", interval},
 }
 
+// outw is the destination of every experiment's table output. It is stdout
+// by default; with -out set, run() points it at a per-experiment buffer so
+// the text lands inside the structured report and stdout stays pure JSON
+// or CSV.
+var outw io.Writer = os.Stdout
+
+// errw is the diagnostics stream (progress, timings, errors).
+var errw io.Writer = os.Stderr
+
 // jobsFlag is the worker-pool size every batch in this process uses; set in
-// main from -jobs, defaulting to GOMAXPROCS. -jobs 1 restores strictly
+// run from -jobs, defaulting to GOMAXPROCS. -jobs 1 restores strictly
 // sequential execution. Report output on stdout is byte-identical at every
 // value (per-job progress goes to stderr).
 var jobsFlag = runtime.GOMAXPROCS(0)
@@ -67,14 +89,22 @@ var jobsFlag = runtime.GOMAXPROCS(0)
 // jobCount returns the configured worker-pool size.
 func jobCount() int { return jobsFlag }
 
+// batchFailures counts failed jobs across every batch of the invocation.
+// Experiments are expected to propagate job errors, but the process must
+// exit non-zero even if one swallows them — a red job in the stderr log
+// must never pair with exit 0 (atomic: progress callbacks are serial per
+// batch, but belt and braces is cheap here).
+var batchFailures atomic.Int64
+
 // batchProgress prints one per-job timing line to stderr as facade batch
 // jobs complete (observability for long sweeps; stdout stays clean).
 func batchProgress(ev mc.JobEvent) {
 	status := ""
 	if ev.Err != nil {
 		status = " FAILED: " + ev.Err.Error()
+		batchFailures.Add(1)
 	}
-	fmt.Fprintf(os.Stderr, "experiments: [%d/%d] %s (%s)%s\n",
+	fmt.Fprintf(errw, "experiments: [%d/%d] %s (%s)%s\n",
 		ev.Done, ev.Total, ev.Label, ev.Elapsed.Round(time.Millisecond), status)
 }
 
@@ -84,38 +114,71 @@ func runnerProgress(ev runner.Event) {
 	status := ""
 	if ev.Err != nil {
 		status = " FAILED: " + ev.Err.Error()
+		batchFailures.Add(1)
 	}
-	fmt.Fprintf(os.Stderr, "experiments: [%d/%d] %s (%s)%s\n",
+	fmt.Fprintf(errw, "experiments: [%d/%d] %s (%s)%s\n",
 		ev.Done, ev.Total, ev.Label, ev.Elapsed.Round(time.Millisecond), status)
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// resetState reinitializes the package-level caches and counters so run()
+// is re-entrant (tests call it repeatedly in one process).
+func resetState(stdout, stderr io.Writer) {
+	outw, errw = stdout, stderr
+	jobsFlag = runtime.GOMAXPROCS(0)
+	batchFailures.Store(0)
+	memoMu.Lock()
+	memo = map[string]*mc.Result{}
+	memoMu.Unlock()
+	soloMu.Lock()
+	soloMemo = map[string]float64{}
+	soloMu.Unlock()
+	reportReset()
+}
+
+// run is the testable entry point; it returns the process exit code
+// (0 = success, 1 = experiment/job failure, 2 = usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	resetState(stdout, stderr)
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		runList = flag.String("run", "", "comma-separated experiment ids, or 'all'")
-		list    = flag.Bool("list", false, "list experiments")
-		quick   = flag.Bool("quick", false, "reduced configuration (smoke run)")
-		seed    = flag.Uint64("seed", 1, "workload seed")
-		jobs    = flag.Int("jobs", runtime.GOMAXPROCS(0), "simulation worker-pool size (1 = sequential; results are identical at any value)")
+		runList  = fs.String("run", "", "comma-separated experiment ids, or 'all'")
+		list     = fs.Bool("list", false, "list experiments")
+		quick    = fs.Bool("quick", false, "reduced configuration (smoke run)")
+		seed     = fs.Uint64("seed", 1, "workload seed")
+		jobs     = fs.Int("jobs", runtime.GOMAXPROCS(0), "simulation worker-pool size (1 = sequential; results are identical at any value)")
+		outFmt   = fs.String("out", "", "emit a machine-readable report on stdout instead of text tables: json or csv")
+		epochLog = fs.String("epochlog", "", "write per-run epoch telemetry (JSON) to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	// A stray positional argument ("experiments fig13" instead of
 	// "-run fig13") must not fall through to the default listing and exit 0.
-	if flag.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "experiments: unexpected arguments %q (did you mean -run %s?)\n",
-			flag.Args(), flag.Arg(0))
-		os.Exit(2)
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "experiments: unexpected arguments %q (did you mean -run %s?)\n",
+			fs.Args(), fs.Arg(0))
+		return 2
+	}
+	if *outFmt != "" && *outFmt != "json" && *outFmt != "csv" {
+		fmt.Fprintf(stderr, "experiments: -out must be json or csv (got %q)\n", *outFmt)
+		return 2
 	}
 	if *list || *runList == "" {
-		fmt.Println("experiments:")
+		fmt.Fprintln(stdout, "experiments:")
 		for _, e := range registry {
-			fmt.Printf("  %-7s %s\n", e.id, e.about)
+			fmt.Fprintf(stdout, "  %-7s %s\n", e.id, e.about)
 		}
-		return
+		return 0
 	}
 	if *jobs < 1 {
-		fmt.Fprintf(os.Stderr, "experiments: -jobs must be >= 1 (got %d)\n", *jobs)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "experiments: -jobs must be >= 1 (got %d)\n", *jobs)
+		return 2
 	}
 	jobsFlag = *jobs
 
@@ -124,6 +187,13 @@ func main() {
 	if *quick {
 		cfg.Epochs = 8
 		cfg.WarmupEpochs = 2
+	}
+	// Either structured output enables per-run telemetry; the default text
+	// path keeps it off so stdout stays byte-identical to earlier releases.
+	collect := *outFmt != "" || *epochLog != ""
+	if collect {
+		cfg.Telemetry = true
+		reportInit(cfg, *quick)
 	}
 
 	// Resolve the -run list. Empty ids (stray commas, trailing separators)
@@ -136,8 +206,8 @@ func main() {
 		}
 	}
 	if len(want) == 0 {
-		fmt.Fprintf(os.Stderr, "experiments: -run %q selects no experiments (use -list)\n", *runList)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "experiments: -run %q selects no experiments (use -list)\n", *runList)
+		return 2
 	}
 	all := want["all"]
 	known := map[string]bool{}
@@ -146,8 +216,8 @@ func main() {
 	}
 	for id := range want {
 		if id != "all" && !known[id] {
-			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", id)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "experiments: unknown id %q (use -list)\n", id)
+			return 2
 		}
 	}
 
@@ -156,20 +226,51 @@ func main() {
 		if !all && !want[e.id] {
 			continue
 		}
-		fmt.Printf("\n==================== %s — %s ====================\n", e.id, e.about)
+		var buf bytes.Buffer
+		if collect {
+			outw = &buf
+		}
+		fmt.Fprintf(outw, "\n==================== %s — %s ====================\n", e.id, e.about)
 		start := time.Now()
 		if err := e.run(cfg, *quick); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "experiments: %s: %v\n", e.id, err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "experiments: %s finished in %s (-jobs %d)\n",
+		if collect {
+			reportAddExperiment(e.id, e.about, buf.String())
+		}
+		fmt.Fprintf(stderr, "experiments: %s finished in %s (-jobs %d)\n",
 			e.id, time.Since(start).Round(time.Millisecond), jobsFlag)
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "experiments: selection %q ran no experiments\n", *runList)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "experiments: selection %q ran no experiments\n", *runList)
+		return 1
 	}
+	if n := batchFailures.Load(); n > 0 {
+		fmt.Fprintf(stderr, "experiments: %d job(s) failed\n", n)
+		return 1
+	}
+
+	switch *outFmt {
+	case "json":
+		if err := reportWriteJSON(stdout); err != nil {
+			fmt.Fprintf(stderr, "experiments: write JSON report: %v\n", err)
+			return 1
+		}
+	case "csv":
+		if err := reportWriteCSV(stdout); err != nil {
+			fmt.Fprintf(stderr, "experiments: write CSV report: %v\n", err)
+			return 1
+		}
+	}
+	if *epochLog != "" {
+		if err := reportWriteEpochLog(*epochLog); err != nil {
+			fmt.Fprintf(stderr, "experiments: write epoch log: %v\n", err)
+			return 1
+		}
+	}
+	return 0
 }
 
 // --- small shared helpers ---------------------------------------------------
@@ -199,20 +300,20 @@ func parsecNames(quick bool) []string {
 
 // header prints a column header.
 func header(first string, cols []string) {
-	fmt.Printf("%-14s", first)
+	fmt.Fprintf(outw, "%-14s", first)
 	for _, c := range cols {
-		fmt.Printf(" %10s", c)
+		fmt.Fprintf(outw, " %10s", c)
 	}
-	fmt.Println()
+	fmt.Fprintln(outw)
 }
 
 // row prints one table row of values normalized to base.
 func row(name string, vals []float64, base float64) {
-	fmt.Printf("%-14s", name)
+	fmt.Fprintf(outw, "%-14s", name)
 	for _, v := range vals {
-		fmt.Printf(" %10.3f", v/base)
+		fmt.Fprintf(outw, " %10.3f", v/base)
 	}
-	fmt.Println()
+	fmt.Fprintln(outw)
 }
 
 // geomean of ratios.

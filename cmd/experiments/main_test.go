@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	mc "morphcache"
+)
+
+// TestRunUsageErrorsExitTwo checks that every malformed invocation exits 2
+// without running anything.
+func TestRunUsageErrorsExitTwo(t *testing.T) {
+	defer resetState(os.Stdout, os.Stderr)
+	cases := [][]string{
+		{"-out", "xml", "-run", "fig13"}, // unknown output format
+		{"-run", "nope"},                 // unknown experiment id
+		{"fig13"},                        // stray positional (forgot -run)
+		{"-run", "fig13", "-jobs", "0"},  // worker pool must be >= 1
+		{"-run", ","},                    // selection resolves to nothing
+		{"-definitely-not-a-flag"},       // flag parse error
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%q) = %d, want 2 (stderr: %s)", args, code, errb.String())
+		}
+	}
+}
+
+// TestRunListExitsZero checks the success path of the cheapest invocation.
+func TestRunListExitsZero(t *testing.T) {
+	defer resetState(os.Stdout, os.Stderr)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("run(-list) = %d, want 0 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "fig13") {
+		t.Errorf("listing does not mention fig13:\n%s", out.String())
+	}
+}
+
+// withExperiment temporarily registers an extra experiment.
+func withExperiment(t *testing.T, e experiment, f func()) {
+	t.Helper()
+	registry = append(registry, e)
+	defer func() { registry = registry[:len(registry)-1] }()
+	f()
+}
+
+// TestRunExperimentErrorExitsOne checks that a propagated experiment error
+// turns into exit code 1.
+func TestRunExperimentErrorExitsOne(t *testing.T) {
+	defer resetState(os.Stdout, os.Stderr)
+	boom := experiment{"boom", "always fails (test fixture)",
+		func(cfg mc.Config, quick bool) error { return errors.New("kaput") }}
+	withExperiment(t, boom, func() {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-run", "boom"}, &out, &errb); code != 1 {
+			t.Errorf("run(-run boom) = %d, want 1", code)
+		}
+		if !strings.Contains(errb.String(), "kaput") {
+			t.Errorf("stderr does not carry the failure: %s", errb.String())
+		}
+	})
+}
+
+// TestRunSwallowedJobFailureExitsOne checks the batchFailures backstop: a
+// job reported as failed through the progress callback must force exit 1
+// even when the experiment itself swallows the error and returns nil.
+func TestRunSwallowedJobFailureExitsOne(t *testing.T) {
+	defer resetState(os.Stdout, os.Stderr)
+	sneaky := experiment{"sneaky", "fails a job but returns nil (test fixture)",
+		func(cfg mc.Config, quick bool) error {
+			batchProgress(mc.JobEvent{Done: 1, Total: 1, Label: "doomed job",
+				Err: errors.New("job died")})
+			return nil
+		}}
+	withExperiment(t, sneaky, func() {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-run", "sneaky"}, &out, &errb); code != 1 {
+			t.Errorf("run(-run sneaky) = %d, want 1", code)
+		}
+		if !strings.Contains(errb.String(), "job(s) failed") {
+			t.Errorf("stderr does not report the failed job count: %s", errb.String())
+		}
+	})
+}
+
+// TestRunOutJSONEmitsReport runs the cheapest real experiment with -out json
+// and checks stdout is pure JSON carrying the report schema, and that
+// -epochlog lands a valid document at the given path.
+func TestRunOutJSONEmitsReport(t *testing.T) {
+	defer resetState(os.Stdout, os.Stderr)
+	logPath := filepath.Join(t.TempDir(), "epochs.json")
+	var out, errb bytes.Buffer
+	args := []string{"-run", "table2", "-quick", "-out", "json", "-epochlog", logPath}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, want 0 (stderr: %s)", code, errb.String())
+	}
+	s := out.String()
+	if !strings.HasPrefix(s, "{") {
+		t.Fatalf("stdout is not a JSON document:\n%.200s", s)
+	}
+	if !strings.Contains(s, reportSchema) {
+		t.Errorf("report does not declare schema %q", reportSchema)
+	}
+	if !strings.Contains(s, `"id": "table2"`) {
+		t.Errorf("report does not embed the experiment text section")
+	}
+	logged, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatalf("epoch log not written: %v", err)
+	}
+	if !strings.Contains(string(logged), epochLogSchema) {
+		t.Errorf("epoch log does not declare schema %q", epochLogSchema)
+	}
+}

@@ -80,6 +80,9 @@ func prefetch(cfg mc.Config, specs []mc.RunSpec) error {
 		memo[specKey(cfg, s)] = results[i]
 	}
 	memoMu.Unlock()
+	for i, s := range missing {
+		reportRecordRun(specKey(cfg, s), s, results[i])
+	}
 	return nil
 }
 
@@ -100,6 +103,7 @@ func specResult(cfg mc.Config, s mc.RunSpec) (*mc.Result, error) {
 	memoMu.Lock()
 	memo[k] = results[0]
 	memoMu.Unlock()
+	reportRecordRun(k, s, results[0])
 	return results[0], nil
 }
 
@@ -174,6 +178,7 @@ func prefetchSolo(cfg mc.Config, mixNames []string) error {
 		soloMu.Lock()
 		soloMemo[k] = v
 		soloMu.Unlock()
+		reportRecordSolo(k, b.Name, v)
 		return struct{}{}, nil
 	})
 	return err
@@ -198,6 +203,7 @@ func soloIPCs(cfg mc.Config, mixName string) ([]float64, error) {
 			soloMu.Lock()
 			soloMemo[k] = v
 			soloMu.Unlock()
+			reportRecordSolo(k, b.Name, v)
 		}
 		out[i] = v
 	}

@@ -34,27 +34,27 @@ func fig2a(cfg mc.Config, _ bool) error {
 		}
 		series[s] = r.EpochThroughputs
 	}
-	fmt.Println("per-epoch throughput normalized to (16:1:1), Mix 01:")
+	fmt.Fprintln(outw, "per-epoch throughput normalized to (16:1:1), Mix 01:")
 	header("epoch", specs)
 	bestChanges := 0
 	prevBest := ""
 	for e := range base.EpochThroughputs {
-		fmt.Printf("%-14d", e)
+		fmt.Fprintf(outw, "%-14d", e)
 		best, bestV := "", 0.0
 		for _, s := range specs {
 			v := series[s][e] / base.EpochThroughputs[e]
-			fmt.Printf(" %10.3f", v)
+			fmt.Fprintf(outw, " %10.3f", v)
 			if v > bestV {
 				best, bestV = s, v
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(outw)
 		if best != prevBest && prevBest != "" {
 			bestChanges++
 		}
 		prevBest = best
 	}
-	fmt.Printf("\nbest static changed %d times across %d epochs (paper: the best configuration varies with time)\n",
+	fmt.Fprintf(outw, "\nbest static changed %d times across %d epochs (paper: the best configuration varies with time)\n",
 		bestChanges, len(base.EpochThroughputs))
 
 	var plot []textplot.Series
@@ -69,8 +69,8 @@ func fig2a(cfg mc.Config, _ bool) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("\nnormalized throughput over epochs (cf. Fig. 2(a)):")
-	fmt.Print(chart)
+	fmt.Fprintln(outw, "\nnormalized throughput over epochs (cf. Fig. 2(a)):")
+	fmt.Fprint(outw, chart)
 	return nil
 }
 
@@ -108,9 +108,9 @@ func fig2b(cfg mc.Config, _ bool) error {
 		}
 		row(app, vals, base.Throughput)
 	}
-	fmt.Println("\npaper reference (Fig. 2(b), normalized to (16:1:1)):")
-	fmt.Println("dedup          ~0.82       ~1.18       ~1.09       ~1.08")
-	fmt.Println("freqmine       ~0.80       ~1.05       ~1.07       ~1.15")
-	fmt.Println("key shape: private worst; an intermediate/shared-L3 topology best; no single topology best for both.")
+	fmt.Fprintln(outw, "\npaper reference (Fig. 2(b), normalized to (16:1:1)):")
+	fmt.Fprintln(outw, "dedup          ~0.82       ~1.18       ~1.09       ~1.08")
+	fmt.Fprintln(outw, "freqmine       ~0.80       ~1.05       ~1.07       ~1.15")
+	fmt.Fprintln(outw, "key shape: private worst; an intermediate/shared-L3 topology best; no single topology best for both.")
 	return nil
 }

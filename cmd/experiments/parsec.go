@@ -53,13 +53,13 @@ func fig16(cfg mc.Config, quick bool) error {
 		}
 		morphGain[app] = m.Throughput / base
 	}
-	fmt.Println("\naverage MorphCache gain over each static (measured | paper):")
+	fmt.Fprintln(outw, "\naverage MorphCache gain over each static (measured | paper):")
 	paper := map[string]string{
 		"(16:1:1)": "+25.6%", "(1:1:16)": "+30.4%", "(4:4:1)": "+12.3%",
 		"(8:2:1)": "+7.5%", "(1:16:1)": "+8.5%",
 	}
 	for _, s := range staticSpecs {
-		fmt.Printf("  vs %-9s %+6.1f%% | %s\n", s, 100*(mean(gains[s])-1), paper[s])
+		fmt.Fprintf(outw, "  vs %-9s %+6.1f%% | %s\n", s, 100*(mean(gains[s])-1), paper[s])
 	}
 	return nil
 }
@@ -105,8 +105,8 @@ func fig17(cfg mc.Config, quick bool) error {
 		overPIPP = append(overPIPP, m.Throughput/p.Throughput)
 		overDSR = append(overDSR, m.Throughput/d.Throughput)
 	}
-	fmt.Printf("\naverage MorphCache gain (measured | paper):\n")
-	fmt.Printf("  over PIPP: %+6.1f%% | +6.6%%\n", 100*(mean(overPIPP)-1))
-	fmt.Printf("  over DSR:  %+6.1f%% | +5.7%%\n", 100*(mean(overDSR)-1))
+	fmt.Fprintf(outw, "\naverage MorphCache gain (measured | paper):\n")
+	fmt.Fprintf(outw, "  over PIPP: %+6.1f%% | +6.6%%\n", 100*(mean(overPIPP)-1))
+	fmt.Fprintf(outw, "  over DSR:  %+6.1f%% | +5.7%%\n", 100*(mean(overDSR)-1))
 	return nil
 }

@@ -47,7 +47,7 @@ func recon(cfg mc.Config, quick bool) error {
 				asymShare = append(asymShare, float64(r.AsymmetricSteps)/float64(minInt(r.Reconfigurations, cfg.Epochs)))
 			}
 		}
-		fmt.Printf("%s: %.1f reconfigurations/interval (range %d..%d per run); asymmetric outcome share %.0f%%\n",
+		fmt.Fprintf(outw, "%s: %.1f reconfigurations/interval (range %d..%d per run); asymmetric outcome share %.0f%%\n",
 			label, stats.Mean(rates), minR, maxR, 100*stats.Mean(asymShare))
 		return nil
 	}
@@ -57,10 +57,10 @@ func recon(cfg mc.Config, quick bool) error {
 	if err := report("multithreaded  ", parsecNames(quick), func(n string) mc.Workload { return mc.Parsec(n) }); err != nil {
 		return err
 	}
-	fmt.Println("\npaper reference: multiprogrammed avg 9,654 ops/run with 39% asymmetric;")
-	fmt.Println("multithreaded avg 856 ops/run with 54% asymmetric (full-length runs).")
-	fmt.Println("shape criteria: multiprogrammed reconfigures much more than multithreaded;")
-	fmt.Println("asymmetric configurations occur in a large fraction of steps.")
+	fmt.Fprintln(outw, "\npaper reference: multiprogrammed avg 9,654 ops/run with 39% asymmetric;")
+	fmt.Fprintln(outw, "multithreaded avg 856 ops/run with 54% asymmetric (full-length runs).")
+	fmt.Fprintln(outw, "shape criteria: multiprogrammed reconfigures much more than multithreaded;")
+	fmt.Fprintln(outw, "asymmetric configurations occur in a large fraction of steps.")
 	return nil
 }
 
@@ -123,15 +123,15 @@ func qos(cfg mc.Config, quick bool) error {
 			return m
 		}
 		a, b := minSU(base), minSU(qres)
-		fmt.Printf("%-14s %10.3f %10.3f %10.3f %10.3f\n", mn, a, b, base.Throughput, qres.Throughput)
+		fmt.Fprintf(outw, "%-14s %10.3f %10.3f %10.3f %10.3f\n", mn, a, b, base.Throughput, qres.Throughput)
 		worst = append(worst, a)
 		worstQ = append(worstQ, b)
 	}
-	fmt.Printf("\nmean minimum per-app speedup vs fair share: %.3f default, %.3f with QoS throttling\n",
+	fmt.Fprintf(outw, "\nmean minimum per-app speedup vs fair share: %.3f default, %.3f with QoS throttling\n",
 		stats.Mean(worst), stats.Mean(worstQ))
-	fmt.Println("shape criterion (§5.3): QoS throttling should raise the worst-case application")
-	fmt.Println("toward its fair-share performance at a modest aggregate-throughput cost.")
-	fmt.Println("storage overhead of the QoS scheme: two 4-byte registers per slice (8 B/slice).")
+	fmt.Fprintln(outw, "shape criterion (§5.3): QoS throttling should raise the worst-case application")
+	fmt.Fprintln(outw, "toward its fair-share performance at a modest aggregate-throughput cost.")
+	fmt.Fprintln(outw, "storage overhead of the QoS scheme: two 4-byte registers per slice (8 B/slice).")
 	return nil
 }
 
@@ -181,8 +181,8 @@ func ext(cfg mc.Config, quick bool) error {
 		arb = append(arb, a.Throughput/d.Throughput)
 		non = append(non, n.Throughput/d.Throughput)
 	}
-	fmt.Printf("\naverage vs default restricted sharing (measured | paper):\n")
-	fmt.Printf("  arbitrary neighboring group sizes: %+6.1f%% | +3.6%%\n", 100*(stats.Mean(arb)-1))
-	fmt.Printf("  non-neighbor sharing allowed:      %+6.1f%% | -7.1%%\n", 100*(stats.Mean(non)-1))
+	fmt.Fprintf(outw, "\naverage vs default restricted sharing (measured | paper):\n")
+	fmt.Fprintf(outw, "  arbitrary neighboring group sizes: %+6.1f%% | +3.6%%\n", 100*(stats.Mean(arb)-1))
+	fmt.Fprintf(outw, "  non-neighbor sharing allowed:      %+6.1f%% | -7.1%%\n", 100*(stats.Mean(non)-1))
 	return nil
 }

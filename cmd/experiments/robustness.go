@@ -53,12 +53,12 @@ func seeds(cfg mc.Config, quick bool) error {
 			}
 			gains = append(gains, m.Throughput/base.Throughput)
 		}
-		fmt.Printf("%-14s %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+		fmt.Fprintf(outw, "%-14s %10.3f %10.3f %10.3f %10.3f %10.3f\n",
 			mn, gains[0], gains[1], gains[2], stats.Mean(gains), stats.StdDev(gains))
 		all = append(all, gains...)
 	}
-	fmt.Printf("\nMorphCache/baseline across %d runs: mean %.3f, std %.3f, min %.3f\n",
+	fmt.Fprintf(outw, "\nMorphCache/baseline across %d runs: mean %.3f, std %.3f, min %.3f\n",
 		len(all), stats.Mean(all), stats.StdDev(all), stats.Min(all))
-	fmt.Println("(the gain must dominate the seed noise for the Fig. 13 conclusion to hold)")
+	fmt.Fprintln(outw, "(the gain must dominate the seed noise for the Fig. 13 conclusion to hold)")
 	return nil
 }

@@ -72,7 +72,7 @@ func sens(cfg mc.Config, quick bool) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("reference: MorphCache/(16:1:1) gain %+.1f%%\n\n", 100*(ref-1))
+	fmt.Fprintf(outw, "reference: MorphCache/(16:1:1) gain %+.1f%%\n\n", 100*(ref-1))
 
 	cases := []struct {
 		name  string
@@ -90,10 +90,10 @@ func sens(cfg mc.Config, quick bool) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-18s gain %+6.1f%%  (delta vs reference %+5.1f points | paper %s)\n",
+		fmt.Fprintf(outw, "%-18s gain %+6.1f%%  (delta vs reference %+5.1f points | paper %s)\n",
 			cse.name, 100*(g-1), 100*(g-ref), cse.paper)
 	}
-	fmt.Println("\nshape criteria: more capacity -> modestly larger MorphCache advantage;")
-	fmt.Println("associativity alone does not help; fewer cores -> slightly smaller advantage.")
+	fmt.Fprintln(outw, "\nshape criteria: more capacity -> modestly larger MorphCache advantage;")
+	fmt.Fprintln(outw, "associativity alone does not help; fewer cores -> slightly smaller advantage.")
 	return nil
 }

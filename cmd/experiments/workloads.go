@@ -82,9 +82,9 @@ func spatial(samples [][]float64) float64 {
 func table4(cfg mc.Config, quick bool) error {
 	gcfg := workload.ScaledGenConfig(cfg.Scale)
 
-	fmt.Println("SPEC CPU 2006 (solo, private slice):")
-	fmt.Printf("%-12s %22s %22s\n", "", "L2: table | measured", "L3: table | measured")
-	fmt.Printf("%-12s %10s %11s %10s %11s\n", "benchmark", "ACF σt", "util σt", "ACF σt", "util σt")
+	fmt.Fprintln(outw, "SPEC CPU 2006 (solo, private slice):")
+	fmt.Fprintf(outw, "%-12s %22s %22s\n", "", "L2: table | measured", "L3: table | measured")
+	fmt.Fprintf(outw, "%-12s %10s %11s %10s %11s\n", "benchmark", "ACF σt", "util σt", "ACF σt", "util σt")
 	profiles := workload.SPECProfiles()
 	if quick {
 		profiles = profiles[:8]
@@ -111,19 +111,19 @@ func table4(cfg mc.Config, quick bool) error {
 		mp := specMPs[i]
 		m2, s2 := temporal(mp.l2, 0)
 		m3, s3 := temporal(mp.l3, 0)
-		fmt.Printf("%-12s %5.2f %4.2f %5.2f %5.2f %5.2f %4.2f %5.2f %5.2f\n",
+		fmt.Fprintf(outw, "%-12s %5.2f %4.2f %5.2f %5.2f %5.2f %4.2f %5.2f %5.2f\n",
 			p.Name, p.L2ACF, p.L2SigmaT, m2, s2, p.L3ACF, p.L3SigmaT, m3, s3)
 		tabL2 = append(tabL2, p.L2ACF)
 		tabL3 = append(tabL3, p.L3ACF)
 		meaL2 = append(meaL2, m2)
 		meaL3 = append(meaL3, m3)
 	}
-	fmt.Printf("cross-benchmark correlation table-vs-measured: L2 %.2f, L3 %.2f\n",
+	fmt.Fprintf(outw, "cross-benchmark correlation table-vs-measured: L2 %.2f, L3 %.2f\n",
 		stats.Correlation(tabL2, meaL2), stats.Correlation(tabL3, meaL3))
 
-	fmt.Println("\nPARSEC (16 threads, private slices):")
-	fmt.Printf("%-14s %28s %28s\n", "", "L2: table | measured", "L3: table | measured")
-	fmt.Printf("%-14s %13s %14s %13s %14s\n", "benchmark", "ACF σt σs", "util σt σs", "ACF σt σs", "util σt σs")
+	fmt.Fprintln(outw, "\nPARSEC (16 threads, private slices):")
+	fmt.Fprintf(outw, "%-14s %28s %28s\n", "", "L2: table | measured", "L3: table | measured")
+	fmt.Fprintf(outw, "%-14s %13s %14s %13s %14s\n", "benchmark", "ACF σt σs", "util σt σs", "ACF σt σs", "util σt σs")
 	papps := workload.PARSECProfiles()
 	if quick {
 		papps = papps[:4]
@@ -153,14 +153,14 @@ func table4(cfg mc.Config, quick bool) error {
 			m2s, s2s = append(m2s, m2), append(s2s, s2)
 			m3s, s3s = append(m3s, m3), append(s3s, s3)
 		}
-		fmt.Printf("%-14s %4.2f %4.2f %4.2f  %4.2f %4.2f %4.2f  %4.2f %4.2f %4.2f  %4.2f %4.2f %4.2f\n",
+		fmt.Fprintf(outw, "%-14s %4.2f %4.2f %4.2f  %4.2f %4.2f %4.2f  %4.2f %4.2f %4.2f  %4.2f %4.2f %4.2f\n",
 			p.Name,
 			p.L2ACF, p.L2SigmaT, p.L2SigmaS, stats.Mean(m2s), stats.Mean(s2s), spatial(mp.l2),
 			p.L3ACF, p.L3SigmaT, p.L3SigmaS, stats.Mean(m3s), stats.Mean(s3s), spatial(mp.l3))
 		ptab3 = append(ptab3, p.L3ACF)
 		pmea3 = append(pmea3, stats.Mean(m3s))
 	}
-	fmt.Printf("cross-benchmark correlation table-vs-measured (L3): %.2f\n",
+	fmt.Fprintf(outw, "cross-benchmark correlation table-vs-measured (L3): %.2f\n",
 		stats.Correlation(ptab3, pmea3))
 	return nil
 }

@@ -26,6 +26,7 @@ import (
 	"morphcache/internal/hierarchy"
 	"morphcache/internal/metrics"
 	"morphcache/internal/sim"
+	"morphcache/internal/telemetry"
 	"morphcache/internal/topology"
 	"morphcache/internal/workload"
 )
@@ -44,7 +45,9 @@ func main() {
 		stats       = flag.Bool("stats", false, "print hierarchy event counters after the run")
 		traceOut    = flag.String("trace-out", "", "record the reference streams to this file")
 		traceIn     = flag.String("trace-in", "", "replay reference streams from this file instead of the synthetic workload")
-		jsonOut     = flag.Bool("json", false, "emit the run report as JSON on stdout")
+		jsonOut     = flag.Bool("json", false, "emit the run report as JSON on stdout (alias for -out json)")
+		outFmt      = flag.String("out", "", "emit the run report on stdout: json (report + telemetry) or csv (per-epoch, per-core telemetry rows)")
+		epochLog    = flag.String("epochlog", "", "write the run's epoch telemetry (JSON) to this file")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -52,12 +55,25 @@ func main() {
 		// the default run; succeeding silently would hide it.
 		fatal(fmt.Errorf("unexpected arguments: %v (all options are flags)", flag.Args()))
 	}
+	if *jsonOut && *outFmt == "" {
+		*outFmt = "json"
+	}
+	if *outFmt != "" && *outFmt != "json" && *outFmt != "csv" {
+		fatal(fmt.Errorf("-out must be json or csv (got %q)", *outFmt))
+	}
 
 	cfg := sim.DefaultConfig()
 	cfg.Epochs = *epochs
 	cfg.WarmupEpochs = *warmup
 	cfg.EpochCycles = *epochCycles
 	cfg.Seed = *seed
+	// Structured output wants the epoch log; the default text path keeps
+	// telemetry off (results are identical either way).
+	var tl *telemetry.Log
+	if *outFmt != "" || *epochLog != "" {
+		tl = telemetry.NewLog()
+		cfg.Recorder = tl
+	}
 
 	var srcs []sim.Source
 	var finish func() error
@@ -98,8 +114,19 @@ func main() {
 	if *traceIn != "" {
 		source = "trace:" + *traceIn
 	}
-	if *jsonOut {
-		if err := emitJSON(os.Stdout, source, cfg, run, sys); err != nil {
+	if *epochLog != "" {
+		if err := writeEpochLog(*epochLog, tl); err != nil {
+			fatal(err)
+		}
+	}
+	switch *outFmt {
+	case "json":
+		if err := emitJSON(os.Stdout, source, cfg, run, sys, tl); err != nil {
+			fatal(err)
+		}
+		return
+	case "csv":
+		if err := tl.WriteCSV(os.Stdout); err != nil {
 			fatal(err)
 		}
 		return

@@ -2,14 +2,17 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"os"
 
 	"morphcache/internal/hierarchy"
 	"morphcache/internal/metrics"
 	"morphcache/internal/sim"
+	"morphcache/internal/telemetry"
 )
 
-// report is the machine-readable run summary emitted by -json.
+// report is the machine-readable run summary emitted by -out json.
 type report struct {
 	Workload         string                `json:"workload"`
 	Policy           string                `json:"policy"`
@@ -23,9 +26,10 @@ type report struct {
 	AsymmetricSteps  int                   `json:"asymmetric_steps"`
 	Hierarchy        *hierarchy.Stats      `json:"hierarchy,omitempty"`
 	PerCore          []hierarchy.CoreStats `json:"per_core,omitempty"`
+	Telemetry        *telemetry.Log        `json:"telemetry,omitempty"`
 }
 
-func emitJSON(w io.Writer, workload string, cfg sim.Config, run *metrics.Run, sys *hierarchy.System) error {
+func emitJSON(w io.Writer, workload string, cfg sim.Config, run *metrics.Run, sys *hierarchy.System, tl *telemetry.Log) error {
 	r := report{
 		Workload:         workload,
 		Policy:           run.Policy,
@@ -47,7 +51,21 @@ func emitJSON(w io.Writer, workload string, cfg sim.Config, run *metrics.Run, sy
 			r.PerCore = append(r.PerCore, sys.CoreStats(c))
 		}
 	}
+	r.Telemetry = tl
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// writeEpochLog writes the run's telemetry log as indented JSON to path.
+func writeEpochLog(path string, tl *telemetry.Log) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tl.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return f.Close()
 }

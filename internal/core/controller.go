@@ -41,6 +41,7 @@ import (
 	"sort"
 
 	"morphcache/internal/hierarchy"
+	"morphcache/internal/telemetry"
 	"morphcache/internal/topology"
 )
 
@@ -162,6 +163,12 @@ type Controller struct {
 	locked map[lockKey]bool
 
 	history []Decision
+
+	// recorder, when non-nil, receives one telemetry.ReconfigEvent per
+	// applied operation (primary and coupled); epoch is the absolute epoch
+	// index of the interval being decided, stamped onto events.
+	recorder telemetry.Recorder
+	epoch    int
 }
 
 type lockKey struct {
@@ -182,6 +189,33 @@ func New(opts Options) *Controller {
 
 // Name implements sim.Policy.
 func (c *Controller) Name() string { return "MorphCache" }
+
+// SetRecorder implements telemetry.RecorderSettable: every applied
+// reconfiguration operation is mirrored to r as a telemetry.ReconfigEvent
+// carrying the ACFV inputs (utilizations, overlap) and MSAT bounds that
+// produced the decision.
+func (c *Controller) SetRecorder(r telemetry.Recorder) { c.recorder = r }
+
+// emit mirrors one applied operation to the recorder. The utilization and
+// overlap arguments are the decision's inputs, computed before the topology
+// changed.
+func (c *Controller) emit(l hierarchy.Level, op, rule, groups string, ua, ub, ov float64) {
+	if c.recorder == nil {
+		return
+	}
+	c.recorder.RecordReconfig(telemetry.ReconfigEvent{
+		Epoch:    c.epoch,
+		Level:    l.String(),
+		Op:       op,
+		Rule:     rule,
+		Groups:   groups,
+		UtilA:    ua,
+		UtilB:    ub,
+		Overlap:  ov,
+		MSATHigh: c.msat.High,
+		MSATLow:  c.msat.Low,
+	})
+}
 
 // MSATBounds returns the current (possibly throttled) thresholds.
 func (c *Controller) MSATBounds() MSAT { return c.msat }
@@ -222,7 +256,8 @@ func (c *Controller) ThrottleUps() int { return c.throttleUps }
 
 // EndEpoch implements sim.Policy: it examines the interval's ACFVs and
 // reconfigures the hierarchy.
-func (c *Controller) EndEpoch(_ int, sys *hierarchy.System) (int, bool) {
+func (c *Controller) EndEpoch(e int, sys *hierarchy.System) (int, bool) {
+	c.epoch = e
 	c.intervals++
 	c.locked = make(map[lockKey]bool)
 	total := 0
@@ -309,12 +344,19 @@ func (c *Controller) qosSplitAround(sys *hierarchy.System, core int) int {
 		if sys.SlicesShareASID(h1, h2) && sys.CoresOverlap(l, h1, h2) > c.opts.OverlapThreshold {
 			continue
 		}
+		var u1, u2, ov float64
+		if c.recorder != nil {
+			u1 = sys.CoresUtilization(l, h1)
+			u2 = sys.CoresUtilization(l, h2)
+			ov = sys.CoresOverlap(l, h1, h2)
+		}
 		n, ok := c.applySplit(sys, l, gi)
 		if ok {
 			ops += n
 			c.splits += n
 			c.locked[lockKey{l, m[0]}] = true
 			c.locked[lockKey{l, h2[0]}] = true
+			c.emit(l, "split", "qos", fmt.Sprintf("%v", m), u1, u2, ov)
 		}
 	}
 	return ops
@@ -334,18 +376,21 @@ func maxf(a, b float64) float64 {
 	return b
 }
 
-// mergeCondition evaluates §2.2's two merge rules over two groups of
-// threads (cores map one-to-one to slices). The margin relaxes the bounds:
-// merge decisions use margin 0, while "is this existing merge still
-// justified" checks pass a positive margin so that groups are not torn down
-// by boundary flicker (hysteresis).
-func (c *Controller) mergeCondition(sys *hierarchy.System, l hierarchy.Level, a, b []int, margin float64) bool {
-	ua := sys.CoresUtilization(l, a)
-	ub := sys.CoresUtilization(l, b)
+// mergeRule evaluates §2.2's two merge rules over two groups of threads
+// (cores map one-to-one to slices), returning the rule that fired —
+// "capacity" for rule (i), "sharing" for rule (ii), "" for no merge — along
+// with the ACFV inputs compared (utilizations of the two sides and their
+// overlap). The margin relaxes the bounds: merge decisions use margin 0,
+// while "is this existing merge still justified" checks pass a positive
+// margin so that groups are not torn down by boundary flicker (hysteresis).
+func (c *Controller) mergeRule(sys *hierarchy.System, l hierarchy.Level, a, b []int, margin float64) (rule string, ua, ub, ov float64) {
+	ua = sys.CoresUtilization(l, a)
+	ub = sys.CoresUtilization(l, b)
+	ov = sys.CoresOverlap(l, a, b)
 	h, lo := c.msat.High-margin, c.msat.Low+margin
 	// (i) capacity sharing: one side starved, the other with slack.
 	if (ua > h && ub < lo) || (ub > h && ua < lo) {
-		return true
+		return "capacity", ua, ub, ov
 	}
 	// (ii) data sharing: both hot, one address space, overlapping ACFVs.
 	// The overlap bar scales with the resulting group width: a wider shared
@@ -366,32 +411,43 @@ func (c *Controller) mergeCondition(sys *hierarchy.System, l hierarchy.Level, a,
 			// transfers, so its bar stays flat.
 			bar *= maxf(1, float64(len(a)+len(b))/2)
 		}
-		if sys.CoresOverlap(l, a, b) > bar {
-			return true
+		if ov > bar {
+			return "sharing", ua, ub, ov
 		}
 	}
-	return false
+	return "", ua, ub, ov
 }
 
-// splitCondition evaluates the §2.3 split rule over a group's two halves
-// (by thread demand): split when the merge is "no longer justified" —
-// either destructive interference (both halves starved without sharing) or
-// the merge reason has lapsed even under the hysteresis margin.
-func (c *Controller) splitCondition(sys *hierarchy.System, l hierarchy.Level, h1, h2 []int) bool {
-	u1 := sys.CoresUtilization(l, h1)
-	u2 := sys.CoresUtilization(l, h2)
+// mergeCondition reports whether either §2.2 merge rule fires.
+func (c *Controller) mergeCondition(sys *hierarchy.System, l hierarchy.Level, a, b []int, margin float64) bool {
+	rule, _, _, _ := c.mergeRule(sys, l, a, b, margin)
+	return rule != ""
+}
+
+// splitRule evaluates the §2.3 split rule over a group's two halves (by
+// thread demand), returning the rule that fired — "interference" (both
+// halves starved without sharing), "stale" (the merge reason has lapsed
+// even under the hysteresis margin), "" for no split — along with the ACFV
+// inputs compared.
+func (c *Controller) splitRule(sys *hierarchy.System, l hierarchy.Level, h1, h2 []int) (rule string, u1, u2, ov float64) {
+	u1 = sys.CoresUtilization(l, h1)
+	u2 = sys.CoresUtilization(l, h2)
+	ov = sys.CoresOverlap(l, h1, h2)
 	h := c.msat.High
 	if u1 > h && u2 > h {
 		// Destructive interference — unless the halves genuinely share data.
-		if sys.SlicesShareASID(h1, h2) && sys.CoresOverlap(l, h1, h2) > c.opts.OverlapThreshold {
-			return false
+		if sys.SlicesShareASID(h1, h2) && ov > c.opts.OverlapThreshold {
+			return "", u1, u2, ov
 		}
-		return true
+		return "interference", u1, u2, ov
 	}
 	// Stale merge: neither an imbalance nor a sharing justification remains
 	// within the hysteresis band, so the group pays remote latency for
 	// nothing.
-	return !c.mergeCondition(sys, l, h1, h2, c.opts.Hysteresis)
+	if !c.mergeCondition(sys, l, h1, h2, c.opts.Hysteresis) {
+		return "stale", u1, u2, ov
+	}
+	return "", u1, u2, ov
 }
 
 // mergeCandidates enumerates group-id pairs eligible to merge under the
@@ -485,15 +541,19 @@ func (c *Controller) mergeLevel(sys *hierarchy.System, l hierarchy.Level) int {
 			if c.locked[lockKey{l, ma[0]}] || c.locked[lockKey{l, mb[0]}] {
 				continue
 			}
-			if !c.mergeCondition(sys, l, ma, mb, 0) {
+			rule, ua, ub, ov := c.mergeRule(sys, l, ma, mb, 0)
+			if rule == "" {
 				continue
 			}
 			ops, ok := c.applyMerge(sys, l, a, b)
 			if ok {
-				c.record(l, true, fmt.Sprintf("%v+%v", ma, mb))
+				groups := fmt.Sprintf("%v+%v", ma, mb)
+				c.record(l, true, groups)
+				c.emit(l, "merge", rule, groups, ua, ub, ov)
 				if c.opts.Trace != nil {
+					// The utilizations are the decision's inputs (pre-apply).
 					fmt.Fprintf(c.opts.Trace, "merge %v %v+%v u=(%.2f,%.2f) ov=%.2f\n",
-						l, ma, mb, sys.CoresUtilization(l, ma), sys.CoresUtilization(l, mb), sys.CoresOverlap(l, ma, mb))
+						l, ma, mb, ua, ub, ov)
 				}
 			}
 			if ok {
@@ -524,6 +584,13 @@ func (c *Controller) applyMerge(sys *hierarchy.System, l hierarchy.Level, a, b i
 			if topo.L3.GroupSize(ha)+topo.L3.GroupSize(hb) > c.opts.MaxGroup {
 				return 0, false
 			}
+			mha, mhb := topo.L3.Members(ha), topo.L3.Members(hb)
+			var ua3, ub3, ov3 float64
+			if c.recorder != nil {
+				ua3 = sys.CoresUtilization(hierarchy.L3, mha)
+				ub3 = sys.CoresUtilization(hierarchy.L3, mhb)
+				ov3 = sys.CoresOverlap(hierarchy.L3, mha, mhb)
+			}
 			l3g, err := topo.L3.MergeGroups(ha, hb)
 			if err != nil {
 				return 0, false
@@ -537,6 +604,7 @@ func (c *Controller) applyMerge(sys *hierarchy.System, l hierarchy.Level, a, b i
 			}
 			c.lockFirst(hierarchy.L3, min2(l3gFirst(l3g, ma[0]), l3gFirst(l3g, mb[0])))
 			ops++
+			c.emit(hierarchy.L3, "merge", "coupling", fmt.Sprintf("%v+%v", mha, mhb), ua3, ub3, ov3)
 			topo = sys.Topology()
 			a = topo.L2.GroupOf(ma[0])
 			b = topo.L2.GroupOf(mb[0])
@@ -601,15 +669,18 @@ func (c *Controller) splitLevel(sys *hierarchy.System, l hierarchy.Level) int {
 				continue
 			}
 			h1, h2 := m[:len(m)/2], m[len(m)/2:]
-			if !c.splitCondition(sys, l, h1, h2) {
+			rule, u1, u2, ov := c.splitRule(sys, l, h1, h2)
+			if rule == "" {
 				continue
 			}
 			ops, ok := c.applySplit(sys, l, gi)
 			if ok {
-				c.record(l, false, fmt.Sprintf("%v", m))
+				groups := fmt.Sprintf("%v", m)
+				c.record(l, false, groups)
+				c.emit(l, "split", rule, groups, u1, u2, ov)
 				if c.opts.Trace != nil {
 					fmt.Fprintf(c.opts.Trace, "split %v %v u=(%.2f,%.2f)\n",
-						l, m, sys.CoresUtilization(l, h1), sys.CoresUtilization(l, h2))
+						l, m, u1, u2)
 				}
 			}
 			if ok {
@@ -662,6 +733,12 @@ func (c *Controller) applySplit(sys *hierarchy.System, l hierarchy.Level, gi int
 			if c.mergeCondition(sys, hierarchy.L2, h1, h2, c.opts.Hysteresis) {
 				return ops, false
 			}
+			var u1f, u2f, ovf float64
+			if c.recorder != nil {
+				u1f = sys.CoresUtilization(hierarchy.L2, h1)
+				u2f = sys.CoresUtilization(hierarchy.L2, h2)
+				ovf = sys.CoresOverlap(hierarchy.L2, h1, h2)
+			}
 			l2split, err := topo.L2.SplitGroup(l2g)
 			if err != nil {
 				return ops, false
@@ -675,6 +752,7 @@ func (c *Controller) applySplit(sys *hierarchy.System, l hierarchy.Level, gi int
 				c.locked[lockKey{hierarchy.L2, mm[len(mm)/2]}] = true
 			}
 			ops++ // the forced L2 split counts as a reconfiguration
+			c.emit(hierarchy.L2, "split", "coupling", fmt.Sprintf("%v", mm), u1f, u2f, ovf)
 			topo = sys.Topology()
 			gi = topo.L3.GroupOf(m[0])
 		}

@@ -531,7 +531,15 @@ func (s *System) interconnectWait(l Level, core, serveSlice int, now uint64, ser
 		start = busy[idx]
 	}
 	busy[idx] = start + service
-	return int(start - float64(now))
+	wait := int(start - float64(now))
+	if l == L2 {
+		s.stats.L2BusTransactions++
+		s.stats.L2BusWaitCycles += uint64(wait)
+	} else {
+		s.stats.L3BusTransactions++
+		s.stats.L3BusWaitCycles += uint64(wait)
+	}
+	return wait
 }
 
 // memWait charges one transaction on the shared memory channel.
@@ -544,5 +552,8 @@ func (s *System) memWait(now uint64) int {
 		start = s.memBusy
 	}
 	s.memBusy = start + s.p.MemChannelCycles
-	return int(start - float64(now))
+	wait := int(start - float64(now))
+	s.stats.MemTransactions++
+	s.stats.MemWaitCycles += uint64(wait)
+	return wait
 }

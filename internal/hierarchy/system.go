@@ -244,6 +244,16 @@ type Stats struct {
 	BackInv uint64
 	// Migrations counts remote-hit promotions into the local slice.
 	Migrations uint64
+	// Interconnect contention (telemetry): *Transactions counts requests
+	// charged to each finite-bandwidth channel and *WaitCycles the CPU
+	// cycles of queueing delay they suffered beyond the fixed latencies.
+	// Channels disabled via the *ChannelCycles parameters count nothing.
+	L2BusTransactions uint64
+	L2BusWaitCycles   uint64
+	L3BusTransactions uint64
+	L3BusWaitCycles   uint64
+	MemTransactions   uint64
+	MemWaitCycles     uint64
 }
 
 // System is the simulated hierarchy.

@@ -19,6 +19,7 @@ import (
 	"morphcache/internal/hierarchy"
 	"morphcache/internal/mem"
 	"morphcache/internal/metrics"
+	"morphcache/internal/telemetry"
 	"morphcache/internal/topology"
 	"morphcache/internal/workload"
 )
@@ -115,6 +116,21 @@ func (t *HierarchyTarget) EndEpoch(e int) (int, bool) {
 // Spec implements Target.
 func (t *HierarchyTarget) Spec() string { return t.Sys.Topology().Spec() }
 
+// TelemetrySnapshot implements telemetry.Snapshotter by delegating to the
+// hierarchy's counters.
+func (t *HierarchyTarget) TelemetrySnapshot() telemetry.Snapshot {
+	return t.Sys.TelemetrySnapshot()
+}
+
+// SetRecorder implements telemetry.RecorderSettable: the recorder is
+// forwarded to the policy (the MorphCache controller emits its
+// reconfiguration decisions through it; other policies ignore it).
+func (t *HierarchyTarget) SetRecorder(r telemetry.Recorder) {
+	if rs, ok := t.Policy.(telemetry.RecorderSettable); ok {
+		rs.SetRecorder(r)
+	}
+}
+
 // Config parameterizes a run.
 type Config struct {
 	// EpochCycles is the reconfiguration interval in CPU cycles.
@@ -137,6 +153,12 @@ type Config struct {
 	IssueWidth float64
 	// Seed drives all workload randomness.
 	Seed uint64
+	// Recorder, when non-nil, receives per-epoch telemetry records (warmup
+	// epochs included, flagged) and — for targets/policies that support it —
+	// reconfiguration events. Nil (the default) records nothing and adds no
+	// work to the run. The engine calls the recorder from its own goroutine
+	// only, so one recorder per run needs no synchronization.
+	Recorder telemetry.Recorder
 }
 
 // DefaultConfig returns the scaled experiment defaults: 20 measured epochs
@@ -197,6 +219,19 @@ func (e *Engine) Run() *metrics.Run {
 	gapWhole := uint64(gap)
 	gapFrac := gap - float64(gapWhole)
 
+	// Telemetry: inject the recorder into the target (so the policy can
+	// emit reconfiguration events) and baseline the cumulative counters.
+	var prevSnap telemetry.Snapshot
+	snapper, _ := e.target.(telemetry.Snapshotter)
+	if e.cfg.Recorder != nil {
+		if rs, ok := e.target.(telemetry.RecorderSettable); ok {
+			rs.SetRecorder(e.cfg.Recorder)
+		}
+		if snapper != nil {
+			prevSnap = snapper.TelemetrySnapshot()
+		}
+	}
+
 	totalEpochs := e.cfg.WarmupEpochs + e.cfg.Epochs
 	for ep := 0; ep < totalEpochs; ep++ {
 		epochStart := uint64(ep) * e.cfg.EpochCycles
@@ -254,6 +289,14 @@ func (e *Engine) Run() *metrics.Run {
 			})
 		}
 
+		// Emit the epoch's telemetry record before EndEpoch: the snapshot
+		// reads the interval's ACFV footprints, which EndEpoch resets, and
+		// reconfiguration events the policy emits during EndEpoch must
+		// follow the record of the epoch they were decided in.
+		if e.cfg.Recorder != nil {
+			e.cfg.Recorder.RecordEpoch(e.epochRecord(ep, !measured, spec, instr, snapper, &prevSnap))
+		}
+
 		reconf, asym := e.target.EndEpoch(ep)
 		if measured {
 			run.Reconfigurations += reconf
@@ -269,6 +312,63 @@ func (e *Engine) Run() *metrics.Run {
 		run.PerCoreIPC[c] = float64(totalInstr[c]) / measuredCycles
 	}
 	return run
+}
+
+// epochRecord assembles one epoch's telemetry record, diffing the target's
+// cumulative counters against prev (updated in place). Targets without
+// snapshot support (the PIPP/DSR baselines) yield IPC-and-instruction-only
+// records.
+func (e *Engine) epochRecord(ep int, warmup bool, spec string, instr []uint64, snapper telemetry.Snapshotter, prev *telemetry.Snapshot) telemetry.EpochRecord {
+	n := e.target.Cores()
+	rec := telemetry.EpochRecord{
+		Epoch:    ep,
+		Warmup:   warmup,
+		Topology: spec,
+		Cores:    make([]telemetry.CoreEpoch, n),
+	}
+	for c := 0; c < n; c++ {
+		rec.Cores[c] = telemetry.CoreEpoch{
+			Core:         c,
+			IPC:          float64(instr[c]) / float64(e.cfg.EpochCycles),
+			Instructions: instr[c],
+		}
+	}
+	if snapper == nil {
+		return rec
+	}
+	snap := snapper.TelemetrySnapshot()
+	bus := snap.Bus.Delta(prev.Bus)
+	rec.Bus = &bus
+	for c := 0; c < n && c < len(snap.Cores); c++ {
+		cur, was := snap.Cores[c], telemetry.CoreCounters{}
+		if c < len(prev.Cores) {
+			was = prev.Cores[c]
+		}
+		ce := &rec.Cores[c]
+		ce.Accesses = cur.Accesses - was.Accesses
+		ce.L1Hits = cur.L1Hits - was.L1Hits
+		ce.L2Hits = cur.L2Hits - was.L2Hits
+		ce.L3Hits = cur.L3Hits - was.L3Hits
+		ce.C2C = cur.C2C - was.C2C
+		ce.MemReads = cur.MemReads - was.MemReads
+		// MPKI counts last-level (L3 group) misses: references served by
+		// another group's cache or by memory. Guard the zero-instruction
+		// case (an idle epoch) — JSON cannot carry NaN.
+		if ce.Instructions > 0 {
+			ce.MPKI = float64(ce.C2C+ce.MemReads) * 1000 / float64(ce.Instructions)
+		}
+		if ce.Accesses > 0 {
+			ce.AvgLatency = float64(cur.LatencySum-was.LatencySum) / float64(ce.Accesses)
+		}
+		if c < len(snap.L2Util) {
+			ce.L2Util = snap.L2Util[c]
+		}
+		if c < len(snap.L3Util) {
+			ce.L3Util = snap.L3Util[c]
+		}
+	}
+	*prev = snap
+	return rec
 }
 
 // RunStatic builds a hierarchy in a fixed (x:y:z) topology with the paper's

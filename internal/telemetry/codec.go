@@ -1,0 +1,212 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteJSON writes the log as indented JSON (one document; field names are
+// the schema documented in DESIGN.md §8).
+func (l *Log) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l)
+}
+
+// ReadJSON parses a log written by WriteJSON.
+func ReadJSON(r io.Reader) (*Log, error) {
+	var l Log
+	if err := json.NewDecoder(r).Decode(&l); err != nil {
+		return nil, fmt.Errorf("telemetry: decode JSON log: %w", err)
+	}
+	return &l, nil
+}
+
+// csvHeader is the flat per-core-per-epoch CSV schema. One row per
+// (epoch, core); epoch-wide fields (topology, bus counters) are repeated on
+// every row of the epoch. Reconfiguration events are not representable in
+// this flat form and are omitted — use JSON when they matter.
+var csvHeader = []string{
+	"epoch", "warmup", "topology", "core",
+	"ipc", "instructions", "accesses",
+	"l1_hits", "l2_hits", "l3_hits", "c2c", "mem_reads",
+	"mpki", "avg_latency", "l2_util", "l3_util",
+	"bus_l2_transactions", "bus_l2_wait_cycles",
+	"bus_l3_transactions", "bus_l3_wait_cycles",
+	"bus_mem_transactions", "bus_mem_wait_cycles",
+}
+
+// CSVHeader returns the flat schema's column names (a copy).
+func CSVHeader() []string { return append([]string(nil), csvHeader...) }
+
+// CSVRecords renders the epoch records as rows matching CSVHeader.
+func (l *Log) CSVRecords() [][]string {
+	var out [][]string
+	for _, e := range l.Epochs {
+		var bus BusEpoch
+		if e.Bus != nil {
+			bus = *e.Bus
+		}
+		for _, c := range e.Cores {
+			out = append(out, []string{
+				strconv.Itoa(e.Epoch),
+				strconv.FormatBool(e.Warmup),
+				e.Topology,
+				strconv.Itoa(c.Core),
+				formatFloat(c.IPC),
+				strconv.FormatUint(c.Instructions, 10),
+				strconv.FormatUint(c.Accesses, 10),
+				strconv.FormatUint(c.L1Hits, 10),
+				strconv.FormatUint(c.L2Hits, 10),
+				strconv.FormatUint(c.L3Hits, 10),
+				strconv.FormatUint(c.C2C, 10),
+				strconv.FormatUint(c.MemReads, 10),
+				formatFloat(c.MPKI),
+				formatFloat(c.AvgLatency),
+				formatFloat(c.L2Util),
+				formatFloat(c.L3Util),
+				strconv.FormatUint(bus.L2Transactions, 10),
+				strconv.FormatUint(bus.L2WaitCycles, 10),
+				strconv.FormatUint(bus.L3Transactions, 10),
+				strconv.FormatUint(bus.L3WaitCycles, 10),
+				strconv.FormatUint(bus.MemTransactions, 10),
+				strconv.FormatUint(bus.MemWaitCycles, 10),
+			})
+		}
+	}
+	return out
+}
+
+// WriteCSV writes the epoch records as flat CSV, one row per (epoch, core).
+func (l *Log) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, rec := range l.CSVRecords() {
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a log written by WriteCSV. Bus counters are restored on
+// every epoch (a zero-valued BusEpoch round-trips as zero counters, not as
+// nil); reconfiguration events are not carried by the CSV form.
+func ReadCSV(r io.Reader) (*Log, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: decode CSV log: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("telemetry: CSV log has no header")
+	}
+	if len(rows[0]) != len(csvHeader) {
+		return nil, fmt.Errorf("telemetry: CSV header has %d columns, want %d", len(rows[0]), len(csvHeader))
+	}
+	for i, name := range csvHeader {
+		if rows[0][i] != name {
+			return nil, fmt.Errorf("telemetry: CSV column %d is %q, want %q", i, rows[0][i], name)
+		}
+	}
+	l := NewLog()
+	for _, row := range rows[1:] {
+		p := &fieldParser{row: row}
+		epoch := p.int()
+		warmup := p.bool()
+		topology := p.string()
+		c := CoreEpoch{
+			Core:         p.int(),
+			IPC:          p.float(),
+			Instructions: p.uint(),
+			Accesses:     p.uint(),
+			L1Hits:       p.uint(),
+			L2Hits:       p.uint(),
+			L3Hits:       p.uint(),
+			C2C:          p.uint(),
+			MemReads:     p.uint(),
+			MPKI:         p.float(),
+			AvgLatency:   p.float(),
+			L2Util:       p.float(),
+			L3Util:       p.float(),
+		}
+		bus := BusEpoch{
+			L2Transactions:  p.uint(),
+			L2WaitCycles:    p.uint(),
+			L3Transactions:  p.uint(),
+			L3WaitCycles:    p.uint(),
+			MemTransactions: p.uint(),
+			MemWaitCycles:   p.uint(),
+		}
+		if p.err != nil {
+			return nil, fmt.Errorf("telemetry: decode CSV row: %w", p.err)
+		}
+		n := len(l.Epochs)
+		if n == 0 || l.Epochs[n-1].Epoch != epoch {
+			b := bus
+			l.Epochs = append(l.Epochs, EpochRecord{
+				Epoch: epoch, Warmup: warmup, Topology: topology, Bus: &b,
+			})
+			n++
+		}
+		l.Epochs[n-1].Cores = append(l.Epochs[n-1].Cores, c)
+	}
+	return l, nil
+}
+
+// formatFloat renders a float compactly but losslessly (round-trips via
+// strconv.ParseFloat).
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// fieldParser consumes one CSV row left to right, latching the first error.
+type fieldParser struct {
+	row []string
+	i   int
+	err error
+}
+
+func (p *fieldParser) next() string {
+	s := p.row[p.i]
+	p.i++
+	return s
+}
+
+func (p *fieldParser) string() string { return p.next() }
+
+func (p *fieldParser) int() int {
+	v, err := strconv.Atoi(p.next())
+	if err != nil && p.err == nil {
+		p.err = err
+	}
+	return v
+}
+
+func (p *fieldParser) uint() uint64 {
+	v, err := strconv.ParseUint(p.next(), 10, 64)
+	if err != nil && p.err == nil {
+		p.err = err
+	}
+	return v
+}
+
+func (p *fieldParser) float() float64 {
+	v, err := strconv.ParseFloat(p.next(), 64)
+	if err != nil && p.err == nil {
+		p.err = err
+	}
+	return v
+}
+
+func (p *fieldParser) bool() bool {
+	v, err := strconv.ParseBool(p.next())
+	if err != nil && p.err == nil {
+		p.err = err
+	}
+	return v
+}

@@ -1,0 +1,209 @@
+// Package telemetry is the observability layer of the simulator: a
+// pluggable Recorder interface that captures structured per-epoch,
+// per-core records and every MorphCache reconfiguration decision, plus
+// JSON/CSV codecs for the records.
+//
+// Design constraints (DESIGN.md §8):
+//
+//   - Zero overhead when disabled. Nothing on the access path consults a
+//     recorder; records are assembled only at epoch boundaries, and only
+//     when a Recorder is installed (nil means off).
+//   - Per-job recorders. Every simulation job owns its private Log, so the
+//     parallel runner needs no synchronization and epoch logs are identical
+//     at every worker count.
+//   - Schema-stable. The JSON field names below are the machine-readable
+//     contract the golden-report CI gate pins; changing any of them (or any
+//     number they carry) must show up as an explicit golden diff.
+//
+// The package depends only on the standard library so that every layer of
+// the simulator (hierarchy, engine, controller, facade, CLIs) can use it
+// without import cycles.
+package telemetry
+
+// Recorder receives telemetry. Implementations need not be safe for
+// concurrent use: the engine guarantees one goroutine per recorder (one
+// recorder per simulation job).
+type Recorder interface {
+	// RecordEpoch is called once per epoch (warmup included, flagged), after
+	// the epoch's references have executed and before the policy's
+	// end-of-epoch reconfiguration runs — so occupancy fields reflect the
+	// interval the record describes.
+	RecordEpoch(EpochRecord)
+	// RecordReconfig is called once per applied reconfiguration operation,
+	// after the operation's epoch record was delivered.
+	RecordReconfig(ReconfigEvent)
+}
+
+// RecorderSettable is implemented by simulation components (targets,
+// policies) that can forward reconfiguration decisions to a recorder. The
+// engine injects its recorder through this interface at run start.
+type RecorderSettable interface {
+	SetRecorder(Recorder)
+}
+
+// EpochRecord is one epoch's measurements across all cores.
+type EpochRecord struct {
+	// Epoch is the absolute epoch index, 0-based, counting warmup epochs.
+	Epoch int `json:"epoch"`
+	// Warmup marks unmeasured warmup epochs (excluded from paper metrics).
+	Warmup bool `json:"warmup,omitempty"`
+	// Topology is the (x:y:z) configuration in force during the epoch.
+	Topology string `json:"topology,omitempty"`
+	// Cores holds one record per core, in core order.
+	Cores []CoreEpoch `json:"cores"`
+	// Bus reports interconnect contention during the epoch (nil when the
+	// target does not expose counters, e.g. the PIPP/DSR baselines).
+	Bus *BusEpoch `json:"bus,omitempty"`
+}
+
+// Throughput is the sum of per-core IPCs in the epoch.
+func (e EpochRecord) Throughput() float64 {
+	var t float64
+	for _, c := range e.Cores {
+		t += c.IPC
+	}
+	return t
+}
+
+// CoreEpoch is one core's activity during one epoch. Counters are epoch
+// deltas, not cumulative totals. Units: IPC is instructions per CPU cycle;
+// MPKI is per 1000 retired instructions; latencies are CPU cycles;
+// utilizations are capacity fractions (>1 = working set exceeds capacity).
+type CoreEpoch struct {
+	Core int `json:"core"`
+	// IPC is instructions retired per cycle over the epoch.
+	IPC float64 `json:"ipc"`
+	// Instructions retired in the epoch.
+	Instructions uint64 `json:"instructions"`
+	// Accesses is the number of memory references issued.
+	Accesses uint64 `json:"accesses,omitempty"`
+	// L1Hits/L2Hits/L3Hits count references served at each level (L2/L3
+	// include remote hits within a merged group); C2C counts misses served
+	// by another group's cache, MemReads off-chip reads.
+	L1Hits   uint64 `json:"l1_hits,omitempty"`
+	L2Hits   uint64 `json:"l2_hits,omitempty"`
+	L3Hits   uint64 `json:"l3_hits,omitempty"`
+	C2C      uint64 `json:"c2c,omitempty"`
+	MemReads uint64 `json:"mem_reads,omitempty"`
+	// MPKI is last-level (L3 group) misses — C2C + MemReads — per 1000
+	// retired instructions.
+	MPKI float64 `json:"mpki"`
+	// AvgLatency is the mean access latency in CPU cycles over the epoch.
+	AvgLatency float64 `json:"avg_latency"`
+	// L2Util/L3Util are the core's active-footprint (ACFV) utilizations —
+	// the controller's reuse-demand signal as a fraction of one slice's
+	// capacity, sampled at epoch end before the per-interval reset.
+	L2Util float64 `json:"l2_util"`
+	L3Util float64 `json:"l3_util"`
+}
+
+// BusEpoch reports interconnect contention during one epoch: how many
+// transactions each finite-bandwidth channel served and how many CPU cycles
+// of queueing delay they suffered beyond the fixed access latencies.
+type BusEpoch struct {
+	L2Transactions  uint64 `json:"l2_transactions"`
+	L2WaitCycles    uint64 `json:"l2_wait_cycles"`
+	L3Transactions  uint64 `json:"l3_transactions"`
+	L3WaitCycles    uint64 `json:"l3_wait_cycles"`
+	MemTransactions uint64 `json:"mem_transactions"`
+	MemWaitCycles   uint64 `json:"mem_wait_cycles"`
+}
+
+// BusCounters are cumulative interconnect counters (see Snapshot).
+type BusCounters struct {
+	L2Transactions, L2WaitCycles   uint64
+	L3Transactions, L3WaitCycles   uint64
+	MemTransactions, MemWaitCycles uint64
+}
+
+// Delta returns the per-epoch contention between two cumulative snapshots.
+func (b BusCounters) Delta(prev BusCounters) BusEpoch {
+	return BusEpoch{
+		L2Transactions:  b.L2Transactions - prev.L2Transactions,
+		L2WaitCycles:    b.L2WaitCycles - prev.L2WaitCycles,
+		L3Transactions:  b.L3Transactions - prev.L3Transactions,
+		L3WaitCycles:    b.L3WaitCycles - prev.L3WaitCycles,
+		MemTransactions: b.MemTransactions - prev.MemTransactions,
+		MemWaitCycles:   b.MemWaitCycles - prev.MemWaitCycles,
+	}
+}
+
+// CoreCounters are one core's cumulative access counters (see Snapshot).
+type CoreCounters struct {
+	Accesses, L1Hits, L2Hits, L3Hits, C2C, MemReads, LatencySum uint64
+}
+
+// Snapshot is a cumulative counter snapshot a target exposes for epoch
+// differencing, plus the per-core occupancy signals of the ending epoch.
+type Snapshot struct {
+	// Cores holds cumulative per-core counters, in core order.
+	Cores []CoreCounters
+	// Bus holds cumulative interconnect counters.
+	Bus BusCounters
+	// L2Util/L3Util are per-core active-footprint utilizations of the
+	// current interval (not cumulative; they reset every epoch).
+	L2Util, L3Util []float64
+}
+
+// Snapshotter is implemented by targets that expose counter snapshots; the
+// engine diffs consecutive snapshots into per-epoch records. Targets that
+// do not implement it still produce records with IPC and instruction
+// counts.
+type Snapshotter interface {
+	TelemetrySnapshot() Snapshot
+}
+
+// ReconfigEvent is one applied MorphCache reconfiguration operation with
+// the ACFV inputs that triggered it.
+type ReconfigEvent struct {
+	// Epoch is the absolute epoch index the decision was made in (warmup
+	// epochs included, matching EpochRecord.Epoch).
+	Epoch int `json:"epoch"`
+	// Level is the reconfigured cache level ("L2" or "L3").
+	Level string `json:"level"`
+	// Op is "merge" or "split".
+	Op string `json:"op"`
+	// Rule names the decision rule that fired: "capacity" (merge rule i),
+	// "sharing" (merge rule ii), "interference" or "stale" (split rules),
+	// "qos" (§5.3 throttle split), or "coupling" (an operation forced by
+	// the inclusion-preserving L2/L3 coupling of §2.2–2.3).
+	Rule string `json:"rule"`
+	// Groups renders the slice groups involved, before the operation.
+	Groups string `json:"groups"`
+	// UtilA/UtilB are the two sides' ACFV utilizations (capacity fractions)
+	// and Overlap the fraction of the smaller side's footprint both sides
+	// reference — the inputs the merge/split conditions compared.
+	UtilA   float64 `json:"util_a"`
+	UtilB   float64 `json:"util_b"`
+	Overlap float64 `json:"overlap"`
+	// MSATHigh/MSATLow are the (possibly QoS-throttled) thresholds in force.
+	MSATHigh float64 `json:"msat_high"`
+	MSATLow  float64 `json:"msat_low"`
+}
+
+// Log is the standard in-memory Recorder: it retains every record in
+// arrival order. One Log serves one simulation job; it is not safe for
+// concurrent use.
+type Log struct {
+	Epochs    []EpochRecord   `json:"epochs"`
+	Reconfigs []ReconfigEvent `json:"reconfig_events,omitempty"`
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{} }
+
+// RecordEpoch implements Recorder.
+func (l *Log) RecordEpoch(r EpochRecord) { l.Epochs = append(l.Epochs, r) }
+
+// RecordReconfig implements Recorder.
+func (l *Log) RecordReconfig(ev ReconfigEvent) { l.Reconfigs = append(l.Reconfigs, ev) }
+
+// Nop is a Recorder that discards everything (useful as an explicit
+// placeholder; a nil Recorder is equally valid everywhere).
+type Nop struct{}
+
+// RecordEpoch implements Recorder.
+func (Nop) RecordEpoch(EpochRecord) {}
+
+// RecordReconfig implements Recorder.
+func (Nop) RecordReconfig(ReconfigEvent) {}

@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleLog builds a log exercising every field: two epochs (one warmup),
+// two cores, bus counters, and a reconfiguration event of each op.
+func sampleLog() *Log {
+	l := NewLog()
+	l.RecordEpoch(EpochRecord{
+		Epoch: 0, Warmup: true, Topology: "(1:1:16)",
+		Cores: []CoreEpoch{
+			{Core: 0, IPC: 0.25, Instructions: 50_000, Accesses: 6_250,
+				L1Hits: 4_000, L2Hits: 1_200, L3Hits: 700, C2C: 50, MemReads: 300,
+				MPKI: 7, AvgLatency: 12.5, L2Util: 0.8, L3Util: 1.3},
+			{Core: 1, IPC: 0.5, Instructions: 100_000, Accesses: 12_500,
+				L1Hits: 9_000, L2Hits: 2_000, L3Hits: 1_000, C2C: 0, MemReads: 500,
+				MPKI: 5, AvgLatency: 9.75, L2Util: 0.25, L3Util: 0.5},
+		},
+		Bus: &BusEpoch{L2Transactions: 3200, L2WaitCycles: 40,
+			L3Transactions: 1700, L3WaitCycles: 12, MemTransactions: 800, MemWaitCycles: 96},
+	})
+	l.RecordReconfig(ReconfigEvent{
+		Epoch: 1, Level: "L3", Op: "merge", Rule: "capacity",
+		Groups: "[8]+[9]", UtilA: 0.396, UtilB: 1.313, Overlap: 0.993,
+		MSATHigh: 1.05, MSATLow: 0.45,
+	})
+	l.RecordEpoch(EpochRecord{
+		Epoch: 1, Topology: "(1:2:8)",
+		Cores: []CoreEpoch{
+			{Core: 0, IPC: 0.3, Instructions: 60_000},
+			{Core: 1, IPC: 0.55, Instructions: 110_000},
+		},
+		Bus: &BusEpoch{},
+	})
+	l.RecordReconfig(ReconfigEvent{
+		Epoch: 1, Level: "L2", Op: "split", Rule: "interference",
+		Groups: "[0 1] -> [0]/[1]", UtilA: 1.4, UtilB: 1.2, Overlap: 0.1,
+		MSATHigh: 1.05, MSATLow: 0.45,
+	})
+	return l
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, l) {
+		t.Errorf("JSON round-trip mismatch:\n got %+v\nwant %+v", got, l)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The CSV form carries epoch records only (reconfiguration events have
+	// no flat rendering), so compare the epochs.
+	if !reflect.DeepEqual(got.Epochs, l.Epochs) {
+		t.Errorf("CSV round-trip mismatch:\n got %+v\nwant %+v", got.Epochs, l.Epochs)
+	}
+	if len(got.Reconfigs) != 0 {
+		t.Errorf("CSV round-trip invented %d reconfig events", len(got.Reconfigs))
+	}
+}
+
+func TestCSVSchema(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	wantHeader := strings.Join(CSVHeader(), ",")
+	if lines[0] != wantHeader {
+		t.Errorf("CSV header = %q, want %q", lines[0], wantHeader)
+	}
+	// One row per (epoch, core): 2 epochs x 2 cores.
+	if got, want := len(lines)-1, 4; got != want {
+		t.Errorf("CSV has %d data rows, want %d", got, want)
+	}
+	cols := len(CSVHeader())
+	for i, line := range lines[1:] {
+		if n := len(strings.Split(line, ",")); n != cols {
+			t.Errorf("row %d has %d columns, want %d", i, n, cols)
+		}
+	}
+}
+
+func TestCSVHeaderIsACopy(t *testing.T) {
+	h := CSVHeader()
+	h[0] = "clobbered"
+	if CSVHeader()[0] != "epoch" {
+		t.Error("CSVHeader exposes internal state: mutation through the returned slice persisted")
+	}
+}
+
+func TestCSVRejectsForeignHeader(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b,c\n1,2,3\n")); err == nil {
+		t.Error("ReadCSV accepted a foreign header")
+	}
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("ReadCSV accepted an empty stream")
+	}
+}
+
+func TestBusCountersDelta(t *testing.T) {
+	prev := BusCounters{L2Transactions: 10, L2WaitCycles: 2, L3Transactions: 5,
+		L3WaitCycles: 1, MemTransactions: 3, MemWaitCycles: 7}
+	cur := BusCounters{L2Transactions: 25, L2WaitCycles: 4, L3Transactions: 11,
+		L3WaitCycles: 1, MemTransactions: 9, MemWaitCycles: 20}
+	want := BusEpoch{L2Transactions: 15, L2WaitCycles: 2, L3Transactions: 6,
+		L3WaitCycles: 0, MemTransactions: 6, MemWaitCycles: 13}
+	if got := cur.Delta(prev); got != want {
+		t.Errorf("Delta = %+v, want %+v", got, want)
+	}
+}
+
+func TestThroughputSumsIPC(t *testing.T) {
+	r := EpochRecord{Cores: []CoreEpoch{{IPC: 0.25}, {IPC: 0.5}, {IPC: 1.0}}}
+	if got, want := r.Throughput(), 1.75; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Throughput = %v, want %v", got, want)
+	}
+}
+
+func TestNopRecorderAcceptsEverything(t *testing.T) {
+	// The disabled path must be safe to call unconditionally.
+	Nop{}.RecordEpoch(EpochRecord{})
+	Nop{}.RecordReconfig(ReconfigEvent{})
+}
+
+func TestLogPreservesRecordOrder(t *testing.T) {
+	l := NewLog()
+	for i := 0; i < 5; i++ {
+		l.RecordEpoch(EpochRecord{Epoch: i})
+		l.RecordReconfig(ReconfigEvent{Epoch: i})
+	}
+	for i, e := range l.Epochs {
+		if e.Epoch != i {
+			t.Fatalf("epoch record %d has Epoch=%d", i, e.Epoch)
+		}
+	}
+	for i, ev := range l.Reconfigs {
+		if ev.Epoch != i {
+			t.Fatalf("reconfig record %d has Epoch=%d", i, ev.Epoch)
+		}
+	}
+}

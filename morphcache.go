@@ -40,6 +40,7 @@ import (
 	"morphcache/internal/metrics"
 	"morphcache/internal/runner"
 	"morphcache/internal/sim"
+	"morphcache/internal/telemetry"
 	"morphcache/internal/topology"
 	"morphcache/internal/workload"
 )
@@ -64,6 +65,11 @@ type Config struct {
 	Seed uint64
 	// Morph configures the controller (zero value: DefaultOptions).
 	Morph core.Options
+	// Telemetry, when true, attaches a per-run telemetry.Log — per-epoch,
+	// per-core records plus every reconfiguration event — to each Result.
+	// Off by default: nothing is recorded and the hot path pays nothing.
+	// Simulation results are identical either way.
+	Telemetry bool
 }
 
 // LabConfig returns the calibrated experiment configuration: a 16-core
@@ -101,6 +107,19 @@ func (c Config) simConfig() sim.Config {
 		IssueWidth:   4,
 		Seed:         c.Seed,
 	}
+}
+
+// instrumented returns the engine configuration plus the telemetry log the
+// run will fill (nil when Config.Telemetry is off). Each run gets its own
+// log, so batches stay deterministic at any worker count.
+func (c Config) instrumented() (sim.Config, *telemetry.Log) {
+	sc := c.simConfig()
+	if !c.Telemetry {
+		return sc, nil
+	}
+	tl := telemetry.NewLog()
+	sc.Recorder = tl
+	return sc, tl
 }
 
 // Params returns the hierarchy parameters implied by the configuration.
@@ -178,6 +197,9 @@ type Result struct {
 	// epochs; AsymmetricSteps counts intervals whose reconfiguration left
 	// an asymmetric configuration (§2.4).
 	Reconfigurations, AsymmetricSteps int
+	// Telemetry is the run's epoch log (nil unless Config.Telemetry was
+	// set; see DESIGN.md §8 for the schema).
+	Telemetry *telemetry.Log
 }
 
 func fromRun(r *metrics.Run) *Result {
@@ -202,11 +224,14 @@ func RunStatic(c Config, spec string, w Workload) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	run, err := sim.RunStatic(c.simConfig(), c.Params(), spec, gens)
+	sc, tl := c.instrumented()
+	run, err := sim.RunStatic(sc, c.Params(), spec, gens)
 	if err != nil {
 		return nil, err
 	}
-	return fromRun(run), nil
+	res := fromRun(run)
+	res.Telemetry = tl
+	return res, nil
 }
 
 // RunMorphCache runs the workload under the MorphCache controller
@@ -224,11 +249,14 @@ func RunMorphCacheWithController(c Config, w Workload) (*Result, *core.Controlle
 		return nil, nil, err
 	}
 	ctrl := core.New(c.Morph)
-	run, err := sim.RunPolicy(c.simConfig(), c.Params(), ctrl, gens)
+	sc, tl := c.instrumented()
+	run, err := sim.RunPolicy(sc, c.Params(), ctrl, gens)
 	if err != nil {
 		return nil, nil, err
 	}
-	return fromRun(run), ctrl, nil
+	res := fromRun(run)
+	res.Telemetry = tl
+	return res, ctrl, nil
 }
 
 // RunPIPP runs the workload under the PIPP baseline (shared L2 and L3,
@@ -238,11 +266,14 @@ func RunPIPP(c Config, w Workload) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	run, err := pipp.Run(c.simConfig(), c.Params(), gens)
+	sc, tl := c.instrumented()
+	run, err := pipp.Run(sc, c.Params(), gens)
 	if err != nil {
 		return nil, err
 	}
-	return fromRun(run), nil
+	res := fromRun(run)
+	res.Telemetry = tl
+	return res, nil
 }
 
 // RunDSR runs the workload under the DSR baseline (private slices with
@@ -252,11 +283,14 @@ func RunDSR(c Config, w Workload) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	run, err := dsr.Run(c.simConfig(), c.Params(), gens)
+	sc, tl := c.instrumented()
+	run, err := dsr.Run(sc, c.Params(), gens)
 	if err != nil {
 		return nil, err
 	}
-	return fromRun(run), nil
+	res := fromRun(run)
+	res.Telemetry = tl
+	return res, nil
 }
 
 // RunSpec names one independent simulation job for RunBatch: a workload

@@ -1,0 +1,122 @@
+package morphcache
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTelemetryDeterministicAcrossWorkers checks the golden-gate invariant
+// at the facade level: with telemetry on, the per-run epoch logs (records
+// AND reconfiguration events) are identical whether the batch runs
+// sequentially or on a worker pool. Each job writes to its own recorder, so
+// there is no ordering to get wrong — this pins that property.
+func TestTelemetryDeterministicAcrossWorkers(t *testing.T) {
+	cfg := batchTestConfig()
+	cfg.Telemetry = true
+	specs := fig13Specs([]string{"MIX 01", "MIX 05"})
+
+	seq, err := RunBatch(cfg, specs, BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunBatch(cfg, specs, BatchOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if seq[i].Telemetry == nil || par[i].Telemetry == nil {
+			t.Fatalf("spec %d: telemetry missing (seq=%v par=%v)",
+				i, seq[i].Telemetry != nil, par[i].Telemetry != nil)
+		}
+		if !reflect.DeepEqual(seq[i].Telemetry, par[i].Telemetry) {
+			t.Errorf("spec %d (%s on %s): epoch log differs between -jobs 1 and -jobs 4",
+				i, specs[i].Policy, specs[i].Workload)
+		}
+	}
+}
+
+// TestTelemetryEpochLogShape checks the record structure of one run: every
+// epoch (warmup included) gets a record, warmup records are flagged, counters
+// are populated, and the MorphCache run reports at least one reconfiguration
+// event with its decision inputs.
+func TestTelemetryEpochLogShape(t *testing.T) {
+	cfg := batchTestConfig()
+	cfg.Telemetry = true
+	res, err := RunMorphCache(cfg, Mix("MIX 01"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := res.Telemetry
+	if tl == nil {
+		t.Fatal("Config.Telemetry=true but Result.Telemetry is nil")
+	}
+	if want := cfg.Epochs + cfg.WarmupEpochs; len(tl.Epochs) != want {
+		t.Fatalf("log has %d epoch records, want %d (measured + warmup)", len(tl.Epochs), want)
+	}
+	for i, e := range tl.Epochs {
+		if e.Epoch != i {
+			t.Errorf("record %d has Epoch=%d", i, e.Epoch)
+		}
+		if got, want := e.Warmup, i < cfg.WarmupEpochs; got != want {
+			t.Errorf("record %d: Warmup=%v, want %v", i, got, want)
+		}
+		if len(e.Cores) != cfg.Cores {
+			t.Errorf("record %d has %d core entries, want %d", i, len(e.Cores), cfg.Cores)
+		}
+		if e.Topology == "" {
+			t.Errorf("record %d has no topology", i)
+		}
+		if e.Bus == nil {
+			t.Errorf("record %d has no bus counters", i)
+		}
+		var instr uint64
+		for _, c := range e.Cores {
+			instr += c.Instructions
+		}
+		if instr == 0 {
+			t.Errorf("record %d retired no instructions", i)
+		}
+	}
+	if len(tl.Reconfigs) == 0 {
+		t.Fatal("MorphCache run recorded no reconfiguration events")
+	}
+	for _, ev := range tl.Reconfigs {
+		if ev.Op != "merge" && ev.Op != "split" {
+			t.Errorf("event op = %q", ev.Op)
+		}
+		if ev.Rule == "" {
+			t.Errorf("event has no rule: %+v", ev)
+		}
+		if ev.Level != "L2" && ev.Level != "L3" {
+			t.Errorf("event level = %q", ev.Level)
+		}
+		if ev.MSATHigh == 0 || ev.MSATLow == 0 {
+			t.Errorf("event carries no MSAT thresholds: %+v", ev)
+		}
+		if ev.Epoch < 0 || ev.Epoch >= cfg.Epochs+cfg.WarmupEpochs {
+			t.Errorf("event epoch %d out of range", ev.Epoch)
+		}
+	}
+}
+
+// TestTelemetryOffByDefault checks both that the default config records
+// nothing and that enabling telemetry does not change results.
+func TestTelemetryOffByDefault(t *testing.T) {
+	cfg := batchTestConfig()
+	plain, err := RunMorphCache(cfg, Mix("MIX 01"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Telemetry != nil {
+		t.Error("telemetry log present without Config.Telemetry")
+	}
+	cfg.Telemetry = true
+	instrumented, err := RunMorphCache(cfg, Mix("MIX 01"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrumented.Telemetry = nil
+	if !reflect.DeepEqual(plain, instrumented) {
+		t.Error("enabling telemetry changed simulation results")
+	}
+}
