@@ -31,7 +31,7 @@ func energyExp(cfg mc.Config, quick bool) error {
 	// One metering job per mix; each job builds its own hierarchies and
 	// meters, returning only the numbers the table needs.
 	type energyRow struct{ segUJ, monoUJ, sharedUJ, saving float64 }
-	rows, err := runner.Map(names, runner.Options{Workers: jobCount(), Progress: runnerProgress},
+	rows, err := runner.Map(runCtx, names, runner.Options{Workers: jobCount(), Progress: runnerProgress},
 		func(_ int, mn string) (energyRow, error) {
 			w := mc.Mix(mn)
 			gens, err := w.Generators(cfg)

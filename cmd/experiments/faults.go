@@ -1,0 +1,97 @@
+package main
+
+import (
+	"fmt"
+
+	mc "morphcache"
+
+	"morphcache/internal/fault"
+	"morphcache/internal/stats"
+)
+
+// faultsExp measures graceful degradation under deterministic hardware
+// faults (DESIGN.md §9). For each mix it runs three jobs:
+//
+//   - MorphCache on a healthy machine (the reference),
+//   - MorphCache on a machine following a deterministic fault plan, with
+//     the controller's degradation pass reacting (quarantining corrupted
+//     monitors, splitting groups off dead links, avoiding faulty spans),
+//   - the same faulty machine under "morph-nodegrade": the identical
+//     controller with the degradation pass disabled — the strawman that
+//     keeps acting on corrupted readings and keeps groups spanning dead
+//     links.
+//
+// The table reports the throughput each faulty run retains relative to the
+// healthy reference. The claim under test: reacting to faults retains
+// strictly more throughput than ignoring them.
+func faultsExp(cfg mc.Config, quick bool) error {
+	names := mixNames(quick)
+
+	// One plan for every mix, drawn from the workload seed: the injection
+	// window is the first half of the measured region, so warmup stays
+	// clean and every fault persists long enough to matter. Eight events
+	// walk the full fault taxonomy (two dead links, two corrupt monitors,
+	// two way failures, one degraded link, one memory derate).
+	window := cfg.Epochs / 2
+	if window < 1 {
+		window = 1
+	}
+	plan, err := fault.NewPlan(cfg.Seed, fault.Spec{
+		Cores:      cfg.Cores,
+		FirstEpoch: cfg.WarmupEpochs,
+		Epochs:     window,
+		Events:     8,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(outw, "fault plan (shared by every mix):")
+	for _, e := range plan.Events {
+		fmt.Fprintln(outw, "  ", e)
+	}
+	fmt.Fprintln(outw)
+
+	fcfg := cfg
+	fcfg.Faults = plan
+
+	var specs []mc.RunSpec
+	for _, mn := range names {
+		w := mc.Mix(mn)
+		specs = append(specs,
+			mc.RunSpec{Policy: "morph", Workload: w},
+			mc.RunSpec{Policy: "morph", Workload: w, Config: &fcfg},
+			mc.RunSpec{Policy: "morph-nodegrade", Workload: w, Config: &fcfg},
+		)
+	}
+	if err := prefetch(cfg, specs); err != nil {
+		return err
+	}
+
+	header("mix", []string{"healthy", "degrade", "nodegrade"})
+	var degRet, noRet []float64
+	for _, mn := range names {
+		w := mc.Mix(mn)
+		healthy, err := specResult(cfg, mc.RunSpec{Policy: "morph", Workload: w})
+		if err != nil {
+			return err
+		}
+		deg, err := specResult(cfg, mc.RunSpec{Policy: "morph", Workload: w, Config: &fcfg})
+		if err != nil {
+			return err
+		}
+		nod, err := specResult(cfg, mc.RunSpec{Policy: "morph-nodegrade", Workload: w, Config: &fcfg})
+		if err != nil {
+			return err
+		}
+		row(mn, []float64{healthy.Throughput, deg.Throughput, nod.Throughput}, healthy.Throughput)
+		degRet = append(degRet, deg.Throughput/healthy.Throughput)
+		noRet = append(noRet, nod.Throughput/healthy.Throughput)
+	}
+	dm, nm := stats.Mean(degRet), stats.Mean(noRet)
+	fmt.Fprintf(outw, "\nmean throughput retained under faults: degradation %.1f%%, strawman %.1f%% (%+.1f points)\n",
+		100*dm, 100*nm, 100*(dm-nm))
+	if dm <= nm {
+		fmt.Fprintln(outw, "WARNING: graceful degradation did not beat the no-degradation strawman")
+	}
+	return nil
+}

@@ -78,7 +78,7 @@ func xbar(cfg mc.Config, quick bool) error {
 			})
 		}
 	}
-	vals, err := runner.Run(jobs, runner.Options{Workers: jobCount(), Progress: runnerProgress})
+	vals, err := runner.Run(runCtx, jobs, runner.Options{Workers: jobCount(), Progress: runnerProgress})
 	if err != nil {
 		return err
 	}

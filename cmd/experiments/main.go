@@ -29,10 +29,12 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"sync/atomic"
@@ -69,6 +71,7 @@ var registry = []experiment{
 	{"xbar", "segmented bus vs crossbar interconnect trade-off (§3.1)", xbar},
 	{"seeds", "seed-robustness of the headline Fig. 13 gain", seeds},
 	{"interval", "reconfiguration-interval sweep (§4 epoch choice)", interval},
+	{"faults", "fault injection: graceful degradation vs no-degradation strawman (§9)", faultsExp},
 }
 
 // outw is the destination of every experiment's table output. It is stdout
@@ -88,6 +91,16 @@ var jobsFlag = runtime.GOMAXPROCS(0)
 
 // jobCount returns the configured worker-pool size.
 func jobCount() int { return jobsFlag }
+
+// runCtx is the context every worker pool in this process observes. run()
+// arms it with SIGINT handling so an interrupt stops dispatching jobs and
+// the process exits non-zero instead of hanging on a long sweep.
+var runCtx context.Context = context.Background()
+
+// baseCtx is the parent run() hangs the signal context on. Tests swap in a
+// cancelled context to exercise the interruption exit path without raising
+// a real SIGINT against the test process.
+var baseCtx = context.Background()
 
 // batchFailures counts failed jobs across every batch of the invocation.
 // Experiments are expected to propagate job errors, but the process must
@@ -129,6 +142,7 @@ func main() {
 func resetState(stdout, stderr io.Writer) {
 	outw, errw = stdout, stderr
 	jobsFlag = runtime.GOMAXPROCS(0)
+	runCtx = context.Background()
 	batchFailures.Store(0)
 	memoMu.Lock()
 	memo = map[string]*mc.Result{}
@@ -181,6 +195,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	jobsFlag = *jobs
+
+	// ^C cancels every subsequent batch: in-flight jobs are abandoned,
+	// undispatched ones never start, and the run exits 1 with the context
+	// error in the log instead of grinding through the remaining sweep.
+	ctx, stopSignals := signal.NotifyContext(baseCtx, os.Interrupt)
+	defer stopSignals()
+	runCtx = ctx
 
 	cfg := mc.LabConfig()
 	cfg.Seed = *seed
@@ -245,6 +266,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if ran == 0 {
 		fmt.Fprintf(stderr, "experiments: selection %q ran no experiments\n", *runList)
+		return 1
+	}
+	if err := runCtx.Err(); err != nil {
+		fmt.Fprintf(stderr, "experiments: interrupted: %v\n", err)
 		return 1
 	}
 	if n := batchFailures.Load(); n > 0 {

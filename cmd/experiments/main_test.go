@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -88,6 +89,25 @@ func TestRunSwallowedJobFailureExitsOne(t *testing.T) {
 			t.Errorf("stderr does not report the failed job count: %s", errb.String())
 		}
 	})
+}
+
+// TestRunInterruptedExitsOne checks the cancellation path end to end: with
+// the signal context already cancelled (as after a ^C), batches stop
+// dispatching, the experiment's error propagates, and run() exits 1 with
+// the context error on stderr — never a silent success.
+func TestRunInterruptedExitsOne(t *testing.T) {
+	defer resetState(os.Stdout, os.Stderr)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	baseCtx = cancelled
+	defer func() { baseCtx = context.Background() }()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-run", "fig13", "-quick"}, &out, &errb); code != 1 {
+		t.Fatalf("run under a cancelled context = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), context.Canceled.Error()) {
+		t.Errorf("stderr does not carry the cancellation: %s", errb.String())
+	}
 }
 
 // TestRunOutJSONEmitsReport runs the cheapest real experiment with -out json

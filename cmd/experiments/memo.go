@@ -35,16 +35,23 @@ func specKey(cfg mc.Config, s mc.RunSpec) string {
 		c = *s.Config
 	}
 	policy := s.Policy
-	if s.Policy == "morph" {
+	if s.Policy == "morph" || s.Policy == "morph-nodegrade" {
 		opts := c.Morph
 		if s.Morph != nil {
 			opts = *s.Morph
 		}
 		opts.Trace = nil // diagnostics sink, not part of the result
-		policy = fmt.Sprintf("morph%+v", opts)
+		policy = fmt.Sprintf("%s%+v", s.Policy, opts)
 	}
-	return fmt.Sprintf("%s|%s|%d|%d|%d|%d|%d|%d",
+	key := fmt.Sprintf("%s|%s|%d|%d|%d|%d|%d|%d",
 		policy, s.Workload, c.Cores, c.Scale, c.Epochs, c.WarmupEpochs, c.EpochCycles, c.Seed)
+	// Fault plans change results, so they are part of the key — but only
+	// when present, keeping every fault-free key (and thus the golden-report
+	// run IDs) byte-identical to prior releases.
+	if c.Faults != nil {
+		key += "|faults:" + c.Faults.Fingerprint()
+	}
+	return key
 }
 
 // prefetch computes every not-yet-memoized spec across the worker pool and
@@ -69,6 +76,7 @@ func prefetch(cfg mc.Config, specs []mc.RunSpec) error {
 		return nil
 	}
 	results, err := mc.RunBatch(cfg, missing, mc.BatchOptions{
+		Context:  runCtx,
 		Workers:  jobCount(),
 		Progress: batchProgress,
 	})
@@ -96,7 +104,7 @@ func specResult(cfg mc.Config, s mc.RunSpec) (*mc.Result, error) {
 	if r != nil {
 		return r, nil
 	}
-	results, err := mc.RunBatch(cfg, []mc.RunSpec{s}, mc.BatchOptions{Workers: 1})
+	results, err := mc.RunBatch(cfg, []mc.RunSpec{s}, mc.BatchOptions{Context: runCtx, Workers: 1})
 	if err != nil {
 		return nil, err
 	}
@@ -169,7 +177,7 @@ func prefetchSolo(cfg mc.Config, mixNames []string) error {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys) // deterministic job order
-	_, err := runner.Map(keys, runner.Options{Workers: jobCount(), Progress: runnerProgress}, func(_ int, k string) (struct{}, error) {
+	_, err := runner.Map(runCtx, keys, runner.Options{Workers: jobCount(), Progress: runnerProgress}, func(_ int, k string) (struct{}, error) {
 		b := seen[k]
 		v, err := sim.SoloIPC(simConfigOf(cfg), cfg.Params(), b, genConfigOf(cfg))
 		if err != nil {
@@ -227,5 +235,6 @@ func simConfigOf(c mc.Config) sim.Config {
 		GapInstr:     8,
 		IssueWidth:   4,
 		Seed:         c.Seed,
+		Faults:       c.Faults,
 	}
 }

@@ -28,7 +28,7 @@ func sens(cfg mc.Config, quick bool) error {
 	// builds its own generators and hierarchies, so the per-case fan-out is
 	// safe at any worker count and the mean is taken over in-order results.
 	gain := func(mut func(*hierarchy.Params), cores int) (float64, error) {
-		gains, err := runner.Map(names, runner.Options{Workers: jobCount(), Progress: runnerProgress},
+		gains, err := runner.Map(runCtx, names, runner.Options{Workers: jobCount(), Progress: runnerProgress},
 			func(_ int, mn string) (float64, error) {
 				c := cfg
 				c.Cores = cores

@@ -102,7 +102,7 @@ func table4(cfg mc.Config, quick bool) error {
 			},
 		}
 	}
-	specMPs, err := runner.Run(specJobs, runner.Options{Workers: jobCount(), Progress: runnerProgress})
+	specMPs, err := runner.Run(runCtx, specJobs, runner.Options{Workers: jobCount(), Progress: runnerProgress})
 	if err != nil {
 		return err
 	}
@@ -139,7 +139,7 @@ func table4(cfg mc.Config, quick bool) error {
 			},
 		}
 	}
-	parsecMPs, err := runner.Run(parsecJobs, runner.Options{Workers: jobCount(), Progress: runnerProgress})
+	parsecMPs, err := runner.Run(runCtx, parsecJobs, runner.Options{Workers: jobCount(), Progress: runnerProgress})
 	if err != nil {
 		return err
 	}

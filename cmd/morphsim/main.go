@@ -9,20 +9,30 @@
 //	morphsim -workload "MIX 05" -policy morph -trace-out mix05.mctr
 //	morphsim -trace-in mix05.mctr -policy "(16:1:1)"
 //
-// Policies: any static "(x:y:z)" spec, "morph", "morph-qos",
-// "morph-split-aggressive", "morph-arbitrary", "morph-nonneighbor",
-// "pipp", or "dsr".
+// Policies: any static "(x:y:z)" spec, "morph", "morph-nodegrade",
+// "morph-qos", "morph-split-aggressive", "morph-arbitrary",
+// "morph-nonneighbor", "pipp", or "dsr".
+//
+// -faults N injects a deterministic N-event hardware-fault plan (drawn from
+// -fault-seed) into the measured region; "morph-nodegrade" runs the same
+// controller with graceful degradation disabled, as the strawman to compare
+// against (DESIGN.md §9).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+
+	mc "morphcache"
 
 	"morphcache/internal/baselines/dsr"
 	"morphcache/internal/baselines/pipp"
 	"morphcache/internal/core"
+	"morphcache/internal/fault"
 	"morphcache/internal/hierarchy"
 	"morphcache/internal/metrics"
 	"morphcache/internal/sim"
@@ -34,7 +44,7 @@ import (
 func main() {
 	var (
 		wl          = flag.String("workload", "MIX 01", "Table 5 mix name or PARSEC benchmark name")
-		policy      = flag.String("policy", "morph", `policy: "(x:y:z)", morph, morph-qos, morph-split-aggressive, morph-arbitrary, morph-nonneighbor, pipp, dsr`)
+		policy      = flag.String("policy", "morph", `policy: "(x:y:z)", morph, morph-nodegrade, morph-qos, morph-split-aggressive, morph-arbitrary, morph-nonneighbor, pipp, dsr`)
 		epochs      = flag.Int("epochs", 20, "measured epochs")
 		warmup      = flag.Int("warmup", 2, "warmup epochs (unmeasured)")
 		epochCycles = flag.Uint64("epoch-cycles", 1_000_000, "cycles per reconfiguration interval")
@@ -48,6 +58,8 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "emit the run report as JSON on stdout (alias for -out json)")
 		outFmt      = flag.String("out", "", "emit the run report on stdout: json (report + telemetry) or csv (per-epoch, per-core telemetry rows)")
 		epochLog    = flag.String("epochlog", "", "write the run's epoch telemetry (JSON) to this file")
+		faults      = flag.Int("faults", 0, "inject this many deterministic hardware-fault events into the measured region (0 = none)")
+		faultSeed   = flag.Uint64("fault-seed", 1, "seed of the generated fault plan (with -faults)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -62,11 +74,45 @@ func main() {
 		fatal(fmt.Errorf("-out must be json or csv (got %q)", *outFmt))
 	}
 
+	// Build the fault plan first so validation below covers it too.
+	var plan *fault.Plan
+	if *faults > 0 {
+		p, err := fault.NewPlan(*faultSeed, fault.Spec{
+			Cores:      *cores,
+			FirstEpoch: *warmup,
+			Epochs:     *epochs,
+			Events:     *faults,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		plan = p
+		for _, e := range plan.Events {
+			fmt.Fprintln(os.Stderr, "morphsim: fault:", e)
+		}
+	}
+
+	// Validate the flag-assembled configuration through the facade's rules
+	// (power-of-two cores, positive epochs, in-range fault events, ...).
+	vcfg := mc.Config{
+		Cores:        *cores,
+		Scale:        *scale,
+		Epochs:       *epochs,
+		WarmupEpochs: *warmup,
+		EpochCycles:  *epochCycles,
+		Seed:         *seed,
+		Faults:       plan,
+	}
+	if err := vcfg.Validate(); err != nil {
+		fatal(err)
+	}
+
 	cfg := sim.DefaultConfig()
 	cfg.Epochs = *epochs
 	cfg.WarmupEpochs = *warmup
 	cfg.EpochCycles = *epochCycles
 	cfg.Seed = *seed
+	cfg.Faults = plan
 	// Structured output wants the epoch log; the default text path keeps
 	// telemetry off (results are identical either way).
 	var tl *telemetry.Log
@@ -100,9 +146,31 @@ func main() {
 		}
 	}
 
-	run, sys, err := runPolicy(cfg, *cores, *scale, *policy, srcs)
-	if err != nil {
-		fatal(err)
+	// ^C while the engine runs exits 1 with a clear message instead of the
+	// default silent kill; a second ^C (after stopSignals) force-kills.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+	type runOutcome struct {
+		run *metrics.Run
+		sys *hierarchy.System
+		err error
+	}
+	ch := make(chan runOutcome, 1)
+	go func() {
+		r, s, err := runPolicy(cfg, *cores, *scale, *policy, srcs)
+		ch <- runOutcome{r, s, err}
+	}()
+	var run *metrics.Run
+	var sys *hierarchy.System
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			fatal(o.err)
+		}
+		run, sys = o.run, o.sys
+	case <-ctx.Done():
+		stopSignals()
+		fatal(fmt.Errorf("interrupted (%v); partial results discarded", ctx.Err()))
 	}
 	if finish != nil {
 		if err := finish(); err != nil {
@@ -196,8 +264,11 @@ func runPolicy(cfg sim.Config, cores, scale int, policy string, srcs []sim.Sourc
 		target = dsr.New(params, dsr.DefaultOptions())
 	default:
 		opts := core.DefaultOptions()
+		nodegrade := false
 		switch policy {
 		case "morph":
+		case "morph-nodegrade":
+			nodegrade = true // fault-handling strawman: same controller, no degradation pass
 		case "morph-qos":
 			opts.QoS = true
 		case "morph-split-aggressive":
@@ -216,7 +287,11 @@ func runPolicy(cfg sim.Config, cores, scale int, policy string, srcs []sim.Sourc
 		if err != nil {
 			return nil, nil, err
 		}
-		target = &sim.HierarchyTarget{Sys: sys, Policy: core.New(opts)}
+		ctrl := core.New(opts)
+		if nodegrade {
+			ctrl.SetDegradation(false)
+		}
+		target = &sim.HierarchyTarget{Sys: sys, Policy: ctrl}
 	}
 	eng, err := sim.NewFromSources(cfg, target, srcs)
 	if err != nil {

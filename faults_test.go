@@ -1,0 +1,160 @@
+package morphcache
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"morphcache/internal/fault"
+)
+
+// testPlan builds a small deterministic plan that fits fastConfig (16
+// cores, 4 measured epochs after 1 warmup).
+func testPlan(t *testing.T) *fault.Plan {
+	t.Helper()
+	p, err := fault.NewPlan(7, fault.Spec{Cores: 16, FirstEpoch: 1, Epochs: 2, Events: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestConfigValidateRejections checks every Validate clause fires with a
+// descriptive error, and that the Run* entry points propagate it instead
+// of running.
+func TestConfigValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"zero cores", func(c *Config) { c.Cores = 0 }, "power of two"},
+		{"non-power-of-two cores", func(c *Config) { c.Cores = 12 }, "power of two"},
+		{"zero scale", func(c *Config) { c.Scale = 0 }, "Scale"},
+		{"zero epochs", func(c *Config) { c.Epochs = 0 }, "Epochs"},
+		{"negative warmup", func(c *Config) { c.WarmupEpochs = -1 }, "WarmupEpochs"},
+		{"zero epoch cycles", func(c *Config) { c.EpochCycles = 0 }, "EpochCycles"},
+		{"fault plan off the machine", func(c *Config) {
+			c.Faults = &fault.Plan{Events: []fault.Event{
+				{Kind: fault.WayDisable, Level: 3, Slice: 99, Ways: 1},
+			}}
+		}, "fault"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := fastConfig()
+			tc.mut(&c)
+			err := c.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", c)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+			if _, rerr := RunMorphCache(c, Mix("MIX 01")); rerr == nil {
+				t.Error("RunMorphCache ran an invalid configuration")
+			}
+		})
+	}
+	if err := fastConfig().Validate(); err != nil {
+		t.Fatalf("Validate rejected the baseline test config: %v", err)
+	}
+}
+
+// TestRunBatchCancelledContext checks a cancelled BatchOptions.Context
+// stops the batch with the context error rather than returning results.
+func TestRunBatchCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	specs := []RunSpec{{Policy: "morph", Workload: Mix("MIX 01")}}
+	_, err := RunBatch(fastConfig(), specs, BatchOptions{Workers: 2, Context: ctx})
+	if err == nil {
+		t.Fatal("cancelled batch returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestFaultRunsDeterministic checks a faulty run is reproducible — same
+// plan, same results — and byte-identical across batch worker counts, the
+// same invariant the healthy path guarantees.
+func TestFaultRunsDeterministic(t *testing.T) {
+	c := fastConfig()
+	c.Faults = testPlan(t)
+	a, err := RunMorphCache(c, Mix("MIX 02"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMorphCache(c, Mix("MIX 02"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("repeated faulty runs differ:\n%+v\n%+v", a, b)
+	}
+	specs := []RunSpec{
+		{Policy: "morph", Workload: Mix("MIX 02")},
+		{Policy: "morph-nodegrade", Workload: Mix("MIX 02")},
+		{Policy: "(16:1:1)", Workload: Mix("MIX 02")},
+	}
+	r1, err := RunBatch(c, specs, BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := RunBatch(c, specs, BatchOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r4) {
+		t.Fatal("faulty batch results differ between -jobs 1 and -jobs 4")
+	}
+}
+
+// TestFaultsChangeTheRun checks the plan actually damages the machine: a
+// faulty run must not be identical to the healthy run of the same
+// workload, and the healthy path must stay untouched by the fault code.
+func TestFaultsChangeTheRun(t *testing.T) {
+	healthy, err := RunMorphCache(fastConfig(), Mix("MIX 03"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fastConfig()
+	c.Faults = testPlan(t)
+	faulty, err := RunMorphCache(c, Mix("MIX 03"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(healthy, faulty) {
+		t.Fatal("fault plan had no effect on the run")
+	}
+}
+
+// TestNoDegradeFacade checks the strawman entry point: it accepts the same
+// faulty configuration and reports the distinct policy name.
+func TestNoDegradeFacade(t *testing.T) {
+	c := fastConfig()
+	c.Faults = testPlan(t)
+	r, err := RunMorphCacheNoDegrade(c, Mix("MIX 01"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Policy != "MorphCache-nodegrade" {
+		t.Errorf("policy name %q, want MorphCache-nodegrade", r.Policy)
+	}
+}
+
+// TestFaultsRejectedByNonHierarchyPolicies checks PIPP and DSR refuse a
+// fault plan instead of silently ignoring it.
+func TestFaultsRejectedByNonHierarchyPolicies(t *testing.T) {
+	c := fastConfig()
+	c.Faults = testPlan(t)
+	if _, err := RunPIPP(c, Mix("MIX 01")); err == nil {
+		t.Error("PIPP accepted a fault plan")
+	}
+	if _, err := RunDSR(c, Mix("MIX 01")); err == nil {
+		t.Error("DSR accepted a fault plan")
+	}
+}

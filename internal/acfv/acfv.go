@@ -27,6 +27,7 @@ import (
 	"math/bits"
 
 	"morphcache/internal/mem"
+	"morphcache/internal/rng"
 )
 
 // Hash selects the hardware hash used to index the vector. The paper
@@ -149,6 +150,44 @@ func (v *Vector) Reset() {
 		v.words[i] = 0
 	}
 	v.ones = 0
+}
+
+// Saturate sets every bit — the stuck-at-1 failure mode of a corrupted
+// monitor (fault injection): a saturated vector reads as full utilization
+// and maximal overlap, which is why the controller quarantines corrupted
+// monitors instead of acting on them.
+func (v *Vector) Saturate() {
+	full := v.width
+	for i := range v.words {
+		n := full
+		if n > 64 {
+			n = 64
+		}
+		if n == 64 {
+			v.words[i] = ^uint64(0)
+		} else {
+			v.words[i] = (uint64(1) << uint(n)) - 1
+		}
+		full -= n
+	}
+	v.ones = v.width
+}
+
+// Scramble flips up to `flips` pseudo-randomly chosen bits drawn from the
+// stream — the transient-corruption failure mode. Positions may repeat
+// (a double flip restores the bit), matching independent particle strikes.
+func (v *Vector) Scramble(flips int, r *rng.Stream) {
+	for i := 0; i < flips; i++ {
+		p := r.Intn(v.width)
+		w, b := p/64, uint64(1)<<uint(p%64)
+		if v.words[w]&b == 0 {
+			v.words[w] |= b
+			v.ones++
+		} else {
+			v.words[w] &^= b
+			v.ones--
+		}
+	}
 }
 
 // Overlap returns the number of common 1s between a and b — the paper's

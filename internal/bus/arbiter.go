@@ -219,7 +219,20 @@ type SegmentedBus struct {
 	// busyUntil[g] is the CPU cycle at which group g's bus frees up.
 	busyUntil []uint64
 	stats     BusStats
+	// linkSlow[l] is the fault-injected occupancy multiplier of the link
+	// between slices l and l+1: 1 healthy, >1 degraded, DeadLinkFactor
+	// dead (traffic is re-routed/retried over the stalled segment). Nil
+	// until the first fault — the healthy path never consults it.
+	linkSlow []float64
+	// groupSlow[g] caches the worst multiplier over group g's interior
+	// links; recomputed on Configure and on link-state changes.
+	groupSlow []float64
 }
+
+// DeadLinkFactor is the occupancy multiplier a dead link imposes on its
+// group's transactions: the segment's switches must re-route and retry, so
+// every crossing effectively serializes over a crawling maintenance path.
+const DeadLinkFactor = 16.0
 
 // BusStats aggregates contention accounting.
 type BusStats struct {
@@ -252,7 +265,69 @@ func (b *SegmentedBus) Configure(g topology.Grouping) error {
 	for i := range b.busyUntil {
 		b.busyUntil[i] = 0
 	}
+	b.recomputeGroupSlow()
 	return nil
+}
+
+// SetLinkDead marks the link between slices link and link+1 as failed.
+func (b *SegmentedBus) SetLinkDead(link int) { b.setLinkSlow(link, DeadLinkFactor) }
+
+// SetLinkDegrade sets the link's occupancy multiplier (clamped to >= 1).
+// It never downgrades a dead link back to merely slow.
+func (b *SegmentedBus) SetLinkDegrade(link int, factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	b.setLinkSlow(link, factor)
+}
+
+// LinkSlow returns the link's current multiplier (1 when healthy).
+func (b *SegmentedBus) LinkSlow(link int) float64 {
+	if b.linkSlow == nil || link < 0 || link >= len(b.linkSlow) {
+		return 1
+	}
+	return b.linkSlow[link]
+}
+
+func (b *SegmentedBus) setLinkSlow(link int, factor float64) {
+	if link < 0 || link >= b.tree.Leaves()-1 {
+		return
+	}
+	if b.linkSlow == nil {
+		b.linkSlow = make([]float64, b.tree.Leaves()-1)
+		for i := range b.linkSlow {
+			b.linkSlow[i] = 1
+		}
+	}
+	if factor > b.linkSlow[link] {
+		b.linkSlow[link] = factor
+	}
+	b.recomputeGroupSlow()
+}
+
+// recomputeGroupSlow refreshes the per-group worst-link cache for the
+// current grouping. A group spanning slices [lo, hi] is slowed by the worst
+// of its interior links lo..hi-1.
+func (b *SegmentedBus) recomputeGroupSlow() {
+	if b.linkSlow == nil {
+		return
+	}
+	g := b.tree.grouping
+	if need := g.NumGroups(); cap(b.groupSlow) >= need {
+		b.groupSlow = b.groupSlow[:need]
+	} else {
+		b.groupSlow = make([]float64, need)
+	}
+	for gi := range b.groupSlow {
+		m := g.Members(gi)
+		worst := 1.0
+		for _, sl := range m[:len(m)-1] {
+			if f := b.linkSlow[sl]; f > worst {
+				worst = f
+			}
+		}
+		b.groupSlow[gi] = worst
+	}
 }
 
 // Tree exposes the arbiter tree (for tests and the physical model).
@@ -279,14 +354,23 @@ func (b *SegmentedBus) Transact(slice int, now uint64) (done uint64, overhead ui
 	}
 	wait := start - now
 	occupancy := uint64(b.timing.BusCycles() * b.timing.CPUPerBusCycle)
-	if b.timing.Pipelined {
+	latency := uint64(b.timing.OverheadCPUCycles())
+	if b.groupSlow != nil {
+		// A faulted link inside the group stretches both the occupancy
+		// and the transfer latency by the worst link's multiplier.
+		if f := b.groupSlow[g]; f > 1 {
+			occupancy = uint64(float64(occupancy) * f)
+			latency = uint64(float64(latency) * f)
+		}
+	}
+	if b.timing.Pipelined && occupancy > uint64(b.timing.CPUPerBusCycle) {
 		// The next transaction's arbitration overlaps this transfer, so the
 		// bus frees up one bus cycle earlier for the successor.
 		b.busyUntil[g] = start + occupancy - uint64(b.timing.CPUPerBusCycle)
 	} else {
 		b.busyUntil[g] = start + occupancy
 	}
-	done = start + uint64(b.timing.OverheadCPUCycles())
+	done = start + latency
 	b.stats.Transactions++
 	b.stats.WaitCPUCycles += wait
 	return done, done - now

@@ -1,0 +1,92 @@
+package bus
+
+import (
+	"testing"
+
+	"morphcache/internal/topology"
+)
+
+func pairedBus(t *testing.T) *SegmentedBus {
+	t.Helper()
+	b := NewSegmentedBus(4, DefaultTiming())
+	g, err := topology.Private(4).MergeGroups(0, 1) // {0,1},{2},{3}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Configure(g); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestLinkDegradeStretchesTransactions checks a degraded interior link slows
+// its group and leaves other groups alone.
+func TestLinkDegradeStretchesTransactions(t *testing.T) {
+	healthy, slow := pairedBus(t), pairedBus(t)
+	slow.SetLinkDegrade(0, 2) // interior to group {0,1}
+	_, hov := healthy.Transact(0, 0)
+	_, sov := slow.Transact(0, 0)
+	if sov != 2*hov {
+		t.Errorf("degraded overhead = %d, want %d", sov, 2*hov)
+	}
+	// Queueing behind the stretched occupancy.
+	_, h2 := healthy.Transact(1, 0)
+	_, s2 := slow.Transact(1, 0)
+	if s2 <= h2 {
+		t.Errorf("degraded queueing %d not beyond healthy %d", s2, h2)
+	}
+	if slow.LinkSlow(0) != 2 || slow.LinkSlow(1) != 1 {
+		t.Errorf("link multipliers = %v/%v, want 2/1", slow.LinkSlow(0), slow.LinkSlow(1))
+	}
+}
+
+// TestLinkDeadDominates checks a dead link imposes DeadLinkFactor and never
+// heals back to a mere degrade.
+func TestLinkDeadDominates(t *testing.T) {
+	b := pairedBus(t)
+	b.SetLinkDead(0)
+	b.SetLinkDegrade(0, 2) // must not soften the dead link
+	if got := b.LinkSlow(0); got != DeadLinkFactor {
+		t.Fatalf("dead link multiplier = %v, want %v", got, DeadLinkFactor)
+	}
+	base, _ := pairedBus(t).Transact(0, 0)
+	_ = base
+	_, ov := b.Transact(0, 0)
+	want := uint64(float64(DefaultTiming().OverheadCPUCycles()) * DeadLinkFactor)
+	if ov != want {
+		t.Errorf("dead-link overhead = %d, want %d", ov, want)
+	}
+}
+
+// TestLinkFaultOutsideGroupIsFree checks links outside a group's span do not
+// slow it, and singleton groups stay off the bus entirely.
+func TestLinkFaultOutsideGroupIsFree(t *testing.T) {
+	b := pairedBus(t)
+	b.SetLinkDead(2) // between slices 2 and 3: exterior to every group
+	if _, ov := b.Transact(0, 0); ov != uint64(DefaultTiming().OverheadCPUCycles()) {
+		t.Errorf("exterior dead link changed group {0,1} overhead: %d", ov)
+	}
+	if _, ov := b.Transact(2, 0); ov != 0 {
+		t.Errorf("singleton slice paid bus overhead %d", ov)
+	}
+}
+
+// TestFaultSurvivesReconfigure checks link state persists across Configure
+// (hardware faults do not heal on reconfiguration) and applies to the new
+// grouping.
+func TestFaultSurvivesReconfigure(t *testing.T) {
+	b := pairedBus(t)
+	b.SetLinkDegrade(2, 3)
+	g, err := topology.Private(4).MergeGroups(2, 3) // {0},{1},{2,3}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Configure(g); err != nil {
+		t.Fatal(err)
+	}
+	_, ov := b.Transact(2, 0)
+	want := uint64(float64(DefaultTiming().OverheadCPUCycles()) * 3)
+	if ov != want {
+		t.Errorf("post-reconfig overhead = %d, want %d", ov, want)
+	}
+}

@@ -145,6 +145,11 @@ type Slice struct {
 	rrpv  []uint8
 	clock *Clock
 	stats Stats
+	// disabled is the number of failed ways (fault injection): ways
+	// [ways-disabled, ways) hold no data and are skipped by every lookup
+	// and victim scan, shrinking effective associativity. Zero on a
+	// healthy slice.
+	disabled int
 }
 
 // New builds an empty slice from cfg. It panics on an invalid configuration;
@@ -186,6 +191,41 @@ func (s *Slice) Sets() int { return s.sets }
 // Ways returns the associativity.
 func (s *Slice) Ways() int { return s.ways }
 
+// EffectiveWays returns the associativity minus any fault-disabled ways.
+func (s *Slice) EffectiveWays() int { return s.ways - s.disabled }
+
+// DisabledWays returns the number of fault-disabled ways.
+func (s *Slice) DisabledWays() int { return s.disabled }
+
+// SetDisabledWays marks the top n ways of every set as failed. At least one
+// way always survives (n is clamped to ways-1; negative n re-enables all).
+// Entries resident in newly disabled ways are invalidated and returned so
+// the hierarchy can propagate back-invalidations; the slice's eviction
+// counter is not charged (the lines were lost, not replaced). Re-enabling
+// ways returns nil — failed ways come back empty.
+func (s *Slice) SetDisabledWays(n int) []Entry {
+	if n < 0 {
+		n = 0
+	}
+	if n > s.ways-1 {
+		n = s.ways - 1
+	}
+	var dropped []Entry
+	if n > s.disabled {
+		for set := 0; set < s.sets; set++ {
+			base := set * s.ways
+			for w := s.ways - n; w < s.ways; w++ {
+				if e := &s.entries[base+w]; e.Valid {
+					dropped = append(dropped, *e)
+					*e = Entry{}
+				}
+			}
+		}
+	}
+	s.disabled = n
+	return dropped
+}
+
 // SizeBytes returns the capacity in bytes.
 func (s *Slice) SizeBytes() int { return s.sets * s.ways * mem.LineSize }
 
@@ -213,7 +253,7 @@ func (s *Slice) Entry(set, way int) Entry { return *s.entry(set, way) }
 func (s *Slice) Lookup(asid mem.ASID, line mem.Line) int {
 	set := s.SetIndex(line)
 	base := set * s.ways
-	for w := 0; w < s.ways; w++ {
+	for w := 0; w < s.ways-s.disabled; w++ {
 		e := &s.entries[base+w]
 		if e.Valid && e.ASID == asid && e.Line == line {
 			return w
@@ -257,7 +297,7 @@ func (s *Slice) Access(asid mem.ASID, line mem.Line, write bool) int {
 func (s *Slice) FreeWay(line mem.Line) int {
 	set := s.SetIndex(line)
 	base := set * s.ways
-	for w := 0; w < s.ways; w++ {
+	for w := 0; w < s.ways-s.disabled; w++ {
 		if !s.entries[base+w].Valid {
 			return w
 		}
@@ -275,13 +315,18 @@ func (s *Slice) VictimWay(line mem.Line) int {
 	set := s.SetIndex(line)
 	switch s.policy {
 	case TreePLRU:
-		return s.plruVictim(set)
+		// The PLRU tree spans all physical ways, so with disabled ways it
+		// can point at a dead leaf; fall back to the timestamp scan
+		// (LastUse is maintained under every policy).
+		if s.disabled == 0 {
+			return s.plruVictim(set)
+		}
 	case SRRIP:
 		return s.srripVictim(set)
 	}
 	base := set * s.ways
 	victim, oldest := 0, s.entries[base].LastUse
-	for w := 1; w < s.ways; w++ {
+	for w := 1; w < s.ways-s.disabled; w++ {
 		if u := s.entries[base+w].LastUse; u < oldest {
 			victim, oldest = w, u
 		}
@@ -439,12 +484,12 @@ func (s *Slice) plruVictim(set int) int {
 func (s *Slice) srripVictim(set int) int {
 	base := set * s.ways
 	for {
-		for w := 0; w < s.ways; w++ {
+		for w := 0; w < s.ways-s.disabled; w++ {
 			if s.rrpv[base+w] == rrpvMax {
 				return w
 			}
 		}
-		for w := 0; w < s.ways; w++ {
+		for w := 0; w < s.ways-s.disabled; w++ {
 			s.rrpv[base+w]++
 		}
 	}

@@ -1,0 +1,85 @@
+package cache
+
+import (
+	"testing"
+
+	"morphcache/internal/mem"
+)
+
+func fill(t *testing.T, s *Slice, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		s.Insert(1, mem.Line(i*s.Sets()), false) // all map to set 0
+	}
+}
+
+// TestSetDisabledWaysShrinksAssociativity checks that disabling ways drops
+// resident lines, reports them, and caps future occupancy.
+func TestSetDisabledWaysShrinksAssociativity(t *testing.T) {
+	for _, pol := range []Policy{LRU, TreePLRU, SRRIP} {
+		s := New(Config{SizeBytes: 4 * 1024, Ways: 4, Policy: pol})
+		fill(t, s, 4) // set 0 full
+		if got := s.ValidLines(); got != 4 {
+			t.Fatalf("[%s] valid lines after fill = %d, want 4", pol, got)
+		}
+		dropped := s.SetDisabledWays(2)
+		if s.EffectiveWays() != 2 || s.DisabledWays() != 2 {
+			t.Errorf("[%s] effective/disabled = %d/%d, want 2/2", pol, s.EffectiveWays(), s.DisabledWays())
+		}
+		if len(dropped) != 2 {
+			t.Errorf("[%s] dropped %d entries, want 2", pol, len(dropped))
+		}
+		if got := s.ValidLines(); got != 2 {
+			t.Errorf("[%s] valid lines after disable = %d, want 2", pol, got)
+		}
+		// Insertions must stay inside the live ways.
+		for i := 10; i < 20; i++ {
+			s.Insert(1, mem.Line(i*s.Sets()), false)
+			if v := s.VictimWay(mem.Line(i * s.Sets())); v >= s.EffectiveWays() {
+				t.Fatalf("[%s] victim way %d in disabled region", pol, v)
+			}
+		}
+		if got := s.ValidLines(); got != 2 {
+			t.Errorf("[%s] valid lines after churn = %d, want 2", pol, got)
+		}
+		// A line resident in a disabled way must not be found.
+		for w := s.EffectiveWays(); w < s.Ways(); w++ {
+			if e := s.Entry(0, w); e.Valid {
+				t.Errorf("[%s] disabled way %d still holds %v", pol, w, e)
+			}
+		}
+	}
+}
+
+// TestSetDisabledWaysClamps checks at least one way always survives and
+// negative n re-enables.
+func TestSetDisabledWaysClamps(t *testing.T) {
+	s := New(Config{SizeBytes: 4 * 1024, Ways: 4, Policy: LRU})
+	s.SetDisabledWays(99)
+	if s.EffectiveWays() != 1 {
+		t.Errorf("over-disable left %d effective ways, want 1", s.EffectiveWays())
+	}
+	if dropped := s.SetDisabledWays(-1); dropped != nil {
+		t.Errorf("re-enable returned dropped entries %v", dropped)
+	}
+	if s.EffectiveWays() != 4 {
+		t.Errorf("re-enable left %d effective ways, want 4", s.EffectiveWays())
+	}
+}
+
+// TestDisabledCumulative checks that raising the disable count again drops
+// only the newly dead ways.
+func TestDisabledCumulative(t *testing.T) {
+	s := New(Config{SizeBytes: 4 * 1024, Ways: 4, Policy: LRU})
+	fill(t, s, 4)
+	if got := len(s.SetDisabledWays(1)); got != 1 {
+		t.Fatalf("first disable dropped %d, want 1", got)
+	}
+	fill(t, s, 3) // refill live ways
+	if got := len(s.SetDisabledWays(3)); got != 2 {
+		t.Fatalf("second disable dropped %d, want 2", got)
+	}
+	if got := s.ValidLines(); got != 1 {
+		t.Errorf("valid lines = %d, want 1", got)
+	}
+}

@@ -162,6 +162,13 @@ type Controller struct {
 	// the favored operation this interval, exempt from the opposing one.
 	locked map[lockKey]bool
 
+	// degrade enables the graceful-degradation reactions to injected
+	// faults (on by default); quarantined tracks which cores' corrupted
+	// monitors have already been announced, so quarantine events fire on
+	// transitions only.
+	degrade     bool
+	quarantined map[int]bool
+
 	history []Decision
 
 	// recorder, when non-nil, receives one telemetry.ReconfigEvent per
@@ -184,11 +191,23 @@ func New(opts Options) *Controller {
 	if opts.MaxPasses <= 0 {
 		opts.MaxPasses = 4
 	}
-	return &Controller{opts: opts, msat: opts.MSAT}
+	return &Controller{opts: opts, msat: opts.MSAT, degrade: true}
 }
 
 // Name implements sim.Policy.
-func (c *Controller) Name() string { return "MorphCache" }
+func (c *Controller) Name() string {
+	if !c.degrade {
+		return "MorphCache-nodegrade"
+	}
+	return "MorphCache"
+}
+
+// SetDegradation toggles the graceful-degradation reactions to injected
+// faults: quarantining corrupted ACFV monitors, refusing merges across dead
+// bus links, and force-splitting groups a dead link cuts in two. On by
+// default; the "morph-nodegrade" strawman policy turns it off to measure
+// what the reactions are worth on a faulty machine.
+func (c *Controller) SetDegradation(on bool) { c.degrade = on }
 
 // SetRecorder implements telemetry.RecorderSettable: every applied
 // reconfiguration operation is mirrored to r as a telemetry.ReconfigEvent
@@ -261,6 +280,9 @@ func (c *Controller) EndEpoch(e int, sys *hierarchy.System) (int, bool) {
 	c.intervals++
 	c.locked = make(map[lockKey]bool)
 	total := 0
+	if c.degrade {
+		total += c.degradePass(sys)
+	}
 	if c.opts.QoS {
 		total += c.throttle(sys)
 	}
@@ -289,6 +311,125 @@ func (c *Controller) EndEpoch(e int, sys *hierarchy.System) (int, bool) {
 		c.asymmetricConfig++
 	}
 	return total, asym
+}
+
+// degradePass applies the graceful-degradation reactions before the
+// ordinary merge/split rules run (§ fault model, DESIGN.md): corrupted
+// ACFV monitors are quarantined (their garbage readings excluded from
+// merge/split decisions via the mergeLevel/splitLevel filters), and any
+// group a dead bus link cuts in two is force-split so its intra-group
+// traffic stops riding the dead link. Every reaction is mirrored to the
+// recorder under rule "fault".
+func (c *Controller) degradePass(sys *hierarchy.System) int {
+	if !sys.HasFaults() {
+		return 0
+	}
+	// Quarantine transitions: announce each monitor once on entering the
+	// quarantine set and once on leaving it (healing), never in between.
+	cur := make(map[int]bool)
+	for _, core := range sys.CorruptMonitors() {
+		cur[core] = true
+		if !c.quarantined[core] {
+			c.emit(hierarchy.L2, "quarantine", "fault", fmt.Sprintf("[%d]", core), 0, 0, 0)
+		}
+	}
+	var healed []int
+	for core := range c.quarantined {
+		if !cur[core] {
+			healed = append(healed, core)
+		}
+	}
+	sort.Ints(healed)
+	for _, core := range healed {
+		c.emit(hierarchy.L2, "quarantine", "fault", fmt.Sprintf("[%d]", core), 0, 0, 0)
+	}
+	c.quarantined = cur
+
+	// Forced splits: no group may span a dead bus link. L2 first (always
+	// safe), then L3 — which forces spanning L2 groups apart regardless of
+	// their merge justification (the link under them is gone).
+	ops := 0
+	for _, l := range []hierarchy.Level{hierarchy.L2, hierarchy.L3} {
+		for {
+			topo := sys.Topology()
+			g := topo.L2
+			if l == hierarchy.L3 {
+				g = topo.L3
+			}
+			applied := false
+			for gi := 0; gi < g.NumGroups(); gi++ {
+				m := g.Members(gi)
+				if len(m) < 2 || len(m)%2 != 0 || !sys.SpansDeadLink(l, m) {
+					continue
+				}
+				var u1, u2, ov float64
+				if c.recorder != nil {
+					h1, h2 := m[:len(m)/2], m[len(m)/2:]
+					u1 = sys.CoresUtilization(l, h1)
+					u2 = sys.CoresUtilization(l, h2)
+					ov = sys.CoresOverlap(l, h1, h2)
+				}
+				n, ok := c.applySplit(sys, l, gi, true)
+				if !ok {
+					continue
+				}
+				ops += n
+				c.splits += n
+				groups := fmt.Sprintf("%v", m)
+				c.record(l, false, groups)
+				c.emit(l, "split", "fault", groups, u1, u2, ov)
+				// Keep the severed halves apart for the rest of the interval.
+				c.locked[lockKey{l, m[0]}] = true
+				c.locked[lockKey{l, m[len(m)/2]}] = true
+				applied = true
+				break // groupings changed; re-enumerate
+			}
+			if !applied {
+				break
+			}
+		}
+	}
+	return ops
+}
+
+// mergeBlockedByFault vetoes a merge whose resulting group would span a
+// dead bus link, or whose decision inputs include a quarantined monitor
+// (garbage in, garbage topology out).
+func (c *Controller) mergeBlockedByFault(sys *hierarchy.System, l hierarchy.Level, ma, mb []int) bool {
+	if !c.degrade || !sys.HasFaults() {
+		return false
+	}
+	lo, hi := ma[0], ma[0]
+	for _, set := range [][]int{ma, mb} {
+		for _, s := range set {
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+			if sys.MonitorCorrupt(s) {
+				return true
+			}
+		}
+	}
+	return sys.SpansDeadLink(l, []int{lo, hi})
+}
+
+// splitBlockedByFault vetoes ordinary (reading-driven) splits of groups
+// whose monitors are quarantined: the readings that would justify the
+// split cannot be trusted, so the topology is frozen around the corrupted
+// core until the monitor recovers. Forced fault splits bypass this.
+func (c *Controller) splitBlockedByFault(sys *hierarchy.System, m []int) bool {
+	if !c.degrade || !sys.HasFaults() {
+		return false
+	}
+	for _, s := range m {
+		if sys.MonitorCorrupt(s) {
+			return true
+		}
+	}
+	return false
 }
 
 // throttle implements the §5.3 QoS adjustment: after an interval that
@@ -350,7 +491,7 @@ func (c *Controller) qosSplitAround(sys *hierarchy.System, core int) int {
 			u2 = sys.CoresUtilization(l, h2)
 			ov = sys.CoresOverlap(l, h1, h2)
 		}
-		n, ok := c.applySplit(sys, l, gi)
+		n, ok := c.applySplit(sys, l, gi, false)
 		if ok {
 			ops += n
 			c.splits += n
@@ -541,6 +682,9 @@ func (c *Controller) mergeLevel(sys *hierarchy.System, l hierarchy.Level) int {
 			if c.locked[lockKey{l, ma[0]}] || c.locked[lockKey{l, mb[0]}] {
 				continue
 			}
+			if c.mergeBlockedByFault(sys, l, ma, mb) {
+				continue
+			}
 			rule, ua, ub, ov := c.mergeRule(sys, l, ma, mb, 0)
 			if rule == "" {
 				continue
@@ -585,6 +729,9 @@ func (c *Controller) applyMerge(sys *hierarchy.System, l hierarchy.Level, a, b i
 				return 0, false
 			}
 			mha, mhb := topo.L3.Members(ha), topo.L3.Members(hb)
+			if c.mergeBlockedByFault(sys, hierarchy.L3, mha, mhb) {
+				return 0, false
+			}
 			var ua3, ub3, ov3 float64
 			if c.recorder != nil {
 				ua3 = sys.CoresUtilization(hierarchy.L3, mha)
@@ -668,12 +815,15 @@ func (c *Controller) splitLevel(sys *hierarchy.System, l hierarchy.Level) int {
 			if c.locked[lockKey{l, m[0]}] {
 				continue
 			}
+			if c.splitBlockedByFault(sys, m) {
+				continue
+			}
 			h1, h2 := m[:len(m)/2], m[len(m)/2:]
 			rule, u1, u2, ov := c.splitRule(sys, l, h1, h2)
 			if rule == "" {
 				continue
 			}
-			ops, ok := c.applySplit(sys, l, gi)
+			ops, ok := c.applySplit(sys, l, gi, false)
 			if ok {
 				groups := fmt.Sprintf("%v", m)
 				c.record(l, false, groups)
@@ -698,8 +848,10 @@ func (c *Controller) splitLevel(sys *hierarchy.System, l hierarchy.Level) int {
 
 // applySplit splits group gi at the level, first splitting any L2 groups
 // that would span an L3 split's halves — but only if they themselves meet
-// the split condition (§2.3).
-func (c *Controller) applySplit(sys *hierarchy.System, l hierarchy.Level, gi int) (int, bool) {
+// the split condition (§2.3). With force (fault degradation), spanning L2
+// groups are split apart even when their merge is still justified: the
+// link beneath them is physically gone.
+func (c *Controller) applySplit(sys *hierarchy.System, l hierarchy.Level, gi int, force bool) (int, bool) {
 	topo := sys.Topology()
 	ops := 0
 	if l == hierarchy.L3 {
@@ -730,7 +882,7 @@ func (c *Controller) applySplit(sys *hierarchy.System, l hierarchy.Level, gi int
 			h1, h2 := mm[:len(mm)/2], mm[len(mm)/2:]
 			// "Can be split" (§2.3): the spanning L2 group may be forced
 			// apart unless its own merge is still actively justified.
-			if c.mergeCondition(sys, hierarchy.L2, h1, h2, c.opts.Hysteresis) {
+			if !force && c.mergeCondition(sys, hierarchy.L2, h1, h2, c.opts.Hysteresis) {
 				return ops, false
 			}
 			var u1f, u2f, ovf float64

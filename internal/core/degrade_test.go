@@ -1,0 +1,212 @@
+package core
+
+import (
+	"testing"
+
+	"morphcache/internal/fault"
+	"morphcache/internal/hierarchy"
+	"morphcache/internal/mem"
+	"morphcache/internal/telemetry"
+	"morphcache/internal/topology"
+)
+
+// inject applies fault events to a built hierarchy, failing the test on
+// any rejection.
+func inject(t *testing.T, s *hierarchy.System, events ...fault.Event) {
+	t.Helper()
+	for _, ev := range events {
+		if err := s.ApplyFault(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// pairTopo merges cores 0 and 1 at both levels, leaving 2 and 3 private.
+func pairTopo(t *testing.T) topology.Topology {
+	t.Helper()
+	g, err := topology.Private(4).MergeGroups(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topology.Topology{L2: g, L3: g}
+}
+
+// TestDegradeForcedSplitOffDeadLink checks the degradation pass splits a
+// group spanning a dead bus link immediately, emits a rule:"fault" split
+// event, and locks the halves so the very same epoch does not re-merge
+// them.
+func TestDegradeForcedSplitOffDeadLink(t *testing.T) {
+	c := New(DefaultOptions())
+	var log telemetry.Log
+	c.SetRecorder(&log)
+	s := newSys(t, pairTopo(t))
+	inject(t, s,
+		fault.Event{Kind: fault.LinkDead, Level: 2, Link: 0},
+		fault.Event{Kind: fault.LinkDead, Level: 3, Link: 0},
+	)
+	ops, _ := c.EndEpoch(0, s)
+	if ops == 0 {
+		t.Fatal("dead link under a merged group triggered no reconfiguration")
+	}
+	if s.Topology().L2.SameGroup(0, 1) || s.Topology().L3.SameGroup(0, 1) {
+		t.Fatalf("group still spans the dead link: %v", s.Topology())
+	}
+	if c.Splits() == 0 {
+		t.Fatal("split counter not incremented")
+	}
+	faultSplits := 0
+	for _, ev := range log.Reconfigs {
+		if ev.Op == "split" && ev.Rule == "fault" {
+			faultSplits++
+		}
+	}
+	if faultSplits == 0 {
+		t.Fatalf("no split event with rule \"fault\" recorded: %+v", log.Reconfigs)
+	}
+}
+
+// TestDegradeMergeVetoAcrossDeadLink checks an otherwise-justified
+// capacity merge is vetoed when the union would span a dead link, and
+// that the identical controller with degradation disabled (the strawman)
+// walks straight into it.
+func TestDegradeMergeVetoAcrossDeadLink(t *testing.T) {
+	for _, degrade := range []bool{true, false} {
+		c := New(DefaultOptions())
+		c.SetDegradation(degrade)
+		s := newSys(t, topology.AllPrivate(4))
+		inject(t, s,
+			fault.Event{Kind: fault.LinkDead, Level: 2, Link: 0},
+			fault.Event{Kind: fault.LinkDead, Level: 3, Link: 0},
+		)
+		// Core 0 overflows, core 1 idle: the capacity rule wants {0,1}.
+		plantL3(s, 0, 1.5)
+		c.EndEpoch(0, s)
+		merged := s.Topology().L3.SameGroup(0, 1)
+		if degrade && merged {
+			t.Errorf("degrading controller merged across a dead link: %v", s.Topology())
+		}
+		if !degrade && !merged {
+			t.Errorf("strawman controller should have ignored the dead link, topology %v", s.Topology())
+		}
+	}
+}
+
+// TestDegradeQuarantineTransitions checks a corrupted ACFV monitor is
+// quarantined with exactly one "quarantine" event per transition (enter
+// and, after healing, leave), and that merges whose inputs include the
+// quarantined monitor are frozen while it lasts.
+func TestDegradeQuarantineTransitions(t *testing.T) {
+	c := New(DefaultOptions())
+	var log telemetry.Log
+	c.SetRecorder(&log)
+	s := newSys(t, topology.AllPrivate(4))
+	inject(t, s, fault.Event{Kind: fault.MonitorCorrupt, Core: 1, Duration: 2})
+	// Corrupted readings saturate high, so without the quarantine core 1
+	// would look overflowing next to an idle core 0.
+	c.EndEpoch(0, s)
+	if s.Topology().L3.SameGroup(0, 1) {
+		t.Fatalf("merge driven by a corrupted monitor was not frozen: %v", s.Topology())
+	}
+	quar := func() int {
+		n := 0
+		for _, ev := range log.Reconfigs {
+			if ev.Op == "quarantine" {
+				n++
+			}
+		}
+		return n
+	}
+	if got := quar(); got != 1 {
+		t.Fatalf("quarantine events after first epoch = %d, want 1", got)
+	}
+	// Still corrupt: no repeat announcement.
+	s.AgeFaults()
+	c.EndEpoch(1, s)
+	if got := quar(); got != 1 {
+		t.Fatalf("quarantine re-announced while unchanged: %d events", got)
+	}
+	// Healed: leaving the quarantine set is the second transition.
+	s.AgeFaults()
+	if s.MonitorCorrupt(1) {
+		t.Fatal("monitor did not heal after its duration elapsed")
+	}
+	c.EndEpoch(2, s)
+	if got := quar(); got != 2 {
+		t.Fatalf("quarantine events after healing = %d, want 2", got)
+	}
+}
+
+// plantL2 plants a reused working set of frac × one L2 slice's capacity
+// for a core: three passes over the set, so the second and third passes
+// hit L2 and realize the two-touch L2-tempo reuse the ACF counts. The set
+// must fit the core's L2 *group* for the later passes to hit (the caller
+// picks frac accordingly).
+func plantL2(s *hierarchy.System, core int, frac float64) {
+	lines := int(frac * float64(s.Params().L2SliceBytes/mem.LineSize))
+	asid := s.CoreASID(core)
+	base := mem.Line(uint64(core+1) << 40)
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < lines; i++ {
+			s.Access(core, mem.Access{Line: base + mem.Line(i), ASID: asid}, 0)
+		}
+	}
+}
+
+// TestDegradeSplitFrozenAroundCorruptMonitor checks reading-driven splits
+// of a group with a quarantined member are suppressed — the readings that
+// would justify the split are garbage — while the strawman splits away.
+// Core 0's corrupted monitor saturates at 1.5 and core 1 genuinely runs
+// hot at L2 (1.3× one slice, fitting the merged pair), so both halves
+// read above MSAT-high: the L2 interference rule fires for any controller
+// that trusts the readings.
+func TestDegradeSplitFrozenAroundCorruptMonitor(t *testing.T) {
+	for _, degrade := range []bool{true, false} {
+		c := New(DefaultOptions())
+		c.SetDegradation(degrade)
+		s := newSys(t, pairTopo(t))
+		inject(t, s, fault.Event{Kind: fault.MonitorCorrupt, Core: 0, Duration: 5})
+		plantL2(s, 1, 1.3)
+		c.EndEpoch(0, s)
+		split := !s.Topology().L2.SameGroup(0, 1)
+		if degrade && split {
+			t.Errorf("split fired on quarantined (garbage) readings: %v", s.Topology())
+		}
+		if !degrade && !split {
+			t.Errorf("strawman should split on apparent interference, topology %v", s.Topology())
+		}
+	}
+}
+
+// TestNodegradeName pins the strawman's reported policy name, which the
+// experiment tables and memo keys rely on.
+func TestNodegradeName(t *testing.T) {
+	c := New(DefaultOptions())
+	if got := c.Name(); got != "MorphCache" {
+		t.Errorf("default Name() = %q, want MorphCache", got)
+	}
+	c.SetDegradation(false)
+	if got := c.Name(); got != "MorphCache-nodegrade" {
+		t.Errorf("Name() with degradation off = %q, want MorphCache-nodegrade", got)
+	}
+	c.SetDegradation(true)
+	if got := c.Name(); got != "MorphCache" {
+		t.Errorf("Name() after re-enabling = %q, want MorphCache", got)
+	}
+}
+
+// TestDegradePassIdleOnHealthyMachine checks the degradation pass is a
+// strict no-op without faults: no ops, no events, no quarantine state.
+func TestDegradePassIdleOnHealthyMachine(t *testing.T) {
+	c := New(DefaultOptions())
+	var log telemetry.Log
+	c.SetRecorder(&log)
+	s := newSys(t, pairTopo(t))
+	plantL3(s, 0, 0.8)
+	plantL3(s, 1, 0.8)
+	c.EndEpoch(0, s)
+	for _, ev := range log.Reconfigs {
+		if ev.Rule == "fault" || ev.Op == "quarantine" {
+			t.Fatalf("fault reaction on a healthy machine: %+v", ev)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package fault models deterministic hardware-fault injection for the
+// simulated hierarchy.
+//
+// A Plan is a schedule of Events, each landing at the start of one epoch.
+// Events describe cache way failures, segmented-bus link faults (dead or
+// degraded), ACFV monitor corruption, and memory-channel derating. The plan
+// is pure data: it never touches the hierarchy itself. internal/sim applies
+// the events at epoch boundaries, and internal/hierarchy + internal/core
+// implement the physical effect and the controller's graceful-degradation
+// reaction (DESIGN.md §9).
+//
+// Determinism: NewPlan draws every event from rng.Derive(seed, index)
+// streams, so a (seed, Spec) pair always yields the same plan, and because
+// events are applied single-threaded at epoch boundaries, fault-enabled runs
+// stay byte-identical at every -jobs count.
+package fault
+
+import (
+	"fmt"
+	"strings"
+
+	"morphcache/internal/rng"
+)
+
+// Kind enumerates the modeled fault classes.
+type Kind uint8
+
+const (
+	// WayDisable permanently disables the top Ways ways of one cache slice
+	// (Level 2 or 3), shrinking its effective associativity and capacity.
+	WayDisable Kind = iota
+	// LinkDead marks one segmented-bus link (between slice Link and
+	// Link+1 of a level's ring) as failed: traffic crossing it is
+	// re-routed with a severe stall penalty, and the controller must not
+	// form groups spanning it.
+	LinkDead
+	// LinkDegrade leaves a link functional but slow: remote traffic
+	// crossing it pays Factor× the normal hop overhead.
+	LinkDegrade
+	// MonitorCorrupt corrupts Core's ACFV monitor hardware: its
+	// utilization/overlap readings saturate (stuck-at-1 counters) until
+	// the monitor self-heals after Duration epochs. The controller should
+	// quarantine the core's readings rather than act on them.
+	MonitorCorrupt
+	// MemDerate multiplies the memory channel's service occupancy by
+	// Factor (≥ 1), modeling a DRAM channel dropping to a slower speed bin.
+	MemDerate
+)
+
+func (k Kind) String() string {
+	switch k {
+	case WayDisable:
+		return "way-disable"
+	case LinkDead:
+		return "link-dead"
+	case LinkDegrade:
+		return "link-degrade"
+	case MonitorCorrupt:
+		return "monitor-corrupt"
+	case MemDerate:
+		return "mem-derate"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one scheduled fault. Fields are used per Kind; unused fields are
+// zero.
+type Event struct {
+	// Epoch is the absolute epoch index (warmup included) at whose start
+	// the event is applied.
+	Epoch int
+	// Kind selects the fault class.
+	Kind Kind
+	// Level is the cache level (2 or 3) for WayDisable, LinkDead, and
+	// LinkDegrade.
+	Level int
+	// Slice is the slice index for WayDisable.
+	Slice int
+	// Ways is the number of ways to disable for WayDisable (cumulative
+	// with earlier events on the same slice, clamped by the hierarchy so
+	// at least one way survives).
+	Ways int
+	// Link is the bus link index (between slice Link and Link+1) for
+	// LinkDead and LinkDegrade.
+	Link int
+	// Core is the corrupted monitor's core for MonitorCorrupt.
+	Core int
+	// Duration is how many epochs a MonitorCorrupt event persists before
+	// the monitor self-heals (0 means one epoch).
+	Duration int
+	// Factor is the slowdown multiplier for LinkDegrade and MemDerate
+	// (≥ 1; 1 is a no-op).
+	Factor float64
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case WayDisable:
+		return fmt.Sprintf("epoch %d: disable %d way(s) of L%d slice %d", e.Epoch, e.Ways, e.Level, e.Slice)
+	case LinkDead:
+		return fmt.Sprintf("epoch %d: L%d bus link %d dead", e.Epoch, e.Level, e.Link)
+	case LinkDegrade:
+		return fmt.Sprintf("epoch %d: L%d bus link %d degraded %.2fx", e.Epoch, e.Level, e.Link, e.Factor)
+	case MonitorCorrupt:
+		return fmt.Sprintf("epoch %d: core %d ACFV monitor corrupt for %d epoch(s)", e.Epoch, e.Core, e.Duration)
+	case MemDerate:
+		return fmt.Sprintf("epoch %d: memory channel derated %.2fx", e.Epoch, e.Factor)
+	default:
+		return fmt.Sprintf("epoch %d: %s", e.Epoch, e.Kind)
+	}
+}
+
+// Plan is a deterministic fault schedule. The zero value (and nil) is a
+// valid empty plan.
+type Plan struct {
+	// Seed records the generating seed for reporting; it has no effect on
+	// a hand-built plan.
+	Seed uint64
+	// Events is the schedule. Order within an epoch is application order.
+	Events []Event
+}
+
+// Empty reports whether the plan schedules nothing (nil-safe).
+func (p *Plan) Empty() bool { return p == nil || len(p.Events) == 0 }
+
+// At returns the events scheduled for the given absolute epoch, in
+// application order (nil-safe).
+func (p *Plan) At(epoch int) []Event {
+	if p == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range p.Events {
+		if e.Epoch == epoch {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Validate checks every event against a machine with the given core count
+// (cores slices per level, cores-1 bus links per level). It is nil-safe.
+func (p *Plan) Validate(cores int) error {
+	if p == nil {
+		return nil
+	}
+	for i, e := range p.Events {
+		if e.Epoch < 0 {
+			return fmt.Errorf("fault: event %d (%s): negative epoch", i, e)
+		}
+		switch e.Kind {
+		case WayDisable:
+			if e.Level != 2 && e.Level != 3 {
+				return fmt.Errorf("fault: event %d (%s): level must be 2 or 3", i, e)
+			}
+			if e.Slice < 0 || e.Slice >= cores {
+				return fmt.Errorf("fault: event %d (%s): slice out of range [0,%d)", i, e, cores)
+			}
+			if e.Ways < 1 {
+				return fmt.Errorf("fault: event %d (%s): must disable at least one way", i, e)
+			}
+		case LinkDead, LinkDegrade:
+			if e.Level != 2 && e.Level != 3 {
+				return fmt.Errorf("fault: event %d (%s): level must be 2 or 3", i, e)
+			}
+			if e.Link < 0 || e.Link >= cores-1 {
+				return fmt.Errorf("fault: event %d (%s): link out of range [0,%d)", i, e, cores-1)
+			}
+			if e.Kind == LinkDegrade && e.Factor < 1 {
+				return fmt.Errorf("fault: event %d (%s): degrade factor must be >= 1", i, e)
+			}
+		case MonitorCorrupt:
+			if e.Core < 0 || e.Core >= cores {
+				return fmt.Errorf("fault: event %d (%s): core out of range [0,%d)", i, e, cores)
+			}
+			if e.Duration < 0 {
+				return fmt.Errorf("fault: event %d (%s): negative duration", i, e)
+			}
+		case MemDerate:
+			if e.Factor < 1 {
+				return fmt.Errorf("fault: event %d (%s): derate factor must be >= 1", i, e)
+			}
+		default:
+			return fmt.Errorf("fault: event %d: unknown kind %d", i, uint8(e.Kind))
+		}
+	}
+	return nil
+}
+
+// Fingerprint returns a stable textual digest of the plan, suitable for
+// memo keys and report labels. Equal plans produce equal fingerprints; the
+// empty plan's fingerprint is "" (nil-safe).
+func (p *Plan) Fingerprint() string {
+	if p.Empty() {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d", p.Seed)
+	for _, e := range p.Events {
+		fmt.Fprintf(&b, ";%d:%d:%d:%d:%d:%d:%d:%d:%g",
+			e.Epoch, e.Kind, e.Level, e.Slice, e.Ways, e.Link, e.Core, e.Duration, e.Factor)
+	}
+	return b.String()
+}
+
+// Spec parameterizes NewPlan.
+type Spec struct {
+	// Cores is the machine's core count (= slices per level).
+	Cores int
+	// FirstEpoch is the earliest absolute epoch an event may land on
+	// (set it to the warmup count so faults hit the measured region).
+	FirstEpoch int
+	// Epochs is the width of the injection window starting at FirstEpoch.
+	Epochs int
+	// Events is how many events to draw.
+	Events int
+}
+
+// kindCycle is the deterministic round-robin of event kinds NewPlan walks.
+// Leading with a dead link guarantees every non-trivial plan exercises the
+// controller's topology-fallback path; the rest covers the full taxonomy.
+var kindCycle = []Kind{LinkDead, MonitorCorrupt, WayDisable, LinkDegrade, MemDerate, LinkDead, WayDisable, MonitorCorrupt}
+
+// NewPlan draws a deterministic plan from the seed. Event i's parameters
+// come from rng.Derive(seed, i), so plans with a shared seed prefix-match:
+// growing Spec.Events appends events without disturbing earlier ones.
+// Kinds follow a fixed round-robin so small plans still cover the taxonomy.
+func NewPlan(seed uint64, spec Spec) (*Plan, error) {
+	if spec.Cores < 2 {
+		return nil, fmt.Errorf("fault: NewPlan needs >= 2 cores, got %d", spec.Cores)
+	}
+	if spec.Epochs < 1 {
+		return nil, fmt.Errorf("fault: NewPlan needs a positive epoch window, got %d", spec.Epochs)
+	}
+	if spec.Events < 0 {
+		return nil, fmt.Errorf("fault: NewPlan with negative event count %d", spec.Events)
+	}
+	if spec.FirstEpoch < 0 {
+		return nil, fmt.Errorf("fault: NewPlan with negative first epoch %d", spec.FirstEpoch)
+	}
+	p := &Plan{Seed: seed}
+	for i := 0; i < spec.Events; i++ {
+		r := rng.Derive(seed, uint64(i))
+		e := Event{
+			Epoch: spec.FirstEpoch + r.Intn(spec.Epochs),
+			Kind:  kindCycle[i%len(kindCycle)],
+		}
+		switch e.Kind {
+		case WayDisable:
+			e.Level = 2 + r.Intn(2)
+			e.Slice = r.Intn(spec.Cores)
+			e.Ways = 1 + r.Intn(2)
+		case LinkDead:
+			e.Level = 2 + r.Intn(2)
+			e.Link = r.Intn(spec.Cores - 1)
+		case LinkDegrade:
+			e.Level = 2 + r.Intn(2)
+			e.Link = r.Intn(spec.Cores - 1)
+			e.Factor = 2 + 2*r.Float64() // 2x-4x hop slowdown
+		case MonitorCorrupt:
+			e.Core = r.Intn(spec.Cores)
+			e.Duration = 2 + r.Intn(3)
+		case MemDerate:
+			e.Factor = 1.25 + 0.75*r.Float64() // 1.25x-2x channel derate
+		}
+		p.Events = append(p.Events, e)
+	}
+	if err := p.Validate(spec.Cores); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

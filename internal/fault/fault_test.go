@@ -1,0 +1,151 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestNewPlanDeterministic pins the core determinism contract: same seed and
+// spec, same plan — and different seeds diverge.
+func TestNewPlanDeterministic(t *testing.T) {
+	spec := Spec{Cores: 16, FirstEpoch: 2, Epochs: 8, Events: 8}
+	a, err := NewPlan(7, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPlan(7, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different plans:\n%v\n%v", a.Events, b.Events)
+	}
+	c, err := NewPlan(8, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds produced identical plans")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("equal plans have unequal fingerprints")
+	}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("distinct plans share a fingerprint")
+	}
+}
+
+// TestNewPlanPrefixStable checks that growing Events appends without
+// disturbing the prefix (event i depends only on (seed, i)).
+func TestNewPlanPrefixStable(t *testing.T) {
+	small, err := NewPlan(3, Spec{Cores: 8, Epochs: 10, Events: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewPlan(3, Spec{Cores: 8, Epochs: 10, Events: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(small.Events, big.Events[:4]) {
+		t.Fatalf("prefix mismatch:\nsmall: %v\nbig:   %v", small.Events, big.Events[:4])
+	}
+}
+
+// TestNewPlanInRange checks every drawn event validates and lands in the
+// injection window.
+func TestNewPlanInRange(t *testing.T) {
+	spec := Spec{Cores: 4, FirstEpoch: 3, Epochs: 5, Events: 32}
+	p, err := NewPlan(11, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Events); got != 32 {
+		t.Fatalf("got %d events, want 32", got)
+	}
+	kinds := map[Kind]bool{}
+	for _, e := range p.Events {
+		if e.Epoch < 3 || e.Epoch >= 8 {
+			t.Errorf("event %v outside window [3,8)", e)
+		}
+		kinds[e.Kind] = true
+	}
+	for _, k := range []Kind{WayDisable, LinkDead, LinkDegrade, MonitorCorrupt, MemDerate} {
+		if !kinds[k] {
+			t.Errorf("32-event plan never drew kind %s", k)
+		}
+	}
+}
+
+// TestValidateRejects checks descriptive rejection of malformed events.
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Event
+	}{
+		{"negative epoch", Event{Epoch: -1, Kind: MemDerate, Factor: 2}},
+		{"bad level", Event{Kind: WayDisable, Level: 1, Ways: 1}},
+		{"slice out of range", Event{Kind: WayDisable, Level: 2, Slice: 4, Ways: 1}},
+		{"zero ways", Event{Kind: WayDisable, Level: 2, Slice: 0, Ways: 0}},
+		{"link out of range", Event{Kind: LinkDead, Level: 2, Link: 3}},
+		{"degrade factor below 1", Event{Kind: LinkDegrade, Level: 3, Link: 0, Factor: 0.5}},
+		{"core out of range", Event{Kind: MonitorCorrupt, Core: -1}},
+		{"negative duration", Event{Kind: MonitorCorrupt, Core: 0, Duration: -2}},
+		{"derate below 1", Event{Kind: MemDerate, Factor: 0.9}},
+		{"unknown kind", Event{Kind: Kind(99)}},
+	}
+	for _, tc := range cases {
+		p := &Plan{Events: []Event{tc.ev}}
+		if err := p.Validate(4); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.ev)
+		}
+	}
+}
+
+// TestValidateNilSafe checks the nil plan behaves as empty everywhere.
+func TestValidateNilSafe(t *testing.T) {
+	var p *Plan
+	if err := p.Validate(16); err != nil {
+		t.Errorf("nil plan failed validation: %v", err)
+	}
+	if !p.Empty() {
+		t.Error("nil plan not Empty")
+	}
+	if got := p.At(0); got != nil {
+		t.Errorf("nil plan At(0) = %v", got)
+	}
+	if got := p.Fingerprint(); got != "" {
+		t.Errorf("nil plan fingerprint = %q", got)
+	}
+}
+
+// TestAtFiltersByEpoch checks At returns exactly the events of one epoch in
+// schedule order.
+func TestAtFiltersByEpoch(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Epoch: 1, Kind: MemDerate, Factor: 2},
+		{Epoch: 3, Kind: LinkDead, Level: 2, Link: 0},
+		{Epoch: 1, Kind: MonitorCorrupt, Core: 2, Duration: 1},
+	}}
+	got := p.At(1)
+	if len(got) != 2 || got[0].Kind != MemDerate || got[1].Kind != MonitorCorrupt {
+		t.Errorf("At(1) = %v", got)
+	}
+	if got := p.At(2); got != nil {
+		t.Errorf("At(2) = %v, want nil", got)
+	}
+}
+
+// TestNewPlanRejectsBadSpecs covers the Spec guard rails.
+func TestNewPlanRejectsBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{Cores: 1, Epochs: 4, Events: 1},
+		{Cores: 8, Epochs: 0, Events: 1},
+		{Cores: 8, Epochs: 4, Events: -1},
+		{Cores: 8, FirstEpoch: -1, Epochs: 4, Events: 1},
+	}
+	for _, s := range bad {
+		if _, err := NewPlan(1, s); err == nil {
+			t.Errorf("NewPlan accepted bad spec %+v", s)
+		}
+	}
+}

@@ -98,6 +98,9 @@ func (s *System) access(core int, a mem.Access, now uint64) AccessResult {
 		remote := slice != core
 		if remote && s.p.ChargeRemote {
 			lat += s.p.L2LocalCycles + s.remoteOvL2[slice]
+			if s.flt.any {
+				lat += s.linkExtra(L2, core, slice)
+			}
 			if s.p.ModelContention {
 				_, ov := s.busL2.Transact(slice, now)
 				if extra := int(ov) - s.p.BusTiming.OverheadCPUCycles(); extra > 0 {
@@ -143,6 +146,9 @@ func (s *System) access(core int, a mem.Access, now uint64) AccessResult {
 		remote := slice != core
 		if remote && s.p.ChargeRemote {
 			lat += s.p.L3LocalCycles + s.remoteOvL3[slice]
+			if s.flt.any {
+				lat += s.linkExtra(L3, core, slice)
+			}
 			if s.p.ModelContention {
 				_, ov := s.busL3.Transact(slice, now)
 				if extra := int(ov) - s.p.BusTiming.OverheadCPUCycles(); extra > 0 {
@@ -542,17 +548,13 @@ func (s *System) interconnectWait(l Level, core, serveSlice int, now uint64, ser
 	return wait
 }
 
-// memWait charges one transaction on the shared memory channel.
+// memWait charges one transaction on the shared memory channel (whose
+// service time a MemDerate fault can stretch).
 func (s *System) memWait(now uint64) int {
-	if s.p.MemChannelCycles == 0 {
+	wait, charged := s.memChan.Wait(now)
+	if !charged {
 		return 0
 	}
-	start := float64(now)
-	if s.memBusy > start {
-		start = s.memBusy
-	}
-	s.memBusy = start + s.p.MemChannelCycles
-	wait := int(start - float64(now))
 	s.stats.MemTransactions++
 	s.stats.MemWaitCycles += uint64(wait)
 	return wait

@@ -1,0 +1,256 @@
+package hierarchy
+
+import (
+	"fmt"
+
+	"morphcache/internal/bus"
+	"morphcache/internal/fault"
+	"morphcache/internal/telemetry"
+)
+
+// Fault plumbing: the hierarchy is the component that turns an abstract
+// fault.Event into concrete damage — dead ways, slow links, lying monitors,
+// a derated memory channel — and that exposes the resulting state to the
+// controller (which reacts) and to telemetry (which records). The healthy
+// path is kept bit-identical to the pre-fault simulator: every fault check
+// sits behind the flt.any flag, which stays false until the first
+// ApplyFault call.
+
+// corruptUtilization is the utilization a corrupted (stuck-at-1) ACFV
+// monitor reports: the vector reads near-saturated regardless of the true
+// footprint, so any group containing the core appears to demand 1.5 slices
+// of capacity per core. The value is chosen to clear every MSAT High bound
+// (1.05 by default) so an untreated corruption reliably drives the
+// controller's capacity rules.
+const corruptUtilization = 1.5
+
+// faultState aggregates injected damage. Zero value = healthy machine; the
+// slices stay nil until the first fault of their kind so the hot paths pay
+// one flag test.
+type faultState struct {
+	// any flips true on the first applied fault and never resets (hardware
+	// faults do not heal).
+	any bool
+	// linkSlow*[k] is the occupancy/latency multiplier of the interior bus
+	// link between slices k and k+1 (1 = healthy); linkDead*[k] marks links
+	// that failed entirely (multiplier pinned at bus.DeadLinkFactor).
+	linkSlowL2, linkSlowL3 []float64
+	linkDeadL2, linkDeadL3 []bool
+	// corrupt[c] is the number of epochs core c's ACFV monitor remains
+	// corrupted; aged by AgeFaults at epoch boundaries.
+	corrupt []int
+}
+
+func (f *faultState) ensureLinks(cores int) {
+	if f.linkSlowL2 == nil {
+		f.linkSlowL2 = make([]float64, cores-1)
+		f.linkSlowL3 = make([]float64, cores-1)
+		f.linkDeadL2 = make([]bool, cores-1)
+		f.linkDeadL3 = make([]bool, cores-1)
+		for k := range f.linkSlowL2 {
+			f.linkSlowL2[k], f.linkSlowL3[k] = 1, 1
+		}
+	}
+}
+
+func (f *faultState) links(l Level) (dead []bool, slow []float64) {
+	if l == L2 {
+		return f.linkDeadL2, f.linkSlowL2
+	}
+	return f.linkDeadL3, f.linkSlowL3
+}
+
+func faultLevel(l int) Level {
+	if l == 2 {
+		return L2
+	}
+	return L3
+}
+
+func (s *System) busAt(l Level) *bus.SegmentedBus {
+	if l == L2 {
+		return s.busL2
+	}
+	return s.busL3
+}
+
+// ApplyFault injects one fault event into the running hierarchy. Faults are
+// cumulative and permanent (except monitor corruption, which ages out via
+// AgeFaults). Lines resident in ways that a WayDisable kills are evicted
+// through the ordinary eviction path, so inclusion and the present masks
+// stay consistent.
+func (s *System) ApplyFault(ev fault.Event) error {
+	plan := fault.Plan{Events: []fault.Event{ev}}
+	if err := plan.Validate(s.p.Cores); err != nil {
+		return err
+	}
+	switch ev.Kind {
+	case fault.WayDisable:
+		l := faultLevel(ev.Level)
+		sl := s.sliceAt(l, ev.Slice)
+		dropped := sl.SetDisabledWays(sl.DisabledWays() + ev.Ways)
+		for _, e := range dropped {
+			s.dropEvicted(l, ev.Slice, e)
+		}
+	case fault.LinkDead:
+		l := faultLevel(ev.Level)
+		s.flt.ensureLinks(s.p.Cores)
+		dead, slow := s.flt.links(l)
+		dead[ev.Link] = true
+		slow[ev.Link] = bus.DeadLinkFactor
+		s.busAt(l).SetLinkDead(ev.Link)
+	case fault.LinkDegrade:
+		l := faultLevel(ev.Level)
+		s.flt.ensureLinks(s.p.Cores)
+		dead, slow := s.flt.links(l)
+		if !dead[ev.Link] && ev.Factor > slow[ev.Link] {
+			slow[ev.Link] = ev.Factor
+		}
+		s.busAt(l).SetLinkDegrade(ev.Link, ev.Factor)
+	case fault.MonitorCorrupt:
+		if s.flt.corrupt == nil {
+			s.flt.corrupt = make([]int, s.p.Cores)
+		}
+		dur := ev.Duration
+		if dur < 1 {
+			dur = 1
+		}
+		if dur > s.flt.corrupt[ev.Core] {
+			s.flt.corrupt[ev.Core] = dur
+		}
+	case fault.MemDerate:
+		if ev.Factor > s.memChan.Derate() {
+			s.memChan.SetDerate(ev.Factor)
+		}
+	default:
+		return fmt.Errorf("hierarchy: unknown fault kind %v", ev.Kind)
+	}
+	s.flt.any = true
+	return nil
+}
+
+// AgeFaults advances transient faults by one epoch: monitor corruption
+// counts down and eventually clears. Called by the engine at epoch starts.
+func (s *System) AgeFaults() {
+	for i, d := range s.flt.corrupt {
+		if d > 0 {
+			s.flt.corrupt[i] = d - 1
+		}
+	}
+}
+
+// HasFaults reports whether any fault has ever been applied.
+func (s *System) HasFaults() bool { return s.flt.any }
+
+// MonitorCorrupt reports whether core c's ACFV monitor is currently
+// corrupted (its utilization/overlap readings are garbage).
+func (s *System) MonitorCorrupt(core int) bool {
+	return s.flt.corrupt != nil && s.flt.corrupt[core] > 0
+}
+
+// CorruptMonitors lists the cores with currently corrupted monitors, in
+// ascending order.
+func (s *System) CorruptMonitors() []int {
+	var out []int
+	for c, d := range s.flt.corrupt {
+		if d > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// SpansDeadLink reports whether a contiguous slice span [members[0],
+// members[len-1]] crosses a dead interior bus link at the level — such a
+// group's intra-group traffic must ride the dead link and pays
+// bus.DeadLinkFactor on every crossing.
+func (s *System) SpansDeadLink(l Level, members []int) bool {
+	dead, _ := s.flt.links(l)
+	if dead == nil || len(members) < 2 {
+		return false
+	}
+	lo, hi := members[0], members[len(members)-1]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	for k := lo; k < hi; k++ {
+		if dead[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// linkExtra returns the extra cycles a remote access between slices a and b
+// pays for degraded/dead links on its path: each crossed link with
+// multiplier f > 1 stretches the base bus overhead by (f-1)×base.
+func (s *System) linkExtra(l Level, a, b int) int {
+	_, slow := s.flt.links(l)
+	if slow == nil || a == b {
+		return 0
+	}
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	base := float64(s.p.BusTiming.OverheadCPUCycles())
+	extra := 0
+	for k := lo; k < hi; k++ {
+		if f := slow[k]; f > 1 {
+			extra += int(base * (f - 1))
+		}
+	}
+	return extra
+}
+
+// effSliceLines returns the usable line capacity of one slice: full
+// capacity minus the sets×ways killed by disabled ways.
+func (s *System) effSliceLines(l Level, slice int) int {
+	sl := s.sliceAt(l, slice)
+	if sl.DisabledWays() > 0 {
+		return sl.Sets() * sl.EffectiveWays()
+	}
+	return s.sliceLines(l)
+}
+
+// FaultState summarizes the current fault state for telemetry, or nil on a
+// healthy machine (so no-fault runs serialize byte-identically to builds
+// that predate fault injection).
+func (s *System) FaultState() *telemetry.FaultState {
+	if !s.flt.any {
+		return nil
+	}
+	fs := &telemetry.FaultState{CorruptMonitors: s.CorruptMonitors()}
+	if d := s.memChan.Derate(); d > 1 {
+		fs.MemDerate = d
+	}
+	dis := func(l Level) []int {
+		out := make([]int, s.p.Cores)
+		nz := false
+		for i := range out {
+			out[i] = s.sliceAt(l, i).DisabledWays()
+			nz = nz || out[i] > 0
+		}
+		if !nz {
+			return nil
+		}
+		return out
+	}
+	fs.DisabledWaysL2, fs.DisabledWaysL3 = dis(L2), dis(L3)
+	links := func(dead []bool, slow []float64) (dl, dg []int) {
+		for k := range slow {
+			switch {
+			case dead[k]:
+				dl = append(dl, k)
+			case slow[k] > 1:
+				dg = append(dg, k)
+			}
+		}
+		return dl, dg
+	}
+	if s.flt.linkSlowL2 != nil {
+		fs.DeadLinksL2, fs.DegradedLinksL2 = links(s.flt.linkDeadL2, s.flt.linkSlowL2)
+		fs.DeadLinksL3, fs.DegradedLinksL3 = links(s.flt.linkDeadL3, s.flt.linkSlowL3)
+	}
+	return fs
+}

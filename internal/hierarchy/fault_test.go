@@ -1,0 +1,284 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"morphcache/internal/bus"
+	"morphcache/internal/fault"
+	"morphcache/internal/mem"
+	"morphcache/internal/topology"
+)
+
+func TestApplyFaultRejectsInvalidEvents(t *testing.T) {
+	s := quiet(t, topology.AllPrivate(4), true)
+	bad := []fault.Event{
+		{Kind: fault.WayDisable, Level: 2, Slice: 9, Ways: 1}, // slice out of range
+		{Kind: fault.LinkDead, Level: 4, Link: 0},             // no such level
+		{Kind: fault.LinkDegrade, Level: 2, Link: 0, Factor: 0.5},
+		{Kind: fault.Kind(99)},
+	}
+	for _, ev := range bad {
+		if err := s.ApplyFault(ev); err == nil {
+			t.Errorf("ApplyFault(%+v) accepted", ev)
+		}
+	}
+	if s.HasFaults() {
+		t.Fatal("rejected events must not mark the machine faulty")
+	}
+	if s.FaultState() != nil {
+		t.Fatal("healthy machine must report nil fault state")
+	}
+}
+
+func TestWayDisableShrinksCapacityAndKeepsInclusion(t *testing.T) {
+	s := quiet(t, topology.AllPrivate(4), true)
+	// Load core 0's slices so the disabled ways actually hold lines.
+	for i := 0; i < 4000; i++ {
+		s.Access(0, rd(mem.Line(i), 1), 0)
+	}
+	if err := s.CheckInclusion(); err != nil {
+		t.Fatalf("pre-fault: %v", err)
+	}
+	full := s.effSliceLines(L2, 0)
+	if err := s.ApplyFault(fault.Event{Kind: fault.WayDisable, Level: 2, Slice: 0, Ways: 2}); err != nil {
+		t.Fatal(err)
+	}
+	sl := s.SliceCache(L2, 0)
+	if sl.DisabledWays() != 2 || sl.EffectiveWays() != sl.Ways()-2 {
+		t.Fatalf("disabled=%d effective=%d of %d ways", sl.DisabledWays(), sl.EffectiveWays(), sl.Ways())
+	}
+	if got, want := s.effSliceLines(L2, 0), sl.Sets()*(sl.Ways()-2); got != want {
+		t.Fatalf("effective lines %d, want %d (full %d)", got, want, full)
+	}
+	// Dropped lines must have gone through the ordinary eviction path.
+	if err := s.CheckInclusion(); err != nil {
+		t.Fatalf("post-fault: %v", err)
+	}
+	// Cumulative: a second event stacks, clamped to leave one live way.
+	if err := s.ApplyFault(fault.Event{Kind: fault.WayDisable, Level: 2, Slice: 0, Ways: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if sl.EffectiveWays() != 1 {
+		t.Fatalf("over-disabling must leave one way, got %d", sl.EffectiveWays())
+	}
+	if err := s.CheckInclusion(); err != nil {
+		t.Fatalf("post-clamp: %v", err)
+	}
+	// The slice still works.
+	s.Access(0, rd(7, 1), 0)
+	if r := s.Access(0, rd(7, 1), 0); r.Served != ByL1 {
+		t.Fatalf("access after way disable: %+v", r)
+	}
+}
+
+func TestDeadLinkStretchesRemoteHits(t *testing.T) {
+	remoteHit := func(withFault bool) int {
+		topo := topology.Topology{L2: topology.Shared(4), L3: topology.Shared(4)}
+		s := quiet(t, topo, true)
+		s.SetCoreASID(0, 7)
+		s.SetCoreASID(1, 7)
+		if withFault {
+			if err := s.ApplyFault(fault.Event{Kind: fault.LinkDead, Level: 2, Link: 0}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Access(1, rd(500, 7), 0) // fills slice 1
+		r := s.Access(0, rd(500, 7), 0)
+		if r.Served != ByL2 || !r.Remote {
+			t.Fatalf("expected remote L2 hit, got %+v", r)
+		}
+		return r.Latency
+	}
+	healthy, faulty := remoteHit(false), remoteHit(true)
+	base := ScaledDefault(4, 16).BusTiming.OverheadCPUCycles()
+	want := healthy + int(float64(base)*(bus.DeadLinkFactor-1))
+	if faulty != want {
+		t.Fatalf("dead-link remote hit latency %d, want %d (healthy %d)", faulty, want, healthy)
+	}
+}
+
+func TestLinkDegradeAndDeadPrecedence(t *testing.T) {
+	s := quiet(t, topology.AllPrivate(4), true)
+	if err := s.ApplyFault(fault.Event{Kind: fault.LinkDegrade, Level: 3, Link: 1, Factor: 3}); err != nil {
+		t.Fatal(err)
+	}
+	base := s.Params().BusTiming.OverheadCPUCycles()
+	if got, want := s.linkExtra(L3, 0, 2), int(float64(base)*2); got != want {
+		t.Fatalf("degraded link extra %d, want %d", got, want)
+	}
+	// A weaker degrade must not relax the stronger one.
+	if err := s.ApplyFault(fault.Event{Kind: fault.LinkDegrade, Level: 3, Link: 1, Factor: 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.linkExtra(L3, 0, 2); got != int(float64(base)*2) {
+		t.Fatalf("weaker degrade overwrote: %d", got)
+	}
+	// Death pins the multiplier at DeadLinkFactor; later degrades are moot.
+	if err := s.ApplyFault(fault.Event{Kind: fault.LinkDead, Level: 3, Link: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyFault(fault.Event{Kind: fault.LinkDegrade, Level: 3, Link: 1, Factor: 40}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.linkExtra(L3, 0, 2), int(float64(base)*(bus.DeadLinkFactor-1)); got != want {
+		t.Fatalf("dead link extra %d, want %d", got, want)
+	}
+	// Paths not crossing the link pay nothing extra.
+	if s.linkExtra(L3, 0, 1) != 0 || s.linkExtra(L3, 2, 3) != 0 {
+		t.Fatal("non-crossing paths must stay free")
+	}
+}
+
+func TestSpansDeadLink(t *testing.T) {
+	s := quiet(t, topology.AllPrivate(4), true)
+	if s.SpansDeadLink(L3, []int{0, 1, 2, 3}) {
+		t.Fatal("healthy machine has no dead links")
+	}
+	if err := s.ApplyFault(fault.Event{Kind: fault.LinkDead, Level: 3, Link: 1}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		members []int
+		want    bool
+	}{
+		{[]int{0, 1}, false}, // link 0 is healthy
+		{[]int{1, 2}, true},  // crosses link 1
+		{[]int{0, 1, 2, 3}, true},
+		{[]int{2, 3}, false},
+		{[]int{2}, false}, // singleton spans nothing
+	}
+	for _, c := range cases {
+		if got := s.SpansDeadLink(L3, c.members); got != c.want {
+			t.Errorf("SpansDeadLink(L3, %v) = %v, want %v", c.members, got, c.want)
+		}
+	}
+	// The other level is unaffected.
+	if s.SpansDeadLink(L2, []int{1, 2}) {
+		t.Fatal("L2 links are healthy")
+	}
+}
+
+func TestMonitorCorruptionSaturatesThenHeals(t *testing.T) {
+	s := quiet(t, topology.AllPrivate(4), true)
+	// Plant a small true footprint for core 0.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < 50; i++ {
+			s.markDemand(L3, 0, 0, mem.Line(i))
+		}
+	}
+	real0 := s.CoresUtilization(L3, []int{0})
+	if real0 >= corruptUtilization {
+		t.Fatalf("planted footprint too big for the test: %v", real0)
+	}
+	if err := s.ApplyFault(fault.Event{Kind: fault.MonitorCorrupt, Core: 0, Duration: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.MonitorCorrupt(0) || s.MonitorCorrupt(1) {
+		t.Fatal("corruption must be per-core")
+	}
+	if got := s.CoresUtilization(L3, []int{0}); got != corruptUtilization {
+		t.Fatalf("corrupted utilization %v, want saturated %v", got, corruptUtilization)
+	}
+	if got := s.CoresOverlap(L3, []int{0}, []int{1}); got != 1 {
+		t.Fatalf("corrupted overlap %v, want 1", got)
+	}
+	// Healthy cores' readings stay truthful while another core is corrupt.
+	if got := s.CoresUtilization(L3, []int{1}); got != 0 {
+		t.Fatalf("healthy core's reading disturbed: %v", got)
+	}
+	// Ages out after Duration epochs, then the true reading returns.
+	s.AgeFaults()
+	if !s.MonitorCorrupt(0) {
+		t.Fatal("corruption must persist for its full duration")
+	}
+	s.AgeFaults()
+	if s.MonitorCorrupt(0) {
+		t.Fatal("corruption must heal after its duration")
+	}
+	if got := s.CoresUtilization(L3, []int{0}); got != real0 {
+		t.Fatalf("healed reading %v, want true %v", got, real0)
+	}
+}
+
+func TestMemDerateStretchesChannel(t *testing.T) {
+	run := func(withFault bool) uint64 {
+		p := ScaledDefault(4, 16)
+		p.ChargeRemote = true
+		s, err := New(p, topology.AllPrivate(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < 4; c++ {
+			s.SetCoreASID(c, mem.ASID(c+1))
+		}
+		if withFault {
+			if err := s.ApplyFault(fault.Event{Kind: fault.MemDerate, Factor: 2}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Four simultaneous cold misses collide on the one memory channel.
+		for c := 0; c < 4; c++ {
+			s.Access(c, rd(mem.Line(uint64(c)<<20), mem.ASID(c+1)), 0)
+		}
+		return s.Stats().MemWaitCycles
+	}
+	healthy, derated := run(false), run(true)
+	if healthy == 0 {
+		t.Fatal("test needs channel contention to observe the derate")
+	}
+	if derated != 2*healthy {
+		t.Fatalf("2x derate should double queueing: healthy %d, derated %d", healthy, derated)
+	}
+}
+
+func TestFaultStateSnapshot(t *testing.T) {
+	s := quiet(t, topology.AllPrivate(4), true)
+	events := []fault.Event{
+		{Kind: fault.WayDisable, Level: 3, Slice: 2, Ways: 1},
+		{Kind: fault.LinkDead, Level: 2, Link: 0},
+		{Kind: fault.LinkDegrade, Level: 2, Link: 2, Factor: 2.5},
+		{Kind: fault.MonitorCorrupt, Core: 3, Duration: 4},
+		{Kind: fault.MemDerate, Factor: 1.5},
+	}
+	for _, ev := range events {
+		if err := s.ApplyFault(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs := s.FaultState()
+	if fs == nil {
+		t.Fatal("faulty machine must report state")
+	}
+	if fs.DisabledWaysL2 != nil {
+		t.Fatalf("no L2 ways disabled, got %v", fs.DisabledWaysL2)
+	}
+	if len(fs.DisabledWaysL3) != 4 || fs.DisabledWaysL3[2] != 1 {
+		t.Fatalf("DisabledWaysL3 %v", fs.DisabledWaysL3)
+	}
+	if len(fs.DeadLinksL2) != 1 || fs.DeadLinksL2[0] != 0 {
+		t.Fatalf("DeadLinksL2 %v", fs.DeadLinksL2)
+	}
+	if len(fs.DegradedLinksL2) != 1 || fs.DegradedLinksL2[0] != 2 {
+		t.Fatalf("DegradedLinksL2 %v", fs.DegradedLinksL2)
+	}
+	if len(fs.DeadLinksL3) != 0 || len(fs.DegradedLinksL3) != 0 {
+		t.Fatalf("L3 links are healthy: %v / %v", fs.DeadLinksL3, fs.DegradedLinksL3)
+	}
+	if len(fs.CorruptMonitors) != 1 || fs.CorruptMonitors[0] != 3 {
+		t.Fatalf("CorruptMonitors %v", fs.CorruptMonitors)
+	}
+	if fs.MemDerate != 1.5 {
+		t.Fatalf("MemDerate %v", fs.MemDerate)
+	}
+	// The telemetry snapshot carries the same state.
+	if snap := s.TelemetrySnapshot(); snap.Faults == nil || snap.Faults.MemDerate != 1.5 {
+		t.Fatalf("Snapshot.Faults = %+v", s.TelemetrySnapshot().Faults)
+	}
+	// Corruption healing drops the core from subsequent snapshots.
+	for i := 0; i < 4; i++ {
+		s.AgeFaults()
+	}
+	if fs := s.FaultState(); len(fs.CorruptMonitors) != 0 {
+		t.Fatalf("healed monitor still reported: %v", fs.CorruptMonitors)
+	}
+}

@@ -107,7 +107,10 @@ func (s *System) sliceReused(l Level, slice int, into map[mem.Line]struct{}) {
 func (s *System) SliceUtilization(l Level, slice int) float64 {
 	set := make(map[mem.Line]struct{})
 	s.sliceReused(l, slice, set)
-	return float64(len(set)) / float64(s.sliceLines(l))
+	if !s.flt.any {
+		return float64(len(set)) / float64(s.sliceLines(l))
+	}
+	return float64(len(set)) / float64(s.effSliceLines(l, slice))
 }
 
 // SubsetUtilization returns the juxtaposed utilization of a set of slices
@@ -119,7 +122,14 @@ func (s *System) SubsetUtilization(l Level, slices []int) float64 {
 	for _, sl := range slices {
 		s.sliceReused(l, sl, set)
 	}
-	return float64(len(set)) / (float64(len(slices)) * float64(s.sliceLines(l)))
+	if !s.flt.any {
+		return float64(len(set)) / (float64(len(slices)) * float64(s.sliceLines(l)))
+	}
+	capLines := 0
+	for _, sl := range slices {
+		capLines += s.effSliceLines(l, sl)
+	}
+	return float64(len(set)) / float64(capLines)
 }
 
 // GroupUtilization returns the utilization of a whole group.
@@ -200,19 +210,44 @@ func (s *System) coreReused(l Level, core int, into map[mem.Line]struct{}) {
 // CoresUtilization returns the combined reuse demand of a set of cores
 // (threads) as a fraction of len(cores) slices of capacity — the per-thread
 // ACF signal the controller's merge and split rules compare against the
-// MSAT bounds.
+// MSAT bounds. Under faults, the denominator counts only usable capacity
+// (disabled ways excluded), and a corrupted monitor in the set saturates
+// the reading to corruptUtilization — the garbage a stuck-at-1 ACFV feeds
+// an unprotected controller.
 func (s *System) CoresUtilization(l Level, cores []int) float64 {
 	set := make(map[mem.Line]struct{})
 	for _, c := range cores {
 		s.coreReused(l, c, set)
 	}
-	return float64(len(set)) / (float64(len(cores)) * float64(s.sliceLines(l)))
+	if !s.flt.any {
+		return float64(len(set)) / (float64(len(cores)) * float64(s.sliceLines(l)))
+	}
+	capLines, corrupt := 0, false
+	for _, c := range cores {
+		capLines += s.effSliceLines(l, c)
+		corrupt = corrupt || s.MonitorCorrupt(c)
+	}
+	u := float64(len(set)) / float64(capLines)
+	if corrupt && u < corruptUtilization {
+		u = corruptUtilization
+	}
+	return u
 }
 
 // CoresOverlap returns the fraction of the smaller side's per-thread reuse
 // demand that both sides reference — the data-sharing signal of merge rule
-// (ii), computed per thread group.
+// (ii), computed per thread group. A corrupted monitor on either side reads
+// full overlap (stuck-at-1 vectors intersect everywhere).
 func (s *System) CoresOverlap(l Level, a, b []int) float64 {
+	if s.flt.any {
+		for _, set := range [][]int{a, b} {
+			for _, c := range set {
+				if s.MonitorCorrupt(c) {
+					return 1
+				}
+			}
+		}
+	}
 	sa := make(map[mem.Line]struct{})
 	sb := make(map[mem.Line]struct{})
 	for _, c := range a {

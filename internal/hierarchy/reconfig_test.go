@@ -1,0 +1,168 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"morphcache/internal/fault"
+	"morphcache/internal/mem"
+	"morphcache/internal/rng"
+	"morphcache/internal/topology"
+)
+
+// TestReconfigEdgeCases drives SetTopology through the degenerate shapes the
+// controller can legally request — re-applying the current topology,
+// merging clusters that are already merged, collapsing around a single live
+// core, and reconfiguring slices with fault-disabled ways — and checks the
+// inclusion invariants and bookkeeping survive every one.
+func TestReconfigEdgeCases(t *testing.T) {
+	pairs := topology.Topology{
+		L2: mustGroups(t, 4, [][]int{{0, 1}, {2}, {3}}),
+		L3: mustGroups(t, 4, [][]int{{0, 1}, {2}, {3}}),
+	}
+	cases := []struct {
+		name string
+		// start is the topology the hierarchy is built with.
+		start topology.Topology
+		// live lists the cores that issue the warm-up accesses.
+		live []int
+		// faults are injected after the warm-up, before the reconfig.
+		faults []fault.Event
+		// target is handed to SetTopology.
+		target topology.Topology
+		// wantInv is whether the reconfig must strand (invalidate) lines.
+		wantInv bool
+	}{
+		{
+			name:   "reapply identical topology",
+			start:  pairs,
+			live:   []int{0, 1, 2, 3},
+			target: pairs,
+		},
+		{
+			name:  "merge already-merged pair into quad",
+			start: pairs,
+			live:  []int{0, 1, 2, 3},
+			target: topology.Topology{
+				L2: topology.Shared(4),
+				L3: topology.Shared(4),
+			},
+		},
+		{
+			name:    "split already-split slices further is a no-op",
+			start:   topology.AllPrivate(4),
+			live:    []int{0, 1, 2, 3},
+			target:  topology.AllPrivate(4),
+			wantInv: false,
+		},
+		{
+			name:  "single live core merge then keep",
+			start: topology.AllPrivate(4),
+			live:  []int{0},
+			target: topology.Topology{
+				L2: topology.Shared(4),
+				L3: topology.Shared(4),
+			},
+		},
+		{
+			name:    "single live core split from shared",
+			start:   topology.Topology{L2: topology.Shared(4), L3: topology.Shared(4)},
+			live:    []int{0},
+			target:  topology.AllPrivate(4),
+			wantInv: true, // core 0's spilled lines strand in remote slices
+		},
+		{
+			name:  "merge with disabled ways",
+			start: topology.AllPrivate(4),
+			live:  []int{0, 1, 2, 3},
+			faults: []fault.Event{
+				{Kind: fault.WayDisable, Level: 2, Slice: 1, Ways: 2},
+				{Kind: fault.WayDisable, Level: 3, Slice: 0, Ways: 1},
+			},
+			target: topology.Topology{
+				L2: topology.Shared(4),
+				L3: topology.Shared(4),
+			},
+		},
+		{
+			name:  "split with disabled ways",
+			start: topology.Topology{L2: topology.Shared(4), L3: topology.Shared(4)},
+			live:  []int{0, 1, 2, 3},
+			faults: []fault.Event{
+				{Kind: fault.WayDisable, Level: 3, Slice: 2, Ways: 3},
+			},
+			target:  topology.AllPrivate(4),
+			wantInv: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := quiet(t, tc.start, true)
+			r := rng.New(11)
+			for i := 0; i < 20000; i++ {
+				c := tc.live[r.Intn(len(tc.live))]
+				s.Access(c, rd(mem.Line(uint64(c)<<22|uint64(r.Intn(2500))), mem.ASID(c+1)), uint64(i*20))
+			}
+			if err := s.CheckInclusion(); err != nil {
+				t.Fatalf("pre-reconfig: %v", err)
+			}
+			for _, ev := range tc.faults {
+				if err := s.ApplyFault(ev); err != nil {
+					t.Fatal(err)
+				}
+			}
+			before := s.Stats().InclusionInv
+			if err := s.SetTopology(tc.target); err != nil {
+				t.Fatal(err)
+			}
+			inv := s.Stats().InclusionInv - before
+			if tc.wantInv && inv == 0 {
+				t.Error("shrinking reconfig stranded no lines")
+			}
+			if !tc.wantInv && inv != 0 {
+				t.Errorf("non-shrinking reconfig invalidated %d lines", inv)
+			}
+			if err := s.CheckInclusion(); err != nil {
+				t.Fatalf("post-reconfig: %v", err)
+			}
+			// Disabled ways are physical damage: they survive reconfiguration.
+			for _, ev := range tc.faults {
+				if ev.Kind != fault.WayDisable {
+					continue
+				}
+				if got := s.SliceCache(faultLevel(ev.Level), ev.Slice).DisabledWays(); got != ev.Ways {
+					t.Errorf("L%d slice %d disabled ways %d after reconfig, want %d", ev.Level, ev.Slice, got, ev.Ways)
+				}
+			}
+			// The machine keeps running under the new topology.
+			for i := 0; i < 5000; i++ {
+				c := tc.live[r.Intn(len(tc.live))]
+				s.Access(c, rd(mem.Line(uint64(c)<<22|uint64(r.Intn(2500))), mem.ASID(c+1)), uint64(i*20))
+			}
+			if err := s.CheckInclusion(); err != nil {
+				t.Fatalf("post-reconfig traffic: %v", err)
+			}
+		})
+	}
+}
+
+// TestRemoteOverheadRecompute checks span-scaled overheads are recomputed on
+// every reconfiguration, including back to private.
+func TestRemoteOverheadRecompute(t *testing.T) {
+	s := quiet(t, topology.AllPrivate(4), true)
+	base := s.Params().BusTiming.OverheadCPUCycles()
+	if err := s.SetTopology(topology.Topology{
+		L2: mustGroups(t, 4, [][]int{{0, 3}, {1}, {2}}),
+		L3: mustGroups(t, 4, [][]int{{0, 3}, {1}, {2}}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ov := s.remoteOvL2[0]; ov != base*4/2 {
+		t.Fatalf("span-4 size-2 overhead %d, want %d", ov, base*4/2)
+	}
+	if err := s.SetTopology(topology.AllPrivate(4)); err != nil {
+		t.Fatal(err)
+	}
+	if ov := s.remoteOvL2[0]; ov != base {
+		t.Fatalf("overhead not restored on split: %d, want %d", ov, base)
+	}
+}

@@ -291,13 +291,16 @@ type System struct {
 	// (§5.3) compares these across reconfigurations.
 	perCoreMisses []uint64
 
-	// chanBusyL2/L3[group] and memBusy are the finite-bandwidth channel
+	// chanBusyL2/L3[group] and the memory channel hold the finite-bandwidth
 	// occupancies (see the *ChannelCycles parameters). In crossbar mode the
 	// port* arrays (indexed by slice) are used instead of chan* (indexed by
 	// group).
 	chanBusyL2, chanBusyL3 []float64
 	portBusyL2, portBusyL3 []float64
-	memBusy                float64
+	memChan                *mem.Channel
+
+	// flt is the injected-fault state (see fault.go); zero value = healthy.
+	flt faultState
 
 	// remoteOverheadL2/L3[slice] caches the per-slice bus overhead for the
 	// current topology; differs from the uniform overhead only for
@@ -326,6 +329,7 @@ func New(p Params, topo topology.Topology) (*System, error) {
 		perCoreMisses: make([]uint64, p.Cores),
 		busL2:         bus.NewSegmentedBus(p.Cores, p.BusTiming),
 		busL3:         bus.NewSegmentedBus(p.Cores, p.BusTiming),
+		memChan:       mem.NewChannel(p.MemChannelCycles),
 		portBusyL2:    make([]float64, p.Cores),
 		portBusyL3:    make([]float64, p.Cores),
 		remoteOvL2:    make([]int, p.Cores),

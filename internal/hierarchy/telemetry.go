@@ -20,6 +20,7 @@ func (s *System) TelemetrySnapshot() telemetry.Snapshot {
 			MemTransactions: s.stats.MemTransactions,
 			MemWaitCycles:   s.stats.MemWaitCycles,
 		},
+		Faults: s.FaultState(),
 	}
 	for c := 0; c < s.p.Cores; c++ {
 		cs := s.perCore[c]

@@ -1,0 +1,50 @@
+package mem
+
+// Channel models one finite-bandwidth memory channel as a single-server
+// occupancy line: each transaction holds the channel for the service time,
+// and later arrivals queue behind it. It carries the hierarchy's former
+// inline accounting so fault injection can derate the channel (a DRAM
+// channel dropping to a slower speed bin) without the hierarchy knowing the
+// details.
+type Channel struct {
+	// service is the healthy per-transaction occupancy in CPU cycles
+	// (fractional values model banked/wide channels). Zero disables the
+	// channel entirely.
+	service float64
+	// derate multiplies the occupancy (fault injection); 1 is healthy.
+	derate float64
+	// busy is the cycle at which the channel frees up.
+	busy float64
+}
+
+// NewChannel returns a healthy channel with the given service occupancy.
+func NewChannel(service float64) *Channel {
+	return &Channel{service: service, derate: 1}
+}
+
+// SetDerate sets the occupancy multiplier. Factors below 1 are clamped to 1
+// (faults only slow a channel down).
+func (c *Channel) SetDerate(f float64) {
+	if f < 1 {
+		f = 1
+	}
+	c.derate = f
+}
+
+// Derate returns the current occupancy multiplier.
+func (c *Channel) Derate() float64 { return c.derate }
+
+// Wait charges one transaction starting at CPU cycle now. It returns the
+// queueing delay in cycles and whether the channel is modeled at all
+// (disabled channels charge nothing and count nothing).
+func (c *Channel) Wait(now uint64) (wait int, charged bool) {
+	if c == nil || c.service == 0 {
+		return 0, false
+	}
+	start := float64(now)
+	if c.busy > start {
+		start = c.busy
+	}
+	c.busy = start + c.service*c.derate
+	return int(start - float64(now)), true
+}

@@ -1,0 +1,53 @@
+package mem
+
+import "testing"
+
+// TestChannelQueueing checks the basic occupancy line.
+func TestChannelQueueing(t *testing.T) {
+	c := NewChannel(2)
+	if w, ok := c.Wait(100); w != 0 || !ok {
+		t.Fatalf("first transaction waited %d (charged=%v), want 0/true", w, ok)
+	}
+	if w, _ := c.Wait(100); w != 2 {
+		t.Fatalf("back-to-back transaction waited %d, want 2", w)
+	}
+	if w, _ := c.Wait(200); w != 0 {
+		t.Fatalf("late transaction waited %d, want 0", w)
+	}
+}
+
+// TestChannelDerate checks a derated channel stretches occupancy and that
+// derate 1 is exactly the healthy behavior.
+func TestChannelDerate(t *testing.T) {
+	healthy, derated := NewChannel(2), NewChannel(2)
+	derated.SetDerate(1) // explicit no-op must change nothing
+	for now := uint64(0); now < 10; now++ {
+		hw, _ := healthy.Wait(now)
+		dw, _ := derated.Wait(now)
+		if hw != dw {
+			t.Fatalf("derate=1 diverged at now=%d: %d vs %d", now, hw, dw)
+		}
+	}
+	c := NewChannel(2)
+	c.SetDerate(2)
+	c.Wait(0)
+	if w, _ := c.Wait(0); w != 4 {
+		t.Fatalf("derated queueing = %d, want 4", w)
+	}
+	c.SetDerate(0.5) // clamps to 1
+	if c.Derate() != 1 {
+		t.Fatalf("derate clamped to %v, want 1", c.Derate())
+	}
+}
+
+// TestChannelDisabled checks zero-service and nil channels charge nothing.
+func TestChannelDisabled(t *testing.T) {
+	var nilc *Channel
+	if w, ok := nilc.Wait(0); w != 0 || ok {
+		t.Errorf("nil channel charged (%d, %v)", w, ok)
+	}
+	c := NewChannel(0)
+	if w, ok := c.Wait(0); w != 0 || ok {
+		t.Errorf("disabled channel charged (%d, %v)", w, ok)
+	}
+}

@@ -13,6 +13,10 @@
 //     generators, and RNG streams from its spec, sharing nothing mutable
 //     with other jobs (read-only tables like workload profiles are fine).
 //   - One worker (Workers: 1) restores strictly sequential execution.
+//   - Cancelling the context stops dispatch: in-flight jobs are abandoned
+//     with the context's error, undispatched jobs never start, and Run
+//     returns the partial results alongside a descriptive error. An
+//     uncancellable context with no JobTimeout adds no machinery at all.
 //
 // Progress events are delivered serially (under an internal lock) in
 // completion order, so callers may print from the callback without their
@@ -21,8 +25,10 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -58,14 +64,25 @@ type Options struct {
 	// Progress, when non-nil, receives one Event per completed job, in
 	// completion order. Events are delivered serially.
 	Progress func(Event)
+	// JobTimeout, when positive, bounds each job's wall-clock time: a job
+	// exceeding it is abandoned and reported failed. The abandoned
+	// goroutine cannot be killed — it keeps running in the background and
+	// its result is discarded — so timed-out jobs should be treated as a
+	// reason to exit, not to retry in-process.
+	JobTimeout time.Duration
 }
 
 // Run executes the jobs across the pool and returns their results in
 // submission order. If any job fails, the error of the earliest-submitted
 // failing job is returned (deterministically, whatever the completion
 // order was) alongside the partial results. A panicking job is converted
-// to an error rather than crashing the process.
-func Run[T any](jobs []Job[T], opts Options) ([]T, error) {
+// to an error (with its stack) rather than crashing the process. When ctx
+// is cancelled, dispatch stops, running jobs are abandoned, and every job
+// that did not complete carries the context's error.
+func Run[T any](ctx context.Context, jobs []Job[T], opts Options) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -76,8 +93,12 @@ func Run[T any](jobs []Job[T], opts Options) ([]T, error) {
 	results := make([]T, len(jobs))
 	errs := make([]error, len(jobs))
 	if len(jobs) == 0 {
-		return results, nil
+		return results, ctx.Err()
 	}
+
+	// The fast path — uncancellable context, no timeout — runs jobs on the
+	// worker goroutine directly; otherwise each job gets a watchdog.
+	bounded := ctx.Done() != nil || opts.JobTimeout > 0
 
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -89,7 +110,11 @@ func Run[T any](jobs []Job[T], opts Options) ([]T, error) {
 			defer wg.Done()
 			for i := range idx {
 				start := time.Now()
-				results[i], errs[i] = call(jobs[i])
+				if bounded {
+					results[i], errs[i] = callBounded(ctx, jobs[i], opts.JobTimeout)
+				} else {
+					results[i], errs[i] = call(jobs[i])
+				}
 				if opts.Progress != nil {
 					mu.Lock()
 					done++
@@ -106,8 +131,18 @@ func Run[T any](jobs []Job[T], opts Options) ([]T, error) {
 			}
 		}()
 	}
+dispatch:
 	for i := range jobs {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// Undispatched jobs (this one included) never start; mark them
+			// so the batch reports the cancellation.
+			for j := i; j < len(jobs); j++ {
+				errs[j] = ctx.Err()
+			}
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
@@ -120,20 +155,51 @@ func Run[T any](jobs []Job[T], opts Options) ([]T, error) {
 	return results, nil
 }
 
-// call runs one job, converting a panic into an error so one bad job
-// surfaces with its label instead of killing the whole sweep.
+// call runs one job, converting a panic into an error carrying the stack
+// so one bad job surfaces with its label instead of killing the sweep.
 func call[T any](j Job[T]) (res T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("panic: %v", r)
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
 		}
 	}()
 	return j.Run()
 }
 
+// callBounded runs one job under the context and an optional wall-clock
+// timeout. The job runs on its own goroutine; if it outlives the bound it
+// is abandoned (the goroutine drains into a buffered channel) and the
+// worker moves on.
+func callBounded[T any](ctx context.Context, j Job[T], timeout time.Duration) (T, error) {
+	type outcome struct {
+		res T
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		r, e := call(j)
+		ch <- outcome{r, e}
+	}()
+	var expired <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		expired = t.C
+	}
+	var zero T
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-expired:
+		return zero, fmt.Errorf("timed out after %v", timeout)
+	case <-ctx.Done():
+		return zero, ctx.Err()
+	}
+}
+
 // Map runs fn over items with the given options and returns the outputs in
 // item order. Labels default to the item's fmt.Sprint rendering.
-func Map[S, T any](items []S, opts Options, fn func(i int, item S) (T, error)) ([]T, error) {
+func Map[S, T any](ctx context.Context, items []S, opts Options, fn func(i int, item S) (T, error)) ([]T, error) {
 	jobs := make([]Job[T], len(items))
 	for i := range items {
 		i, item := i, items[i]
@@ -142,5 +208,5 @@ func Map[S, T any](items []S, opts Options, fn func(i int, item S) (T, error)) (
 			Run:   func() (T, error) { return fn(i, item) },
 		}
 	}
-	return Run(jobs, opts)
+	return Run(ctx, jobs, opts)
 }

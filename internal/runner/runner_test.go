@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -26,7 +27,7 @@ func TestSubmissionOrder(t *testing.T) {
 		}
 	}
 	for _, workers := range []int{1, 2, 7, n, 2 * n} {
-		got, err := Run(jobs, Options{Workers: workers})
+		got, err := Run(context.Background(), jobs, Options{Workers: workers})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -50,7 +51,7 @@ func TestFirstErrorBySubmissionOrder(t *testing.T) {
 		}},
 		{Label: "fast-fail", Run: func() (int, error) { return 0, errors.New("later job") }},
 	}
-	_, err := Run(jobs, Options{Workers: 3})
+	_, err := Run(context.Background(), jobs, Options{Workers: 3})
 	if err == nil {
 		t.Fatal("want error")
 	}
@@ -62,14 +63,19 @@ func TestFirstErrorBySubmissionOrder(t *testing.T) {
 	}
 }
 
-// TestPanicBecomesError checks a panicking job is reported, not fatal.
+// TestPanicBecomesError checks a panicking job is reported — with the
+// goroutine stack, so the crash site is diagnosable — rather than fatal.
 func TestPanicBecomesError(t *testing.T) {
 	jobs := []Job[int]{
 		{Label: "panicky", Run: func() (int, error) { panic("kaboom") }},
 	}
-	_, err := Run(jobs, Options{Workers: 2})
+	_, err := Run(context.Background(), jobs, Options{Workers: 2})
 	if err == nil || !strings.Contains(err.Error(), "kaboom") {
 		t.Fatalf("panic must surface as an error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "goroutine") ||
+		!strings.Contains(err.Error(), "runner_test.go") {
+		t.Fatalf("panic error must carry the stack trace, got %v", err)
 	}
 }
 
@@ -84,7 +90,7 @@ func TestProgressEvents(t *testing.T) {
 	}
 	seen := make([]bool, n)
 	lastDone := 0
-	_, err := Run(jobs, Options{Workers: 4, Progress: func(ev Event) {
+	_, err := Run(context.Background(), jobs, Options{Workers: 4, Progress: func(ev Event) {
 		if ev.Total != n {
 			t.Errorf("Total = %d, want %d", ev.Total, n)
 		}
@@ -109,7 +115,7 @@ func TestProgressEvents(t *testing.T) {
 
 // TestEmptyBatch checks the degenerate case.
 func TestEmptyBatch(t *testing.T) {
-	got, err := Run([]Job[int]{}, Options{})
+	got, err := Run(context.Background(), []Job[int]{}, Options{})
 	if err != nil || len(got) != 0 {
 		t.Fatalf("empty batch: %v, %v", got, err)
 	}
@@ -133,7 +139,7 @@ func TestWorkerCap(t *testing.T) {
 			return 0, nil
 		}}
 	}
-	if _, err := Run(jobs, Options{Workers: 3}); err != nil {
+	if _, err := Run(context.Background(), jobs, Options{Workers: 3}); err != nil {
 		t.Fatal(err)
 	}
 	if got := peak.Load(); got > 3 {
@@ -144,7 +150,7 @@ func TestWorkerCap(t *testing.T) {
 // TestMap checks the convenience wrapper keeps item order.
 func TestMap(t *testing.T) {
 	items := []string{"a", "bb", "ccc"}
-	got, err := Map(items, Options{Workers: 2}, func(i int, s string) (int, error) {
+	got, err := Map(context.Background(), items, Options{Workers: 2}, func(i int, s string) (int, error) {
 		return len(s), nil
 	})
 	if err != nil {
@@ -154,5 +160,61 @@ func TestMap(t *testing.T) {
 		if v != len(items[i]) {
 			t.Fatalf("result[%d] = %d", i, v)
 		}
+	}
+}
+
+// TestCancellation checks a cancelled batch stops dispatching, keeps the
+// results of jobs that completed before the cancel, and reports the
+// context's error for the rest.
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 8
+	release := make(chan struct{})
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Label: fmt.Sprintf("j%d", i),
+			Run: func() (int, error) {
+				if i == 0 {
+					return 42, nil // completes before the cancel below
+				}
+				cancel()
+				<-release // the in-flight job blocks until after Run returns
+				return i, nil
+			},
+		}
+	}
+	got, err := Run(ctx, jobs, Options{Workers: 1})
+	close(release)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled batch must return the context error, got %v", err)
+	}
+	if got[0] != 42 {
+		t.Fatalf("pre-cancel result lost: %v", got)
+	}
+	for i := 2; i < n; i++ {
+		if got[i] != 0 {
+			t.Fatalf("undispatched job %d produced a result: %v", i, got)
+		}
+	}
+}
+
+// TestJobTimeout checks a stuck job is abandoned with a timeout error
+// while its batch-mates complete normally.
+func TestJobTimeout(t *testing.T) {
+	hang := make(chan struct{})
+	defer close(hang)
+	jobs := []Job[int]{
+		{Label: "quick", Run: func() (int, error) { return 7, nil }},
+		{Label: "stuck", Run: func() (int, error) { <-hang; return 0, nil }},
+	}
+	got, err := Run(context.Background(), jobs, Options{Workers: 2, JobTimeout: 10 * time.Millisecond})
+	if err == nil || !strings.Contains(err.Error(), "timed out") || !strings.Contains(err.Error(), "stuck") {
+		t.Fatalf("want timeout error naming the stuck job, got %v", err)
+	}
+	if got[0] != 7 {
+		t.Fatalf("healthy job's result lost: %v", got)
 	}
 }

@@ -16,6 +16,7 @@ package sim
 import (
 	"fmt"
 
+	"morphcache/internal/fault"
 	"morphcache/internal/hierarchy"
 	"morphcache/internal/mem"
 	"morphcache/internal/metrics"
@@ -116,6 +117,12 @@ func (t *HierarchyTarget) EndEpoch(e int) (int, bool) {
 // Spec implements Target.
 func (t *HierarchyTarget) Spec() string { return t.Sys.Topology().Spec() }
 
+// ApplyFault implements FaultInjectable by delegating to the hierarchy.
+func (t *HierarchyTarget) ApplyFault(ev fault.Event) error { return t.Sys.ApplyFault(ev) }
+
+// AgeFaults implements FaultInjectable.
+func (t *HierarchyTarget) AgeFaults() { t.Sys.AgeFaults() }
+
 // TelemetrySnapshot implements telemetry.Snapshotter by delegating to the
 // hierarchy's counters.
 func (t *HierarchyTarget) TelemetrySnapshot() telemetry.Snapshot {
@@ -159,6 +166,20 @@ type Config struct {
 	// work to the run. The engine calls the recorder from its own goroutine
 	// only, so one recorder per run needs no synchronization.
 	Recorder telemetry.Recorder
+	// Faults, when non-nil and non-empty, is the deterministic fault plan:
+	// each event is injected into the target at the start of its epoch
+	// (absolute index, warmup included). The target must implement
+	// FaultInjectable. Nil injects nothing and leaves the run byte-identical
+	// to a build without fault support.
+	Faults *fault.Plan
+}
+
+// FaultInjectable is implemented by targets that can absorb fault events
+// and age transient ones at epoch boundaries (the hierarchy-backed
+// targets; the PIPP/DSR baselines do not).
+type FaultInjectable interface {
+	ApplyFault(fault.Event) error
+	AgeFaults()
 }
 
 // DefaultConfig returns the scaled experiment defaults: 20 measured epochs
@@ -181,6 +202,7 @@ type Engine struct {
 	gens     []Source
 	clock    []uint64  // per-core cycle counters (persist across epochs)
 	gapCarry []float64 // per-core fractional gap cycles not yet charged
+	inj      FaultInjectable
 }
 
 // New builds an engine over a target. There must be exactly one generator
@@ -201,12 +223,23 @@ func NewFromSources(cfg Config, target Target, srcs []Source) (*Engine, error) {
 	if cfg.IssueWidth <= 0 || cfg.GapInstr < 0 {
 		return nil, fmt.Errorf("sim: bad gap model (GapInstr=%d, IssueWidth=%v)", cfg.GapInstr, cfg.IssueWidth)
 	}
+	var inj FaultInjectable
+	if !cfg.Faults.Empty() {
+		if err := cfg.Faults.Validate(target.Cores()); err != nil {
+			return nil, err
+		}
+		var ok bool
+		if inj, ok = target.(FaultInjectable); !ok {
+			return nil, fmt.Errorf("sim: fault plan given but target %q does not support fault injection", target.Name())
+		}
+	}
 	return &Engine{
 		cfg:      cfg,
 		target:   target,
 		gens:     srcs,
 		clock:    make([]uint64, target.Cores()),
 		gapCarry: make([]float64, target.Cores()),
+		inj:      inj,
 	}, nil
 }
 
@@ -242,6 +275,16 @@ func (e *Engine) Run() *metrics.Run {
 			e.target.SetCoreASID(c, e.gens[c].ASID())
 			if e.clock[c] < epochStart {
 				e.clock[c] = epochStart
+			}
+		}
+		if e.inj != nil {
+			e.inj.AgeFaults()
+			for _, ev := range e.cfg.Faults.At(ep) {
+				if err := e.inj.ApplyFault(ev); err != nil {
+					// The plan was validated against this target in
+					// NewFromSources; a failure here is a bookkeeping bug.
+					panic("sim: validated fault event failed to apply: " + err.Error())
+				}
 			}
 		}
 		spec := e.target.Spec()
@@ -339,6 +382,7 @@ func (e *Engine) epochRecord(ep int, warmup bool, spec string, instr []uint64, s
 	snap := snapper.TelemetrySnapshot()
 	bus := snap.Bus.Delta(prev.Bus)
 	rec.Bus = &bus
+	rec.Faults = snap.Faults
 	for c := 0; c < n && c < len(snap.Cores); c++ {
 		cur, was := snap.Cores[c], telemetry.CoreCounters{}
 		if c < len(prev.Cores) {
@@ -410,6 +454,9 @@ func RunPolicy(cfg Config, p hierarchy.Params, policy Policy, gens []*workload.G
 // it) and returns its whole-run IPC — the IPCalone reference for WS/FS.
 func SoloIPC(cfg Config, p hierarchy.Params, prof *workload.Profile, gcfg workload.GenConfig) (float64, error) {
 	p.Cores = 1
+	// IPCalone is the healthy fair-share reference even on a faulty
+	// machine (and the plan targets the full core count anyway).
+	cfg.Faults = nil
 	sys, err := hierarchy.New(p, topology.AllPrivate(1))
 	if err != nil {
 		return 0, err

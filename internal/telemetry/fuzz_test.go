@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+// sampleCSV renders a small two-epoch log through the real writer so the
+// inline fuzz seeds track schema changes automatically.
+func sampleCSV(t testing.TB) []byte {
+	l := NewLog()
+	l.RecordEpoch(EpochRecord{
+		Epoch: 0, Warmup: true, Topology: "(16:1:1)",
+		Cores: []CoreEpoch{
+			{Core: 0, IPC: 1.25, Instructions: 1000, Accesses: 300, L1Hits: 250,
+				L2Hits: 30, L3Hits: 10, C2C: 2, MemReads: 8, MPKI: 10, AvgLatency: 7.5,
+				L2Util: 0.5, L3Util: 0.25},
+			{Core: 1, IPC: 0.75, Instructions: 600, MPKI: 33.3, AvgLatency: 40.25},
+		},
+		Bus: &BusEpoch{L2Transactions: 40, L2WaitCycles: 12, MemTransactions: 8, MemWaitCycles: 3},
+	})
+	l.RecordEpoch(EpochRecord{
+		Epoch: 1, Topology: "(8:2:1)",
+		Cores: []CoreEpoch{{Core: 0, IPC: 2, Instructions: 2000, MPKI: 1, AvgLatency: 4}},
+	})
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzCodecRoundTrip feeds arbitrary bytes to the CSV reader; every input
+// the reader accepts must re-encode to a stable fixed point (write → read →
+// write is byte-identical) and survive the JSON codec unchanged in shape.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(sampleCSV(f))
+	f.Add([]byte(""))
+	f.Add([]byte("epoch,warmup\n"))
+	f.Add(bytes.Replace(sampleCSV(f), []byte("1.25"), []byte("NaN"), 1))
+	f.Add(bytes.Replace(sampleCSV(f), []byte("(16:1:1)"), []byte("\"quoted,\ntopology\""), 1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input rejected: fine, as long as no panic
+		}
+		var first bytes.Buffer
+		if err := l.WriteCSV(&first); err != nil {
+			t.Fatalf("WriteCSV of accepted input failed: %v", err)
+		}
+		l2, err := ReadCSV(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadCSV rejected its own writer's output: %v\ninput: %q", err, first.String())
+		}
+		var second bytes.Buffer
+		if err := l2.WriteCSV(&second); err != nil {
+			t.Fatalf("second WriteCSV failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("CSV round trip is not a fixed point:\nfirst:  %q\nsecond: %q",
+				first.String(), second.String())
+		}
+		var jb bytes.Buffer
+		if err := l2.WriteJSON(&jb); err != nil {
+			// JSON cannot encode NaN/Inf, which the CSV float fields admit;
+			// there is nothing to round-trip for such logs.
+			return
+		}
+		l3, err := ReadJSON(&jb)
+		if err != nil {
+			t.Fatalf("ReadJSON rejected WriteJSON output: %v", err)
+		}
+		var third bytes.Buffer
+		if err := l3.WriteCSV(&third); err != nil {
+			t.Fatalf("WriteCSV after JSON trip failed: %v", err)
+		}
+		if !bytes.Equal(second.Bytes(), third.Bytes()) {
+			t.Fatalf("JSON trip changed the log:\nbefore: %q\nafter:  %q",
+				second.String(), third.String())
+		}
+	})
+}

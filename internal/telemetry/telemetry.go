@@ -54,6 +54,32 @@ type EpochRecord struct {
 	// Bus reports interconnect contention during the epoch (nil when the
 	// target does not expose counters, e.g. the PIPP/DSR baselines).
 	Bus *BusEpoch `json:"bus,omitempty"`
+	// Faults reports the hierarchy's injected-fault state in force during
+	// the epoch. Nil on fault-free runs, so their JSON (and the committed
+	// goldens) is unchanged; the flat CSV form never carries fault state.
+	Faults *FaultState `json:"faults,omitempty"`
+}
+
+// FaultState summarizes the injected hardware faults visible to the
+// hierarchy at one epoch boundary. Every field is omitted when empty; a
+// fault-free hierarchy reports a nil *FaultState instead of a zero one.
+type FaultState struct {
+	// DisabledWaysL2/L3[i] is the number of failed ways of slice i (the
+	// slices hold a zero for every healthy slice once any slice fails).
+	DisabledWaysL2 []int `json:"disabled_ways_l2,omitempty"`
+	DisabledWaysL3 []int `json:"disabled_ways_l3,omitempty"`
+	// DeadLinksL2/L3 list failed bus links (link l joins slices l, l+1).
+	DeadLinksL2 []int `json:"dead_links_l2,omitempty"`
+	DeadLinksL3 []int `json:"dead_links_l3,omitempty"`
+	// DegradedLinksL2/L3 list slowed-but-alive links.
+	DegradedLinksL2 []int `json:"degraded_links_l2,omitempty"`
+	DegradedLinksL3 []int `json:"degraded_links_l3,omitempty"`
+	// CorruptMonitors lists cores whose ACFV monitors currently read as
+	// corrupt (quarantined by the controller's degradation policy).
+	CorruptMonitors []int `json:"corrupt_monitors,omitempty"`
+	// MemDerate is the memory channel's occupancy multiplier (0 or 1 when
+	// healthy; omitted at 0).
+	MemDerate float64 `json:"mem_derate,omitempty"`
 }
 
 // Throughput is the sum of per-core IPCs in the epoch.
@@ -143,6 +169,8 @@ type Snapshot struct {
 	// L2Util/L3Util are per-core active-footprint utilizations of the
 	// current interval (not cumulative; they reset every epoch).
 	L2Util, L3Util []float64
+	// Faults is the hierarchy's current fault state (nil when fault-free).
+	Faults *FaultState
 }
 
 // Snapshotter is implemented by targets that expose counter snapshots; the
@@ -161,12 +189,16 @@ type ReconfigEvent struct {
 	Epoch int `json:"epoch"`
 	// Level is the reconfigured cache level ("L2" or "L3").
 	Level string `json:"level"`
-	// Op is "merge" or "split".
+	// Op is "merge", "split", or "quarantine" (a fault reaction that does
+	// not change the topology: a corrupted monitor entering or leaving the
+	// controller's quarantine set).
 	Op string `json:"op"`
 	// Rule names the decision rule that fired: "capacity" (merge rule i),
 	// "sharing" (merge rule ii), "interference" or "stale" (split rules),
-	// "qos" (§5.3 throttle split), or "coupling" (an operation forced by
-	// the inclusion-preserving L2/L3 coupling of §2.2–2.3).
+	// "qos" (§5.3 throttle split), "coupling" (an operation forced by
+	// the inclusion-preserving L2/L3 coupling of §2.2–2.3), or "fault"
+	// (a graceful-degradation reaction, DESIGN.md §9: forced splits off
+	// dead bus links and monitor quarantine transitions).
 	Rule string `json:"rule"`
 	// Groups renders the slice groups involved, before the operation.
 	Groups string `json:"groups"`

@@ -29,6 +29,7 @@
 package morphcache
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -36,6 +37,7 @@ import (
 	"morphcache/internal/baselines/offline"
 	"morphcache/internal/baselines/pipp"
 	"morphcache/internal/core"
+	"morphcache/internal/fault"
 	"morphcache/internal/hierarchy"
 	"morphcache/internal/metrics"
 	"morphcache/internal/runner"
@@ -70,6 +72,39 @@ type Config struct {
 	// Off by default: nothing is recorded and the hot path pays nothing.
 	// Simulation results are identical either way.
 	Telemetry bool
+	// Faults, when non-nil and non-empty, is a deterministic fault plan
+	// (see internal/fault): each event damages the hierarchy at the start
+	// of its epoch. Only hierarchy-backed policies (static, morph,
+	// morph-nodegrade) accept faults; PIPP/DSR runs reject them. Nil (the
+	// default) leaves every run byte-identical to a fault-free build.
+	Faults *fault.Plan
+}
+
+// Validate rejects configurations the simulator cannot run meaningfully:
+// a non-power-of-two core count, non-positive scale, epoch count, or epoch
+// length, a negative warmup, or a fault plan that does not fit the
+// machine. Every Run* entry point calls it, so a bad configuration fails
+// fast with a descriptive error instead of panicking mid-run.
+func (c Config) Validate() error {
+	if c.Cores <= 0 || c.Cores&(c.Cores-1) != 0 {
+		return fmt.Errorf("morphcache: Cores must be a positive power of two, got %d", c.Cores)
+	}
+	if c.Scale < 1 {
+		return fmt.Errorf("morphcache: Scale must be >= 1, got %d", c.Scale)
+	}
+	if c.Epochs <= 0 {
+		return fmt.Errorf("morphcache: Epochs must be positive, got %d", c.Epochs)
+	}
+	if c.WarmupEpochs < 0 {
+		return fmt.Errorf("morphcache: WarmupEpochs must be >= 0, got %d", c.WarmupEpochs)
+	}
+	if c.EpochCycles == 0 {
+		return fmt.Errorf("morphcache: EpochCycles must be positive")
+	}
+	if err := c.Faults.Validate(c.Cores); err != nil {
+		return fmt.Errorf("morphcache: %w", err)
+	}
+	return nil
 }
 
 // LabConfig returns the calibrated experiment configuration: a 16-core
@@ -106,6 +141,7 @@ func (c Config) simConfig() sim.Config {
 		GapInstr:     8,
 		IssueWidth:   4,
 		Seed:         c.Seed,
+		Faults:       c.Faults,
 	}
 }
 
@@ -220,6 +256,9 @@ func fromRun(r *metrics.Run) *Result {
 // RunStatic runs the workload on a fixed (x:y:z) topology with the paper's
 // idealized static latencies.
 func RunStatic(c Config, spec string, w Workload) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
 	gens, err := w.Generators(c)
 	if err != nil {
 		return nil, err
@@ -244,24 +283,49 @@ func RunMorphCache(c Config, w Workload) (*Result, error) {
 // RunMorphCacheWithController is RunMorphCache plus the controller for
 // post-run inspection (merge/split counts, throttled MSAT bounds).
 func RunMorphCacheWithController(c Config, w Workload) (*Result, *core.Controller, error) {
-	gens, err := w.Generators(c)
+	ctrl := core.New(c.Morph)
+	res, err := runControlled(c, w, ctrl)
 	if err != nil {
 		return nil, nil, err
 	}
+	return res, ctrl, nil
+}
+
+// RunMorphCacheNoDegrade runs the MorphCache controller with its
+// graceful-degradation reactions switched off — the strawman for fault
+// experiments: the controller trusts corrupted monitors and merges across
+// dead bus links as if the machine were healthy. On a fault-free
+// configuration it behaves identically to RunMorphCache.
+func RunMorphCacheNoDegrade(c Config, w Workload) (*Result, error) {
 	ctrl := core.New(c.Morph)
+	ctrl.SetDegradation(false)
+	return runControlled(c, w, ctrl)
+}
+
+func runControlled(c Config, w Workload, ctrl *core.Controller) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	gens, err := w.Generators(c)
+	if err != nil {
+		return nil, err
+	}
 	sc, tl := c.instrumented()
 	run, err := sim.RunPolicy(sc, c.Params(), ctrl, gens)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	res := fromRun(run)
 	res.Telemetry = tl
-	return res, ctrl, nil
+	return res, nil
 }
 
 // RunPIPP runs the workload under the PIPP baseline (shared L2 and L3,
 // promotion/insertion pseudo-partitioning).
 func RunPIPP(c Config, w Workload) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
 	gens, err := w.Generators(c)
 	if err != nil {
 		return nil, err
@@ -279,6 +343,9 @@ func RunPIPP(c Config, w Workload) (*Result, error) {
 // RunDSR runs the workload under the DSR baseline (private slices with
 // dynamic spill-receive at both levels).
 func RunDSR(c Config, w Workload) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
 	gens, err := w.Generators(c)
 	if err != nil {
 		return nil, err
@@ -297,7 +364,8 @@ func RunDSR(c Config, w Workload) (*Result, error) {
 // under a policy, optionally with its own configuration.
 type RunSpec struct {
 	// Policy selects the management scheme: a static "(x:y:z)" spec,
-	// "morph", "pipp", or "dsr".
+	// "morph", "morph-nodegrade" (MorphCache with graceful degradation
+	// off — the fault-experiment strawman), "pipp", or "dsr".
 	Policy string
 	// Workload is the mix or PARSEC application to run.
 	Workload Workload
@@ -333,6 +401,11 @@ func (s RunSpec) run(cfg Config) (*Result, error) {
 			c.Morph = *s.Morph
 		}
 		return RunMorphCache(c, s.Workload)
+	case "morph-nodegrade":
+		if s.Morph != nil {
+			c.Morph = *s.Morph
+		}
+		return RunMorphCacheNoDegrade(c, s.Workload)
 	case "pipp":
 		return RunPIPP(c, s.Workload)
 	case "dsr":
@@ -364,6 +437,14 @@ type BatchOptions struct {
 	Workers int
 	// Progress, when non-nil, receives one JobEvent per completed job.
 	Progress func(JobEvent)
+	// Context, when non-nil, cancels the batch: dispatch stops, in-flight
+	// jobs are abandoned, and RunBatch returns the partial results with a
+	// descriptive error (errors.Is(err, context.Canceled) holds). Nil means
+	// run to completion.
+	Context context.Context
+	// JobTimeout, when positive, bounds each job's wall-clock time; a job
+	// exceeding it fails the batch with a timeout error.
+	JobTimeout time.Duration
 }
 
 // RunBatch executes the specs concurrently across a worker pool and returns
@@ -394,7 +475,11 @@ func RunBatch(cfg Config, specs []RunSpec, opts BatchOptions) ([]*Result, error)
 			})
 		}
 	}
-	return runner.Run(jobs, runner.Options{Workers: opts.Workers, Progress: progress})
+	return runner.Run(opts.Context, jobs, runner.Options{
+		Workers:    opts.Workers,
+		Progress:   progress,
+		JobTimeout: opts.JobTimeout,
+	})
 }
 
 // StandardStatics lists the paper's static comparison topologies for the
@@ -446,6 +531,9 @@ func FairSpeedup(r *Result, alone []float64) float64 {
 // SoloIPCs measures each application of a mix running alone on a
 // single-core private hierarchy — the IPCalone references for WS/FS.
 func SoloIPCs(c Config, w Workload) ([]float64, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
 	if !w.mix {
 		return nil, fmt.Errorf("morphcache: SoloIPCs needs a multiprogrammed mix")
 	}
