@@ -16,6 +16,7 @@ import (
 	"morphcache/internal/core"
 	"morphcache/internal/hierarchy"
 	"morphcache/internal/mem"
+	"morphcache/internal/obs"
 	"morphcache/internal/sim"
 	"morphcache/internal/stats"
 	"morphcache/internal/topology"
@@ -449,6 +450,33 @@ func BenchmarkAccessPath(b *testing.B) {
 	for c := 0; c < 16; c++ {
 		sys.SetCoreASID(c, mem.ASID(c+1))
 	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := i & 15
+		sys.Access(c, mem.Access{Line: mem.Line(uint64(c)<<24 | uint64(i%4096)), ASID: mem.ASID(c + 1)}, uint64(i))
+	}
+}
+
+// BenchmarkAccessPathObserver — the same hot loop with the live
+// observability hooks fully enabled (hub-bound sharded counters and
+// latency histograms plus the per-run access collector). The delta
+// against BenchmarkAccessPath is the cost of turning observation on;
+// BenchmarkAccessPath itself measures the default nil-observer path,
+// whose only added work is one pointer compare per access.
+func BenchmarkAccessPathObserver(b *testing.B) {
+	p := hierarchy.ScaledDefault(16, 16)
+	p.ChargeRemote = true
+	sys, err := hierarchy.New(p, topology.AllShared(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for c := 0; c < 16; c++ {
+		sys.SetCoreASID(c, mem.ASID(c+1))
+	}
+	hub := obs.NewHub(obs.HubOptions{Shards: 1})
+	o := hub.Observer("bench")
+	o.Access = obs.NewAccessStats()
+	sys.SetObserver(o)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := i & 15

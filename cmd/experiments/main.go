@@ -144,6 +144,8 @@ func resetState(stdout, stderr io.Writer) {
 	jobsFlag = runtime.GOMAXPROCS(0)
 	runCtx = context.Background()
 	batchFailures.Store(0)
+	obsHub = nil
+	progressFlag = false
 	memoMu.Lock()
 	memo = map[string]*mc.Result{}
 	memoMu.Unlock()
@@ -155,7 +157,7 @@ func resetState(stdout, stderr io.Writer) {
 
 // run is the testable entry point; it returns the process exit code
 // (0 = success, 1 = experiment/job failure, 2 = usage error).
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
 	resetState(stdout, stderr)
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -167,6 +169,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jobs     = fs.Int("jobs", runtime.GOMAXPROCS(0), "simulation worker-pool size (1 = sequential; results are identical at any value)")
 		outFmt   = fs.String("out", "", "emit a machine-readable report on stdout instead of text tables: json or csv")
 		epochLog = fs.String("epochlog", "", "write per-run epoch telemetry (JSON) to this file")
+		admin    = fs.String("admin", "", "serve the admin endpoint (/metrics, /jobs, /healthz, /debug/pprof) on this address, e.g. :9190 or 127.0.0.1:0")
+		trace    = fs.String("trace", "", "write a Chrome trace-event JSON of simulator phases to this file (open in chrome://tracing)")
+		progress = fs.Bool("progress", false, "print per-job start lines and a periodic batch-progress summary to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -202,6 +207,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ctx, stopSignals := signal.NotifyContext(baseCtx, os.Interrupt)
 	defer stopSignals()
 	runCtx = ctx
+
+	// Observability (-admin / -trace / -progress; DESIGN.md §10). The exit
+	// summary is registered first so it prints last, after teardown has
+	// drained the admin server and written the trace.
+	invocationStart := time.Now()
+	defer func() {
+		fmt.Fprintf(stderr, "experiments: exit: %d job failure(s), elapsed %s\n",
+			batchFailures.Load(), time.Since(invocationStart).Round(time.Millisecond))
+	}()
+	progressFlag = *progress
+	obsTeardown, err := obsSetup(ctx, *admin, *trace, *progress)
+	if err != nil {
+		fmt.Fprintf(stderr, "experiments: %v\n", err)
+		return 1
+	}
+	defer func() {
+		// A failed trace write or server drain must not exit 0.
+		if err := obsTeardown(); err != nil {
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	cfg := mc.LabConfig()
 	cfg.Seed = *seed

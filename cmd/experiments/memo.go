@@ -78,7 +78,9 @@ func prefetch(cfg mc.Config, specs []mc.RunSpec) error {
 	results, err := mc.RunBatch(cfg, missing, mc.BatchOptions{
 		Context:  runCtx,
 		Workers:  jobCount(),
+		Started:  batchStarted,
 		Progress: batchProgress,
+		Observe:  batchObserve(),
 	})
 	if err != nil {
 		return err
@@ -104,7 +106,11 @@ func specResult(cfg mc.Config, s mc.RunSpec) (*mc.Result, error) {
 	if r != nil {
 		return r, nil
 	}
-	results, err := mc.RunBatch(cfg, []mc.RunSpec{s}, mc.BatchOptions{Context: runCtx, Workers: 1})
+	results, err := mc.RunBatch(cfg, []mc.RunSpec{s}, mc.BatchOptions{
+		Context: runCtx,
+		Workers: 1,
+		Observe: batchObserve(),
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	mc "morphcache"
+
+	"morphcache/internal/obs"
+)
+
+// obsHub is the invocation's observability hub — the metrics registry the
+// admin endpoint scrapes, the /jobs tracker, and (with -trace) the span
+// tracer. Nil unless -admin, -trace, or -progress asked for one; every
+// consumer treats nil as "observability off".
+var obsHub *obs.Hub
+
+// progressFlag mirrors -progress: per-job start lines and the periodic
+// batch-progress ticker on stderr.
+var progressFlag bool
+
+// progressInterval is the -progress ticker period (a variable so tests can
+// shrink it).
+var progressInterval = 2 * time.Second
+
+// batchObserve returns the BatchOptions.Observe hook, or nil when
+// observability is off so RunBatch takes its unobserved path.
+func batchObserve() func(index int, label string) *obs.Observer {
+	if obsHub == nil {
+		return nil
+	}
+	return func(_ int, label string) *obs.Observer { return obsHub.Observer(label) }
+}
+
+// batchStarted prints one per-job start line to stderr under -progress
+// (facade batches report starts through it; completions go through
+// batchProgress as before).
+func batchStarted(ev mc.JobEvent) {
+	if !progressFlag {
+		return
+	}
+	fmt.Fprintf(errw, "experiments: [start] %s\n", ev.Label)
+}
+
+// obsSetup arms observability per the flags: it builds the hub, starts the
+// admin server and the -progress ticker, and returns a teardown that stops
+// the ticker, writes the trace file, and drains the server. The teardown is
+// safe to call exactly once; with no observability flags set it is a no-op
+// and the hub stays nil.
+func obsSetup(ctx context.Context, adminAddr, traceFile string, progress bool) (teardown func() error, err error) {
+	if adminAddr == "" && traceFile == "" && !progress {
+		return func() error { return nil }, nil
+	}
+	obsHub = obs.NewHub(obs.HubOptions{Shards: jobCount(), Trace: traceFile != ""})
+
+	var srv *obs.Server
+	if adminAddr != "" {
+		admin := obs.NewAdmin(obsHub.Registry, obsHub.Jobs)
+		if srv, err = obs.Serve(adminAddr, admin); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(errw, "experiments: admin endpoint on http://%s (/metrics, /jobs, /healthz, /debug/pprof)\n", srv.Addr())
+		// An interrupt flips /healthz to draining immediately, before the
+		// batches wind down, so probes see the shutdown as it begins.
+		go func() {
+			<-ctx.Done()
+			admin.SetHealthy(false)
+		}()
+	}
+
+	stopTicker := startProgressTicker()
+	return func() error {
+		stopTicker()
+		var firstErr error
+		if traceFile != "" {
+			if err := writeTrace(traceFile); err != nil {
+				firstErr = err
+			}
+		}
+		if srv != nil {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("admin shutdown: %w", err)
+			}
+		}
+		return firstErr
+	}, nil
+}
+
+// writeTrace dumps the collected spans as a Chrome trace-event document
+// (load it in chrome://tracing or ui.perfetto.dev).
+func writeTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("write trace: %w", err)
+	}
+	if err := obsHub.Tracer.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("write trace: %w", err)
+	}
+	fmt.Fprintf(errw, "experiments: trace written to %s\n", path)
+	return nil
+}
+
+// startProgressTicker prints a periodic one-line batch summary to stderr
+// while jobs run; the returned stop function ends it.
+func startProgressTicker() (stop func()) {
+	if !progressFlag || obsHub == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(progressInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				v := obsHub.Jobs()
+				fmt.Fprintf(errw, "experiments: progress: %d queued, %d running, %d done, %d failed (of %d)\n",
+					v.Queued, v.Running, v.Done, v.Failed, v.Total)
+			}
+		}
+	}()
+	return func() { close(done) }
+}

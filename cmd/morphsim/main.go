@@ -26,6 +26,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	mc "morphcache"
 
@@ -60,6 +61,8 @@ func main() {
 		epochLog    = flag.String("epochlog", "", "write the run's epoch telemetry (JSON) to this file")
 		faults      = flag.Int("faults", 0, "inject this many deterministic hardware-fault events into the measured region (0 = none)")
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed of the generated fault plan (with -faults)")
+		adminAddr   = flag.String("admin", "", "serve the admin endpoint (/metrics, /jobs, /healthz, /debug/pprof) on this address, e.g. :9190 or 127.0.0.1:0")
+		spanTrace   = flag.String("trace", "", "write a Chrome trace-event JSON of simulator phases to this file (open in chrome://tracing)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -150,6 +153,14 @@ func main() {
 	// default silent kill; a second ^C (after stopSignals) force-kills.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stopSignals()
+
+	obsDone, observer, err := obsSetup(ctx, *adminAddr, *spanTrace, *policy+" "+*wl)
+	if err != nil {
+		fatal(err)
+	}
+	defer obsDone()
+	cfg.Observer = observer
+
 	type runOutcome struct {
 		run *metrics.Run
 		sys *hierarchy.System
@@ -157,7 +168,10 @@ func main() {
 	}
 	ch := make(chan runOutcome, 1)
 	go func() {
+		observer.JobStarted()
+		start := time.Now()
 		r, s, err := runPolicy(cfg, *cores, *scale, *policy, srcs)
+		observer.JobFinished(err, time.Since(start))
 		ch <- runOutcome{r, s, err}
 	}()
 	var run *metrics.Run

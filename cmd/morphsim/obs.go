@@ -1,0 +1,71 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"morphcache/internal/obs"
+)
+
+// obsSetup arms the single-run observability endpoints (-admin / -trace;
+// DESIGN.md §10): it builds a one-shard hub, serves the admin endpoint, and
+// mints the run's observer. The returned teardown writes the trace file and
+// drains the server; with neither flag set everything is nil/no-op and the
+// run is unobserved.
+func obsSetup(ctx context.Context, adminAddr, traceFile, label string) (teardown func(), observer *obs.Observer, err error) {
+	if adminAddr == "" && traceFile == "" {
+		return func() {}, nil, nil
+	}
+	hub := obs.NewHub(obs.HubOptions{Shards: 1, Trace: traceFile != ""})
+	var srv *obs.Server
+	if adminAddr != "" {
+		admin := obs.NewAdmin(hub.Registry, hub.Jobs)
+		if srv, err = obs.Serve(adminAddr, admin); err != nil {
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "morphsim: admin endpoint on http://%s (/metrics, /jobs, /healthz, /debug/pprof)\n", srv.Addr())
+		// An interrupt flips /healthz to draining right away, before the
+		// engine goroutine notices the cancellation.
+		go func() {
+			<-ctx.Done()
+			admin.SetHealthy(false)
+		}()
+	}
+	observer = hub.Observer(label)
+	teardown = func() {
+		if traceFile != "" {
+			if err := writeSpanTrace(hub, traceFile); err != nil {
+				fmt.Fprintln(os.Stderr, "morphsim:", err)
+				os.Exit(1)
+			}
+		}
+		if srv != nil {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				fmt.Fprintln(os.Stderr, "morphsim: admin shutdown:", err)
+			}
+		}
+	}
+	return teardown, observer, nil
+}
+
+// writeSpanTrace dumps the collected phase spans as a Chrome trace-event
+// document (load it in chrome://tracing or ui.perfetto.dev).
+func writeSpanTrace(hub *obs.Hub, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("write trace: %w", err)
+	}
+	if err := hub.Tracer.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("write trace: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "morphsim: trace written to", path)
+	return nil
+}

@@ -1,0 +1,100 @@
+// Command tracecheck validates a Chrome trace-event JSON document (the
+// -trace output of experiments and morphsim) and optionally emits its
+// canonical form.
+//
+// Usage:
+//
+//	tracecheck run.trace.json
+//	tracecheck -canon run.trace.json > run.canon
+//
+// Validation checks the document loads in chrome://tracing-compatible
+// viewers: an object with a non-empty traceEvents array whose events have
+// names, known phases (complete "X" or instant "i"), and non-negative
+// timestamps and durations.
+//
+// -canon prints one sorted JSON line per event with every nondeterministic
+// field (timestamp, duration, pid, tid) stripped. Two runs of the same
+// batch produce identical canonical traces at any -jobs count, which is
+// what the CI obs gate diffs (DESIGN.md §10).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"morphcache/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point (0 = valid, 1 = invalid or unreadable,
+// 2 = usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	canon := fs.Bool("canon", false, "print the canonical (determinism-comparable) form on stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: tracecheck [-canon] <trace.json>")
+		return 2
+	}
+	path := fs.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "tracecheck:", err)
+		return 1
+	}
+	var doc obs.TraceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintf(stderr, "tracecheck: %s: not a trace document: %v\n", path, err)
+		return 1
+	}
+	if err := check(doc); err != nil {
+		fmt.Fprintf(stderr, "tracecheck: %s: %v\n", path, err)
+		return 1
+	}
+	if *canon {
+		if err := obs.CanonicalTrace(doc.TraceEvents, stdout); err != nil {
+			fmt.Fprintln(stderr, "tracecheck:", err)
+			return 1
+		}
+	}
+	fmt.Fprintf(stderr, "tracecheck: %s: %d event(s) OK\n", path, len(doc.TraceEvents))
+	return 0
+}
+
+// check validates the event stream.
+func check(doc obs.TraceDoc) error {
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("no trace events")
+	}
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("event %d: empty name", i)
+		}
+		switch ev.Ph {
+		case "X":
+			if ev.Dur < 0 {
+				return fmt.Errorf("event %d (%s): negative duration %d", i, ev.Name, ev.Dur)
+			}
+		case "i":
+			// Instant events carry no duration.
+		default:
+			return fmt.Errorf("event %d (%s): unknown phase %q", i, ev.Name, ev.Ph)
+		}
+		if ev.TS < 0 {
+			return fmt.Errorf("event %d (%s): negative timestamp %d", i, ev.Name, ev.TS)
+		}
+		if ev.PID < 0 || ev.TID < 0 {
+			return fmt.Errorf("event %d (%s): negative pid/tid", i, ev.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFile drops content into a temp file and returns its path.
+func writeFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const validTrace = `{"traceEvents":[
+	{"name":"job","cat":"batch","ph":"X","ts":10,"dur":40,"pid":1,"tid":2,"args":{"label":"morph MIX 01"}},
+	{"name":"epoch","cat":"sim","ph":"X","ts":12,"dur":8,"pid":1,"tid":2,"args":{"epoch":0}},
+	{"name":"fault","cat":"sim","ph":"i","ts":14,"pid":1,"tid":2}
+],"displayTimeUnit":"ms"}`
+
+func TestValidTrace(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{writeFile(t, validTrace)}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "3 event(s) OK") {
+		t.Fatalf("summary missing: %s", errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("stdout should be empty without -canon: %s", out.String())
+	}
+}
+
+func TestCanonOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-canon", writeFile(t, validTrace)}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("canonical lines = %d, want 3:\n%s", len(lines), out.String())
+	}
+	for _, l := range lines {
+		for _, field := range []string{`"ts"`, `"dur"`, `"pid"`, `"tid"`} {
+			if strings.Contains(l, field) {
+				t.Fatalf("canonical line retains %s: %s", field, l)
+			}
+		}
+	}
+	if !sortedLines(lines) {
+		t.Fatalf("canonical lines not sorted:\n%s", out.String())
+	}
+}
+
+func sortedLines(lines []string) bool {
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] > lines[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestInvalidTraces(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `{"traceEvents":[`,
+		"empty events":  `{"traceEvents":[]}`,
+		"nameless":      `{"traceEvents":[{"name":"","ph":"X","ts":1}]}`,
+		"unknown phase": `{"traceEvents":[{"name":"e","ph":"B","ts":1}]}`,
+		"negative ts":   `{"traceEvents":[{"name":"e","ph":"i","ts":-1}]}`,
+		"negative dur":  `{"traceEvents":[{"name":"e","ph":"X","ts":1,"dur":-2}]}`,
+	}
+	for name, content := range cases {
+		t.Run(name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run([]string{writeFile(t, content)}, &out, &errb); code != 1 {
+				t.Fatalf("exit %d, want 1 (stderr: %s)", code, errb.String())
+			}
+		})
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{filepath.Join(t.TempDir(), "nope.json")}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{{}, {"a.json", "b.json"}, {"-bogus"}} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Fatalf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"sort"
 
 	"morphcache/internal/hierarchy"
+	"morphcache/internal/obs"
 	"morphcache/internal/telemetry"
 	"morphcache/internal/topology"
 )
@@ -176,6 +177,11 @@ type Controller struct {
 	// index of the interval being decided, stamped onto events.
 	recorder telemetry.Recorder
 	epoch    int
+
+	// obs, when non-nil, counts applied merges/splits and fault vetoes in
+	// the live metrics registry (DESIGN.md §10). Counting only: observation
+	// never alters a decision.
+	obs *obs.Observer
 }
 
 type lockKey struct {
@@ -215,6 +221,11 @@ func (c *Controller) SetDegradation(on bool) { c.degrade = on }
 // produced the decision.
 func (c *Controller) SetRecorder(r telemetry.Recorder) { c.recorder = r }
 
+// SetObserver implements obs wiring (see sim.ObserverSettable): applied
+// merges and splits, and fault vetoes of either, are counted into the
+// observer's reconfiguration counters.
+func (c *Controller) SetObserver(o *obs.Observer) { c.obs = o }
+
 // emit mirrors one applied operation to the recorder. The utilization and
 // overlap arguments are the decision's inputs, computed before the topology
 // changed.
@@ -244,6 +255,11 @@ func (c *Controller) MSATBounds() MSAT { return c.msat }
 func (c *Controller) History() []Decision { return c.history }
 
 func (c *Controller) record(l hierarchy.Level, merge bool, groups string) {
+	if merge {
+		c.obs.CountReconfig("merge")
+	} else {
+		c.obs.CountReconfig("split")
+	}
 	if len(c.history) >= maxHistory {
 		copy(c.history, c.history[1:])
 		c.history = c.history[:maxHistory-1]
@@ -409,11 +425,16 @@ func (c *Controller) mergeBlockedByFault(sys *hierarchy.System, l hierarchy.Leve
 				hi = s
 			}
 			if sys.MonitorCorrupt(s) {
+				c.obs.CountReconfig("veto")
 				return true
 			}
 		}
 	}
-	return sys.SpansDeadLink(l, []int{lo, hi})
+	if sys.SpansDeadLink(l, []int{lo, hi}) {
+		c.obs.CountReconfig("veto")
+		return true
+	}
+	return false
 }
 
 // splitBlockedByFault vetoes ordinary (reading-driven) splits of groups
@@ -426,6 +447,7 @@ func (c *Controller) splitBlockedByFault(sys *hierarchy.System, m []int) bool {
 	}
 	for _, s := range m {
 		if sys.MonitorCorrupt(s) {
+			c.obs.CountReconfig("veto")
 			return true
 		}
 	}

@@ -67,6 +67,9 @@ func (s *System) Access(core int, a mem.Access, now uint64) AccessResult {
 	case ByMemory:
 		cs.MemReads++
 	}
+	if s.obs != nil {
+		s.obs.ObserveAccess(int(res.Served), res.Latency)
+	}
 	return res
 }
 

@@ -27,6 +27,7 @@ import (
 	"morphcache/internal/bus"
 	"morphcache/internal/cache"
 	"morphcache/internal/mem"
+	"morphcache/internal/obs"
 	"morphcache/internal/topology"
 )
 
@@ -302,6 +303,11 @@ type System struct {
 	// flt is the injected-fault state (see fault.go); zero value = healthy.
 	flt faultState
 
+	// obs, when non-nil, receives one ObserveAccess per reference (live
+	// latency histograms and per-level counters, DESIGN.md §10). Nil by
+	// default: the access path pays a single nil check and nothing else.
+	obs *obs.Observer
+
 	// remoteOverheadL2/L3[slice] caches the per-slice bus overhead for the
 	// current topology; differs from the uniform overhead only for
 	// non-neighbor groups (§5.5), where it grows with the physical span of
@@ -376,6 +382,11 @@ func (s *System) Cores() int { return s.p.Cores }
 
 // Stats returns a pointer to the event counters.
 func (s *System) Stats() *Stats { return &s.stats }
+
+// SetObserver installs the live observability hooks (nil to detach). The
+// observer only reads what the access path already computed — results are
+// identical with or without one.
+func (s *System) SetObserver(o *obs.Observer) { s.obs = o }
 
 // CoreStats returns a copy of one core's cumulative counters.
 func (s *System) CoreStats(core int) CoreStats { return s.perCore[core] }

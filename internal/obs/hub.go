@@ -1,0 +1,406 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Served-level indices of the access hooks; they mirror
+// hierarchy.ServedBy (L1, L2, L3, cache-to-cache, memory) without
+// importing the package (obs sits below every simulator layer).
+const (
+	ServedL1 = iota
+	ServedL2
+	ServedL3
+	ServedC2C
+	ServedMem
+	servedLevels
+)
+
+// NumServed is the number of serving levels (the length of the arrays
+// AccessStats.Snapshot returns).
+const NumServed = servedLevels
+
+// servedNames label the access metrics' served dimension.
+var servedNames = [servedLevels]string{"l1", "l2", "l3", "c2c", "mem"}
+
+// LatencyBuckets are the access-latency histogram bounds in CPU cycles,
+// spanning the hierarchy's range: L1 hits (~3) through contended memory
+// accesses (300 plus queueing, derated under faults).
+var LatencyBuckets = []uint64{2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 2048, 4096}
+
+// numLatencyBuckets sizes the local collectors; must match LatencyBuckets.
+const numLatencyBuckets = 20
+
+// Metrics is the live simulation metric set: per-level access counters and
+// latency histograms, MorphCache decision counters, and epoch progress,
+// all sharded so concurrent batch workers never contend.
+type Metrics struct {
+	shards   int
+	served   [servedLevels]*ShardedCounter
+	latency  [servedLevels]*ShardedHistogram
+	reconfig map[string]*ShardedCounter // merge / split / veto
+	epochs   *ShardedCounter
+}
+
+// NewMetrics registers the simulation metric families in reg with the
+// given shard count (one shard per expected worker).
+func NewMetrics(reg *Registry, shards int) *Metrics {
+	if shards < 1 {
+		shards = 1
+	}
+	m := &Metrics{shards: shards, reconfig: map[string]*ShardedCounter{}}
+	for i, name := range servedNames {
+		m.served[i] = reg.ShardedCounter("morphcache_accesses_total",
+			"memory references by serving level", Labels{"served": name}, shards)
+		m.latency[i] = reg.ShardedHistogram("morphcache_access_latency_cycles",
+			"access latency distribution in CPU cycles by serving level", Labels{"served": name}, shards, LatencyBuckets)
+	}
+	for _, op := range []string{"merge", "split", "veto"} {
+		m.reconfig[op] = reg.ShardedCounter("morphcache_reconfig_total",
+			"MorphCache controller decisions (merges, splits, fault vetoes)", Labels{"op": op}, shards)
+	}
+	m.epochs = reg.ShardedCounter("morphcache_epochs_total",
+		"simulated epochs completed (warmup included)", nil, shards)
+	return m
+}
+
+// ServedValue returns the cumulative access count of one serving level
+// (summed across shards).
+func (m *Metrics) ServedValue(level int) uint64 { return m.served[level].Value() }
+
+// ReconfigValue returns the cumulative count of one decision op ("merge",
+// "split", "veto").
+func (m *Metrics) ReconfigValue(op string) uint64 {
+	c := m.reconfig[op]
+	if c == nil {
+		return 0
+	}
+	return c.Value()
+}
+
+// EpochsValue returns the cumulative completed-epoch count.
+func (m *Metrics) EpochsValue() uint64 { return m.epochs.Value() }
+
+// jobState is one tracked job's lifecycle position.
+type jobState int32
+
+const (
+	jobQueued jobState = iota
+	jobRunning
+	jobDone
+	jobFailed
+)
+
+func (s jobState) String() string {
+	switch s {
+	case jobQueued:
+		return "queued"
+	case jobRunning:
+		return "running"
+	case jobDone:
+		return "done"
+	case jobFailed:
+		return "failed"
+	default:
+		return "?"
+	}
+}
+
+// jobEntry is one job's tracked state.
+type jobEntry struct {
+	label   string
+	state   jobState
+	started time.Time
+	elapsed time.Duration
+	err     string
+}
+
+// JobStatus is one job's row in the /jobs view.
+type JobStatus struct {
+	Index     int    `json:"index"`
+	Label     string `json:"label"`
+	State     string `json:"state"`
+	ElapsedMS int64  `json:"elapsed_ms,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// JobsView is the /jobs JSON document: batch progress counts plus per-job
+// rows in submission order.
+type JobsView struct {
+	Total   int         `json:"total"`
+	Queued  int         `json:"queued"`
+	Running int         `json:"running"`
+	Done    int         `json:"done"`
+	Failed  int         `json:"failed"`
+	Jobs    []JobStatus `json:"jobs"`
+}
+
+// Hub ties one process's observability together: the registry, the live
+// simulation metrics, the job tracker behind /jobs, and (optionally) the
+// tracer. One Hub serves all batches of an invocation; each simulation job
+// gets its own Observer via Observer().
+type Hub struct {
+	Registry *Registry
+	Metrics  *Metrics
+	Tracer   *Tracer // nil when tracing is off
+
+	mu   sync.Mutex
+	jobs []jobEntry
+
+	queued, running Gauge
+	done, failed    Gauge
+}
+
+// HubOptions configures NewHub.
+type HubOptions struct {
+	// Shards is the expected worker count (the sharding degree of the
+	// metric families); <= 0 means 1.
+	Shards int
+	// Trace enables span collection.
+	Trace bool
+	// Clock is the tracer's monotonic microsecond clock (nil = wall time).
+	Clock func() int64
+}
+
+// NewHub builds a hub with a fresh registry.
+func NewHub(opts HubOptions) *Hub {
+	h := &Hub{Registry: NewRegistry()}
+	h.Metrics = NewMetrics(h.Registry, opts.Shards)
+	if opts.Trace {
+		h.Tracer = NewTracer(opts.Clock)
+	}
+	h.Registry.RegisterGaugeFunc("morphcache_jobs", "batch jobs by state", Labels{"state": "queued"},
+		func() float64 { return float64(h.queued.Value()) })
+	h.Registry.RegisterGaugeFunc("morphcache_jobs", "batch jobs by state", Labels{"state": "running"},
+		func() float64 { return float64(h.running.Value()) })
+	h.Registry.RegisterGaugeFunc("morphcache_jobs", "batch jobs by state", Labels{"state": "done"},
+		func() float64 { return float64(h.done.Value()) })
+	h.Registry.RegisterGaugeFunc("morphcache_jobs", "batch jobs by state", Labels{"state": "failed"},
+		func() float64 { return float64(h.failed.Value()) })
+	return h
+}
+
+// Observer registers a new tracked job and returns its observer: metric
+// handles bound to the job's shard, the hub's tracer, and a trace track id
+// equal to the job's registration order. Safe for concurrent use.
+func (h *Hub) Observer(label string) *Observer {
+	h.mu.Lock()
+	id := len(h.jobs)
+	h.jobs = append(h.jobs, jobEntry{label: label, state: jobQueued})
+	h.mu.Unlock()
+	h.queued.Add(1)
+
+	o := &Observer{hub: h, job: id, Tracer: h.Tracer, TID: int64(id + 1)}
+	o.bind(h.Metrics, id)
+	return o
+}
+
+// Jobs returns the current /jobs view.
+func (h *Hub) Jobs() JobsView {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	v := JobsView{Total: len(h.jobs), Jobs: make([]JobStatus, len(h.jobs))}
+	for i, j := range h.jobs {
+		st := JobStatus{Index: i, Label: j.label, State: j.state.String(), Error: j.err}
+		switch j.state {
+		case jobQueued:
+			v.Queued++
+		case jobRunning:
+			v.Running++
+			st.ElapsedMS = time.Since(j.started).Milliseconds()
+		case jobDone:
+			v.Done++
+			st.ElapsedMS = j.elapsed.Milliseconds()
+		case jobFailed:
+			v.Failed++
+			st.ElapsedMS = j.elapsed.Milliseconds()
+		}
+		v.Jobs[i] = st
+	}
+	return v
+}
+
+// Observer is one simulation run's observability hooks: shard-bound metric
+// handles, an optional per-run access-latency collector (for telemetry
+// percentile summaries), and the tracer with this run's track id.
+//
+// A nil *Observer is valid everywhere and records nothing — the simulator
+// consults it behind single nil checks, so default runs pay nothing.
+type Observer struct {
+	hub *Hub
+	job int
+
+	// Access, when non-nil, collects this run's per-level latency
+	// histograms locally (single-goroutine, no atomics needed by the
+	// consumer — the engine diffs snapshots at epoch boundaries into
+	// telemetry latency summaries).
+	Access *AccessStats
+
+	// Tracer and TID address this run's span track (Tracer nil = off).
+	Tracer *Tracer
+	TID    int64
+
+	// Shard-bound live metric handles (nil when the observer is not
+	// attached to a Hub, e.g. a bare Observer built for telemetry only).
+	served   [servedLevels]*Counter
+	latency  [servedLevels]*Histogram
+	reconfig map[string]*Counter
+	epochs   *Counter
+
+	span *Span // the job's lifecycle span, Begin/End by JobStarted/Finished
+}
+
+// bind resolves the observer's shard-local metric handles.
+func (o *Observer) bind(m *Metrics, shard int) {
+	for i := range o.served {
+		o.served[i] = m.served[i].Shard(shard)
+		o.latency[i] = m.latency[i].Shard(shard)
+	}
+	o.reconfig = map[string]*Counter{}
+	for op, c := range m.reconfig {
+		o.reconfig[op] = c.Shard(shard)
+	}
+	o.epochs = m.epochs.Shard(shard)
+}
+
+// ObserveAccess records one memory reference's outcome: the serving level
+// (a Served* constant) and its latency in cycles. Called from the
+// hierarchy's access path behind a single nil check.
+func (o *Observer) ObserveAccess(served int, cycles int) {
+	if o.Access != nil {
+		o.Access.observe(served, uint64(cycles))
+	}
+	if o.served[served] != nil {
+		o.served[served].Inc()
+		o.latency[served].Observe(uint64(cycles))
+	}
+}
+
+// CountReconfig counts one controller decision ("merge", "split", or
+// "veto" — a fault-blocked operation). Nil-safe.
+func (o *Observer) CountReconfig(op string) {
+	if o == nil || o.reconfig == nil {
+		return
+	}
+	if c := o.reconfig[op]; c != nil {
+		c.Inc()
+	}
+}
+
+// CountEpoch counts one completed simulation epoch. Nil-safe.
+func (o *Observer) CountEpoch() {
+	if o == nil || o.epochs == nil {
+		return
+	}
+	o.epochs.Inc()
+}
+
+// Span opens a span on this run's trace track. Nil-safe: with no observer
+// or no tracer it returns an inert nil span.
+func (o *Observer) Span(cat, name string) *Span {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer.Begin(o.TID, cat, name)
+}
+
+// Instant records an instant event on this run's trace track. Nil-safe.
+func (o *Observer) Instant(cat, name string, args map[string]any) {
+	if o == nil {
+		return
+	}
+	o.Tracer.Instant(o.TID, cat, name, args)
+}
+
+// JobStarted marks the tracked job running and opens its lifecycle span.
+// Nil-safe; called by the batch layer on the worker goroutine.
+func (o *Observer) JobStarted() {
+	if o == nil || o.hub == nil {
+		return
+	}
+	h := o.hub
+	h.mu.Lock()
+	j := &h.jobs[o.job]
+	label := j.label
+	j.state = jobRunning
+	j.started = time.Now()
+	h.mu.Unlock()
+	h.queued.Add(-1)
+	h.running.Add(1)
+	o.span = o.Span("job", label).Arg("index", o.job)
+}
+
+// JobFinished marks the tracked job done or failed and closes its span.
+// Nil-safe.
+func (o *Observer) JobFinished(err error, elapsed time.Duration) {
+	if o == nil || o.hub == nil {
+		return
+	}
+	h := o.hub
+	h.mu.Lock()
+	j := &h.jobs[o.job]
+	j.elapsed = elapsed
+	if err != nil {
+		j.state = jobFailed
+		j.err = err.Error()
+	} else {
+		j.state = jobDone
+	}
+	h.mu.Unlock()
+	h.running.Add(-1)
+	if err != nil {
+		h.failed.Add(1)
+		o.span.Arg("failed", true)
+	} else {
+		h.done.Add(1)
+	}
+	o.span.End()
+	o.span = nil
+}
+
+// AccessStats collects one run's per-level latency histograms. It is
+// written by the run's single goroutine only (plain counters, no atomics):
+// the engine owns it and snapshots it at epoch boundaries.
+type AccessStats struct {
+	levels [servedLevels]localHist
+}
+
+// localHist is a plain fixed-bucket histogram over LatencyBuckets.
+type localHist struct {
+	counts [numLatencyBuckets + 1]uint64 // +1 for the overflow bucket
+	count  uint64
+	sum    uint64
+}
+
+// NewAccessStats returns an empty collector.
+func NewAccessStats() *AccessStats { return &AccessStats{} }
+
+func (a *AccessStats) observe(level int, v uint64) {
+	h := &a.levels[level]
+	// Linear scan: the bucket list is short and the common case (L1 hits,
+	// small latencies) exits in the first few comparisons.
+	i := 0
+	for i < len(LatencyBuckets) && v > LatencyBuckets[i] {
+		i++
+	}
+	h.counts[i]++
+	h.count++
+	h.sum += v
+}
+
+// Snapshot returns per-level histogram snapshots (Served* order). Bounds
+// are shared; Counts are copies.
+func (a *AccessStats) Snapshot() [servedLevels]HistSnapshot {
+	var out [servedLevels]HistSnapshot
+	for l := range a.levels {
+		h := &a.levels[l]
+		out[l] = HistSnapshot{
+			Bounds: LatencyBuckets,
+			Counts: append([]uint64(nil), h.counts[:]...),
+			Count:  h.count,
+			Sum:    h.sum,
+		}
+	}
+	return out
+}

@@ -1,0 +1,431 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestShardedCounterConcurrent(t *testing.T) {
+	s := NewShardedCounter(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := s.Shard(w) // wraps past the shard count
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Value(); got != 8000 {
+		t.Fatalf("sharded counter = %d, want 8000", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]uint64{10, 20, 40})
+	for _, v := range []uint64{1, 10, 11, 20, 39, 41, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{2, 2, 1, 2} // <=10, <=20, <=40, +Inf
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 7 || s.Sum != 1+10+11+20+39+41+1000 {
+		t.Fatalf("count/sum = %d/%d", s.Count, s.Sum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]uint64{10, 20, 40})
+	// 100 observations uniformly in the first bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q <= 0 || q > 10 {
+		t.Fatalf("P50 = %v, want within (0, 10]", q)
+	}
+	// Empty histogram reports zero.
+	if q := (HistSnapshot{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+	// Overflow-dominated histogram reports the largest finite bound.
+	h2 := NewHistogram([]uint64{10})
+	h2.Observe(99)
+	if q := h2.Snapshot().Quantile(0.99); q != 10 {
+		t.Fatalf("overflow quantile = %v, want 10", q)
+	}
+}
+
+func TestHistSnapshotSub(t *testing.T) {
+	h := NewHistogram([]uint64{10, 20})
+	h.Observe(5)
+	prev := h.Snapshot()
+	h.Observe(15)
+	h.Observe(25)
+	d := h.Snapshot().Sub(prev)
+	if d.Count != 2 || d.Sum != 40 {
+		t.Fatalf("delta count/sum = %d/%d, want 2/40", d.Count, d.Sum)
+	}
+	if d.Counts[0] != 0 || d.Counts[1] != 1 || d.Counts[2] != 1 {
+		t.Fatalf("delta counts = %v", d.Counts)
+	}
+	// Subtracting the zero snapshot (nil Counts) is the epoch-0 baseline.
+	zero := HistSnapshot{}
+	d0 := prev.Sub(zero)
+	if d0.Count != 1 {
+		t.Fatalf("baseline delta count = %d, want 1", d0.Count)
+	}
+}
+
+func TestRegistryPrometheusOutput(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_total", "a test counter", Labels{"kind": "x"})
+	c.Add(3)
+	reg.Gauge("test_gauge", "a gauge", nil).Set(9)
+	h := NewHistogram([]uint64{1, 2})
+	h.Observe(1)
+	h.Observe(5)
+	reg.RegisterHistogramFunc("test_hist", "a histogram", nil, h.Snapshot)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE test_total counter",
+		`test_total{kind="x"} 3`,
+		"# TYPE test_gauge gauge",
+		"test_gauge 9",
+		"# TYPE test_hist histogram",
+		`test_hist_bucket{le="1"} 1`,
+		`test_hist_bucket{le="2"} 1`,
+		`test_hist_bucket{le="+Inf"} 2`,
+		"test_hist_sum 6",
+		"test_hist_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	n, err := ValidatePrometheusText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("self-validation failed: %v\n%s", err, out)
+	}
+	if n == 0 {
+		t.Fatal("no samples validated")
+	}
+}
+
+func TestRegistryDeterministicOrder(t *testing.T) {
+	render := func() string {
+		reg := NewRegistry()
+		reg.Counter("b_total", "", Labels{"x": "2"}).Inc()
+		reg.Counter("a_total", "", nil).Inc()
+		reg.Counter("b_total", "", Labels{"x": "1"}).Inc()
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatalf("nondeterministic output:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestValidatePrometheusTextRejects(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":    "foo 1\n",
+		"bad value":  "# TYPE foo counter\nfoo abc\n",
+		"bad name":   "# TYPE 1foo counter\n1foo 1\n",
+		"empty":      "",
+		"bad labels": "# TYPE foo counter\nfoo{x=1} 1\n",
+		"unterm":     "# TYPE foo counter\nfoo{x=\"1} 1\n",
+		"bad type":   "# TYPE foo banana\nfoo 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ValidatePrometheusText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validated bad input %q", name, in)
+		}
+	}
+}
+
+// fakeClock is a deterministic microsecond counter for tracer tests.
+func fakeClock() func() int64 {
+	var t int64
+	return func() int64 {
+		t += 10
+		return t
+	}
+}
+
+func TestTracerSpansAndInstants(t *testing.T) {
+	tr := NewTracer(fakeClock())
+	sp := tr.Begin(1, "sim", "epoch").Arg("epoch", 0)
+	tr.Instant(1, "sim", "fault", map[string]any{"event": "x"})
+	sp.End()
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	// Sorted by TS: the span began at t=10, the instant fired at t=20.
+	if evs[0].Name != "epoch" || evs[0].Ph != "X" || evs[0].Dur != 20 {
+		t.Fatalf("span event = %+v", evs[0])
+	}
+	if evs[1].Name != "fault" || evs[1].Ph != "i" || evs[1].S != "t" {
+		t.Fatalf("instant event = %+v", evs[1])
+	}
+}
+
+func TestNilTracerAndSpanAreInert(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Begin(1, "a", "b")
+	sp.Arg("k", "v")
+	sp.End() // must not panic
+	tr.Instant(1, "a", "b", nil)
+	if evs := tr.Events(); evs != nil {
+		t.Fatalf("nil tracer returned events: %v", evs)
+	}
+	if tr.Now() != 0 {
+		t.Fatal("nil tracer Now() != 0")
+	}
+}
+
+func TestCanonicalTraceIgnoresTiming(t *testing.T) {
+	build := func(base int64, tid int64) []TraceEvent {
+		var tick int64 = base
+		tr := NewTracer(func() int64 { tick += 7; return tick })
+		tr.Begin(tid, "sim", "epoch").Arg("epoch", 1).End()
+		tr.Begin(tid, "job", "morph MIX 01").End()
+		return tr.Events()
+	}
+	var a, b bytes.Buffer
+	if err := CanonicalTrace(build(0, 1), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := CanonicalTrace(build(1000, 5), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("canonical traces differ:\n%s---\n%s", a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), `"epoch"`) {
+		t.Fatalf("canonical trace missing span name:\n%s", a.String())
+	}
+}
+
+func TestTracerWriteJSON(t *testing.T) {
+	tr := NewTracer(fakeClock())
+	tr.Begin(1, "sim", "epoch").End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents"`) {
+		t.Fatalf("missing traceEvents wrapper:\n%s", buf.String())
+	}
+}
+
+func TestHubObserverLifecycle(t *testing.T) {
+	h := NewHub(HubOptions{Shards: 2, Trace: true, Clock: fakeClock()})
+	a := h.Observer("job-a")
+	b := h.Observer("job-b")
+
+	v := h.Jobs()
+	if v.Total != 2 || v.Queued != 2 {
+		t.Fatalf("initial view = %+v", v)
+	}
+
+	a.JobStarted()
+	v = h.Jobs()
+	if v.Queued != 1 || v.Running != 1 {
+		t.Fatalf("after start = %+v", v)
+	}
+
+	a.JobFinished(nil, 5*time.Millisecond)
+	b.JobStarted()
+	b.JobFinished(errors.New("boom"), time.Millisecond)
+	v = h.Jobs()
+	if v.Done != 1 || v.Failed != 1 || v.Running != 0 || v.Queued != 0 {
+		t.Fatalf("final view = %+v", v)
+	}
+	if v.Jobs[1].Error != "boom" || v.Jobs[1].State != "failed" {
+		t.Fatalf("failed job row = %+v", v.Jobs[1])
+	}
+	if v.Jobs[0].ElapsedMS != 5 {
+		t.Fatalf("elapsed = %d, want 5", v.Jobs[0].ElapsedMS)
+	}
+
+	// The lifecycle left one job span per observer in the trace.
+	evs := h.Tracer.Events()
+	if len(evs) != 2 {
+		t.Fatalf("trace events = %d, want 2 job spans", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.Cat != "job" {
+			t.Fatalf("unexpected span %+v", ev)
+		}
+	}
+}
+
+func TestObserverMetricsFlow(t *testing.T) {
+	h := NewHub(HubOptions{Shards: 2})
+	o := h.Observer("job")
+	o.Access = NewAccessStats()
+	o.ObserveAccess(ServedL1, 3)
+	o.ObserveAccess(ServedL1, 3)
+	o.ObserveAccess(ServedMem, 300)
+	o.CountReconfig("merge")
+	o.CountReconfig("veto")
+	o.CountEpoch()
+
+	if got := h.Metrics.served[ServedL1].Value(); got != 2 {
+		t.Fatalf("l1 accesses = %d, want 2", got)
+	}
+	if got := h.Metrics.served[ServedMem].Value(); got != 1 {
+		t.Fatalf("mem accesses = %d, want 1", got)
+	}
+	if got := h.Metrics.reconfig["merge"].Value(); got != 1 {
+		t.Fatalf("merges = %d, want 1", got)
+	}
+	if got := h.Metrics.epochs.Value(); got != 1 {
+		t.Fatalf("epochs = %d, want 1", got)
+	}
+	snap := o.Access.Snapshot()
+	if snap[ServedL1].Count != 2 || snap[ServedMem].Count != 1 {
+		t.Fatalf("access stats counts = %d/%d", snap[ServedL1].Count, snap[ServedMem].Count)
+	}
+	if snap[ServedMem].Sum != 300 {
+		t.Fatalf("mem latency sum = %d", snap[ServedMem].Sum)
+	}
+
+	// The whole hub renders as valid Prometheus text.
+	var buf bytes.Buffer
+	if err := h.Registry.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidatePrometheusText(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("hub registry invalid: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{
+		`morphcache_accesses_total{served="l1"} 2`,
+		`morphcache_reconfig_total{op="merge"} 1`,
+		`morphcache_jobs{state="queued"} 1`,
+		`morphcache_epochs_total 1`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestNilObserverIsSafe(t *testing.T) {
+	var o *Observer
+	o.CountReconfig("merge")
+	o.CountEpoch()
+	o.JobStarted()
+	o.JobFinished(nil, 0)
+	o.Instant("a", "b", nil)
+	o.Span("a", "b").Arg("k", 1).End()
+}
+
+func TestBareObserverCollectsAccessOnly(t *testing.T) {
+	// The engine mints a bare observer for telemetry-only runs: no hub, no
+	// tracer, just the per-run access stats.
+	o := &Observer{Access: NewAccessStats()}
+	o.ObserveAccess(ServedL2, 12)
+	o.CountReconfig("split") // no-op without a hub
+	o.CountEpoch()           // no-op without a hub
+	s := o.Access.Snapshot()
+	if s[ServedL2].Count != 1 || s[ServedL2].Sum != 12 {
+		t.Fatalf("bare observer stats = %+v", s[ServedL2])
+	}
+}
+
+func TestLatencyBucketsMatchConstant(t *testing.T) {
+	if len(LatencyBuckets) != numLatencyBuckets {
+		t.Fatalf("numLatencyBuckets = %d but len(LatencyBuckets) = %d",
+			numLatencyBuckets, len(LatencyBuckets))
+	}
+}
+
+func TestRegistryDuplicateSeriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate series did not panic")
+		}
+	}()
+	reg := NewRegistry()
+	reg.Counter("dup_total", "", Labels{"a": "1"})
+	reg.Counter("dup_total", "", Labels{"a": "1"})
+}
+
+func TestEscapeLabel(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("esc_total", "", Labels{"l": "a\"b\\c\nd"}).Inc()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidatePrometheusText(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("escaped label invalid: %v\n%s", err, buf.String())
+	}
+}
+
+func BenchmarkObserveAccess(b *testing.B) {
+	h := NewHub(HubOptions{Shards: 1})
+	o := h.Observer("bench")
+	o.Access = NewAccessStats()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.ObserveAccess(ServedL1, 3)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(LatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i & 1023))
+	}
+}
+
+func ExampleRegistry() {
+	reg := NewRegistry()
+	reg.Counter("example_total", "an example", nil).Add(2)
+	var buf bytes.Buffer
+	_ = reg.WritePrometheus(&buf)
+	fmt.Print(buf.String())
+	// Output:
+	// # HELP example_total an example
+	// # TYPE example_total counter
+	// example_total 2
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// The exposition-format grammar fragments the validator checks. Metric and
+// label names follow the Prometheus data model.
+var (
+	promMetricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelName  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// ValidatePrometheusText checks that r is a well-formed Prometheus text
+// exposition: every non-comment line is `name[{labels}] value`, names are
+// legal, every series' name was announced by a preceding # TYPE, and
+// histogram series carry consistent _bucket/_sum/_count suffixes. It
+// returns the number of samples validated. The admin-endpoint tests and
+// the CI obs job use it as a lightweight stand-in for promtool.
+func ValidatePrometheusText(r io.Reader) (samples int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	types := map[string]string{} // family -> type
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && fields[1] == "TYPE" {
+				name, typ := fields[2], ""
+				if len(fields) == 4 {
+					typ = fields[3]
+				}
+				if !promMetricName.MatchString(name) {
+					return samples, fmt.Errorf("line %d: bad metric name %q", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return samples, fmt.Errorf("line %d: bad metric type %q", lineNo, typ)
+				}
+				types[name] = typ
+			}
+			continue
+		}
+		name, rest, perr := parseSampleName(line)
+		if perr != nil {
+			return samples, fmt.Errorf("line %d: %v", lineNo, perr)
+		}
+		fam := histogramFamily(name, types)
+		if _, ok := types[fam]; !ok {
+			return samples, fmt.Errorf("line %d: series %q has no preceding # TYPE", lineNo, name)
+		}
+		val := strings.TrimSpace(rest)
+		if _, perr := strconv.ParseFloat(val, 64); perr != nil {
+			return samples, fmt.Errorf("line %d: bad sample value %q", lineNo, val)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("no samples")
+	}
+	return samples, nil
+}
+
+// parseSampleName splits a sample line into its metric name (validating
+// any label block) and the remainder (the value).
+func parseSampleName(line string) (name, rest string, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", "", fmt.Errorf("malformed sample %q", line)
+	}
+	name = line[:i]
+	if !promMetricName.MatchString(name) {
+		return "", "", fmt.Errorf("bad metric name %q", name)
+	}
+	if line[i] == ' ' {
+		return name, line[i+1:], nil
+	}
+	// Label block: scan to the closing brace, honoring escapes in values.
+	j := i + 1
+	body := ""
+	for ; j < len(line); j++ {
+		if line[j] == '"' { // skip quoted value
+			for j++; j < len(line); j++ {
+				if line[j] == '\\' {
+					j++
+				} else if line[j] == '"' {
+					break
+				}
+			}
+			if j >= len(line) {
+				return "", "", fmt.Errorf("unterminated label value in %q", line)
+			}
+			continue
+		}
+		if line[j] == '}' {
+			body = line[i+1 : j]
+			break
+		}
+	}
+	if j >= len(line) {
+		return "", "", fmt.Errorf("unterminated label block in %q", line)
+	}
+	if err := validateLabelBody(body); err != nil {
+		return "", "", err
+	}
+	rest = line[j+1:]
+	if !strings.HasPrefix(rest, " ") {
+		return "", "", fmt.Errorf("missing value in %q", line)
+	}
+	return name, rest[1:], nil
+}
+
+// validateLabelBody checks `k="v",k2="v2"` label pair syntax.
+func validateLabelBody(body string) error {
+	for body != "" {
+		eq := strings.Index(body, "=")
+		if eq < 0 {
+			return fmt.Errorf("label pair missing '=' in %q", body)
+		}
+		k := body[:eq]
+		if !promLabelName.MatchString(k) {
+			return fmt.Errorf("bad label name %q", k)
+		}
+		v := body[eq+1:]
+		if !strings.HasPrefix(v, `"`) {
+			return fmt.Errorf("label %q value not quoted", k)
+		}
+		// Find the closing quote, honoring escapes.
+		end := -1
+		for i := 1; i < len(v); i++ {
+			if v[i] == '\\' {
+				i++
+			} else if v[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("label %q value unterminated", k)
+		}
+		body = v[end+1:]
+		body = strings.TrimPrefix(body, ",")
+	}
+	return nil
+}
+
+// histogramFamily maps a histogram component series back to its family
+// name: name_bucket/_sum/_count belong to family name when that family was
+// declared a histogram (or summary, which shares the suffixes).
+func histogramFamily(name string, types map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		fam, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		if t := types[fam]; t == "histogram" || t == "summary" {
+			return fam
+		}
+	}
+	return name
+}

@@ -1,0 +1,447 @@
+// Package obs is the live observability layer of the simulator: a metrics
+// registry of lock-free atomic counters, gauges, and fixed-bucket
+// histograms (sharded per worker so the runner pool never contends on one
+// cache line), a Prometheus-text / expvar / pprof admin HTTP server, and a
+// span tracer that emits Chrome trace-event JSON.
+//
+// Design constraints (DESIGN.md §10):
+//
+//   - Zero cost when disabled. Every hook in the simulator is behind one
+//     nil check; a nil *Observer records nothing, and default runs are
+//     byte-identical and benchmark-neutral with the package compiled in.
+//   - Observation never changes results. The observer only reads what the
+//     simulation already computed; enabling -admin or -trace leaves stdout
+//     and report output byte-identical.
+//   - Deterministic where it matters. The tracer runs against an injected
+//     monotonic clock, so tests drive it with a counter; the span
+//     *structure* (names, categories, args) of a batch is identical at any
+//     worker count — only timestamps and track ids move.
+//
+// The package depends only on the standard library so every layer of the
+// simulator can use it without import cycles.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d (negative to decrement).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// counterCell pads a Counter out to its own cache line so per-shard
+// counters written by different workers never false-share.
+type counterCell struct {
+	c Counter
+	_ [56]byte
+}
+
+// ShardedCounter spreads increments across per-worker cells; reads sum
+// them. Writers use their own shard and never contend.
+type ShardedCounter struct{ cells []counterCell }
+
+// NewShardedCounter returns a counter with the given shard count (minimum 1).
+func NewShardedCounter(shards int) *ShardedCounter {
+	if shards < 1 {
+		shards = 1
+	}
+	return &ShardedCounter{cells: make([]counterCell, shards)}
+}
+
+// Shard returns shard i's counter (wrapping, so any index is safe).
+func (s *ShardedCounter) Shard(i int) *Counter {
+	return &s.cells[i%len(s.cells)].c
+}
+
+// Value sums all shards.
+func (s *ShardedCounter) Value() uint64 {
+	var t uint64
+	for i := range s.cells {
+		t += s.cells[i].c.Value()
+	}
+	return t
+}
+
+// Histogram is a fixed-bucket histogram of uint64 observations (CPU
+// cycles, here). Bucket i counts observations <= Bounds[i]; one overflow
+// bucket counts the rest. All operations are lock-free atomics, so one
+// histogram may be written by a worker while the admin server reads it.
+type Histogram struct {
+	bounds  []uint64
+	buckets []atomic.Uint64 // len(bounds)+1, last = overflow (+Inf)
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// NewHistogram returns a histogram over the given strictly increasing
+// upper bounds.
+func NewHistogram(bounds []uint64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not increasing at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds:  append([]uint64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[h.bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// bucketOf locates the bucket for v by binary search.
+func (h *Histogram) bucketOf(v uint64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Snapshot returns a consistent-enough copy for export (buckets are read
+// individually; a concurrent Observe may straddle, which Prometheus
+// scraping tolerates).
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.buckets)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a histogram's state. Bounds is
+// shared with the source histogram and must not be mutated.
+type HistSnapshot struct {
+	Bounds []uint64
+	Counts []uint64 // len(Bounds)+1; last is the overflow (+Inf) bucket
+	Count  uint64
+	Sum    uint64
+}
+
+// Sub returns the delta histogram between two snapshots of the same
+// histogram (s - prev), used for per-epoch distributions.
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	d := HistSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]uint64, len(s.Counts)),
+		Count:  s.Count - prev.Count,
+		Sum:    s.Sum - prev.Sum,
+	}
+	for i := range s.Counts {
+		d.Counts[i] = s.Counts[i]
+		if i < len(prev.Counts) {
+			d.Counts[i] -= prev.Counts[i]
+		}
+	}
+	return d
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear
+// interpolation within the containing bucket, Prometheus-style. The
+// overflow bucket reports its lower bound (the largest finite bound).
+// Returns 0 on an empty histogram.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// Overflow bucket: no finite upper edge to interpolate to.
+			if len(s.Bounds) == 0 {
+				return 0
+			}
+			return float64(s.Bounds[len(s.Bounds)-1])
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = float64(s.Bounds[i-1])
+		}
+		upper := float64(s.Bounds[i])
+		if c == 0 {
+			return upper
+		}
+		inBucket := rank - float64(cum-c)
+		return lower + (upper-lower)*(inBucket/float64(c))
+	}
+	return float64(s.Bounds[len(s.Bounds)-1])
+}
+
+// ShardedHistogram spreads observations across per-worker histograms;
+// Snapshot merges them. Each shard's buckets live in their own allocation,
+// so workers never share write cache lines.
+type ShardedHistogram struct{ shards []*Histogram }
+
+// NewShardedHistogram returns a per-shard histogram family over bounds.
+func NewShardedHistogram(shards int, bounds []uint64) *ShardedHistogram {
+	if shards < 1 {
+		shards = 1
+	}
+	s := &ShardedHistogram{shards: make([]*Histogram, shards)}
+	for i := range s.shards {
+		s.shards[i] = NewHistogram(bounds)
+	}
+	return s
+}
+
+// Shard returns shard i's histogram (wrapping).
+func (s *ShardedHistogram) Shard(i int) *Histogram {
+	return s.shards[i%len(s.shards)]
+}
+
+// Snapshot merges all shards.
+func (s *ShardedHistogram) Snapshot() HistSnapshot {
+	out := s.shards[0].Snapshot()
+	// The first shard's snapshot owns fresh Counts; fold the rest in.
+	for _, h := range s.shards[1:] {
+		sn := h.Snapshot()
+		for i := range out.Counts {
+			out.Counts[i] += sn.Counts[i]
+		}
+		out.Count += sn.Count
+		out.Sum += sn.Sum
+	}
+	return out
+}
+
+// Labels are one metric series' label set.
+type Labels map[string]string
+
+// renderLabels produces the canonical {k="v",...} form, keys sorted.
+func renderLabels(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// series is one exported time series.
+type series struct {
+	labels string
+	value  func() float64      // counter/gauge
+	hist   func() HistSnapshot // histogram
+}
+
+// family is one named metric with help, type, and its series.
+type family struct {
+	name, help, typ string
+	series          []series
+}
+
+// Registry holds the process's metric families and renders them in the
+// Prometheus text exposition format. Registration takes a lock; reading a
+// metric's value at scrape time goes through the registered closure (the
+// atomic loads above), so the hot path never touches the registry.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+func (r *Registry) register(name, help, typ string, s series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.fams[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	for _, have := range f.series {
+		if have.labels == s.labels {
+			panic(fmt.Sprintf("obs: duplicate series %s%s", name, s.labels))
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+// RegisterCounterFunc exports a counter read through f.
+func (r *Registry) RegisterCounterFunc(name, help string, labels Labels, f func() uint64) {
+	r.register(name, help, "counter", series{labels: renderLabels(labels), value: func() float64 { return float64(f()) }})
+}
+
+// RegisterGaugeFunc exports a gauge read through f.
+func (r *Registry) RegisterGaugeFunc(name, help string, labels Labels, f func() float64) {
+	r.register(name, help, "gauge", series{labels: renderLabels(labels), value: f})
+}
+
+// RegisterHistogramFunc exports a histogram read through f.
+func (r *Registry) RegisterHistogramFunc(name, help string, labels Labels, f func() HistSnapshot) {
+	r.register(name, help, "histogram", series{labels: renderLabels(labels), hist: f})
+}
+
+// Counter creates, registers, and returns a plain counter.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	c := &Counter{}
+	r.RegisterCounterFunc(name, help, labels, c.Value)
+	return c
+}
+
+// Gauge creates, registers, and returns a gauge.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	g := &Gauge{}
+	r.RegisterGaugeFunc(name, help, labels, func() float64 { return float64(g.Value()) })
+	return g
+}
+
+// ShardedCounter creates, registers, and returns a sharded counter.
+func (r *Registry) ShardedCounter(name, help string, labels Labels, shards int) *ShardedCounter {
+	c := NewShardedCounter(shards)
+	r.RegisterCounterFunc(name, help, labels, c.Value)
+	return c
+}
+
+// ShardedHistogram creates, registers, and returns a sharded histogram.
+func (r *Registry) ShardedHistogram(name, help string, labels Labels, shards int, bounds []uint64) *ShardedHistogram {
+	h := NewShardedHistogram(shards, bounds)
+	r.RegisterHistogramFunc(name, help, labels, h.Snapshot)
+	return h
+}
+
+// WritePrometheus renders every family in the text exposition format,
+// families sorted by name and series by label string, so output is
+// deterministic for a given metric state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.fams[n]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		ss := append([]series(nil), f.series...)
+		sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+		for _, s := range ss {
+			var err error
+			if s.hist != nil {
+				err = writeHistogram(w, f.name, s.labels, s.hist())
+			} else {
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatValue(s.value()))
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram series: cumulative _bucket lines
+// with le labels, then _sum and _count.
+func writeHistogram(w io.Writer, name, labels string, s HistSnapshot) error {
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	le := func(bound string) string {
+		if inner == "" {
+			return `{le="` + bound + `"}`
+		}
+		return "{" + inner + `,le="` + bound + `"}`
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		bound := "+Inf"
+		if i < len(s.Bounds) {
+			bound = strconv.FormatUint(s.Bounds[i], 10)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, le(bound), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", name, labels, s.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, s.Count)
+	return err
+}
+
+// formatValue renders a sample value compactly and losslessly.
+func formatValue(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

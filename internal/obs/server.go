@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+)
+
+// Admin is the admin endpoint's handler set:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/healthz      200 while serving, 503 once shutdown begins
+//	/jobs         live batch progress (JobsView JSON)
+//	/debug/vars   expvar
+//	/debug/pprof  net/http/pprof profiles
+//
+// It is decoupled from the listener so tests drive it with httptest.
+type Admin struct {
+	reg     *Registry
+	jobs    func() JobsView
+	healthy atomic.Bool
+	mux     *http.ServeMux
+}
+
+// NewAdmin builds the handler set over a registry and an optional live
+// jobs view (nil serves an empty view). The endpoint starts healthy.
+func NewAdmin(reg *Registry, jobs func() JobsView) *Admin {
+	a := &Admin{reg: reg, jobs: jobs}
+	a.healthy.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", a.serveMetrics)
+	mux.HandleFunc("/healthz", a.serveHealthz)
+	mux.HandleFunc("/jobs", a.serveJobs)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	a.mux = mux
+	return a
+}
+
+// Handler returns the endpoint's root handler.
+func (a *Admin) Handler() http.Handler { return a.mux }
+
+// SetHealthy flips the /healthz state (Server.Shutdown flips it false
+// before draining, so load balancers and probes see the drain).
+func (a *Admin) SetHealthy(ok bool) { a.healthy.Store(ok) }
+
+func (a *Admin) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := a.reg.WritePrometheus(w); err != nil {
+		// Headers are gone; all we can do is drop the connection.
+		return
+	}
+}
+
+func (a *Admin) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	if !a.healthy.Load() {
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (a *Admin) serveJobs(w http.ResponseWriter, r *http.Request) {
+	view := JobsView{Jobs: []JobStatus{}}
+	if a.jobs != nil {
+		view = a.jobs()
+		if view.Jobs == nil {
+			view.Jobs = []JobStatus{}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(view) //nolint:errcheck // best effort over HTTP
+}
+
+// Server runs an Admin over a real listener.
+type Server struct {
+	admin *Admin
+	srv   *http.Server
+	ln    net.Listener
+}
+
+// Serve binds addr (e.g. ":9190" or "127.0.0.1:0") and serves the admin
+// endpoint in the background until Shutdown.
+func Serve(addr string, a *Admin) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: a.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{admin: a, srv: srv, ln: ln}
+	go srv.Serve(ln) //nolint:errcheck // Serve always returns ErrServerClosed after Shutdown
+	return s, nil
+}
+
+// Addr returns the bound address (resolves ":0" to the chosen port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown flips /healthz unhealthy and gracefully drains the server
+// within ctx's deadline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.admin.SetHealthy(false)
+	return s.srv.Shutdown(ctx)
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testAdmin(t *testing.T) (*Admin, *Hub) {
+	t.Helper()
+	hub := NewHub(HubOptions{Shards: 2})
+	o := hub.Observer("morph MIX 01")
+	o.JobStarted()
+	o.ObserveAccess(ServedL1, 3)
+	o.ObserveAccess(ServedMem, 311)
+	o.CountReconfig("merge")
+	o.CountEpoch()
+	return NewAdmin(hub.Registry, hub.Jobs), hub
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminMetricsEndpoint(t *testing.T) {
+	admin, _ := testAdmin(t)
+	srv := httptest.NewServer(admin.Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	n, err := ValidatePrometheusText(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics is not valid Prometheus text: %v\n%s", err, body)
+	}
+	if n == 0 {
+		t.Fatal("/metrics served zero samples")
+	}
+	for _, want := range []string{
+		`morphcache_accesses_total{served="l1"} 1`,
+		`morphcache_accesses_total{served="mem"} 1`,
+		`morphcache_reconfig_total{op="merge"} 1`,
+		`morphcache_jobs{state="running"} 1`,
+		`morphcache_access_latency_cycles_bucket{served="mem",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestAdminHealthzFlipsOnShutdown(t *testing.T) {
+	admin, _ := testAdmin(t)
+	srv := httptest.NewServer(admin.Handler())
+	defer srv.Close()
+
+	if code, body := get(t, srv, "/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthy /healthz = %d %q", code, body)
+	}
+	admin.SetHealthy(false)
+	if code, body := get(t, srv, "/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "shutting down") {
+		t.Fatalf("draining /healthz = %d %q", code, body)
+	}
+}
+
+func TestAdminJobsEndpoint(t *testing.T) {
+	admin, hub := testAdmin(t)
+	srv := httptest.NewServer(admin.Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/jobs")
+	if code != http.StatusOK {
+		t.Fatalf("/jobs status = %d", code)
+	}
+	var view JobsView
+	if err := json.Unmarshal([]byte(body), &view); err != nil {
+		t.Fatalf("/jobs is not JSON: %v\n%s", err, body)
+	}
+	if view.Total != 1 || view.Running != 1 {
+		t.Fatalf("/jobs view = %+v", view)
+	}
+	if view.Jobs[0].Label != "morph MIX 01" || view.Jobs[0].State != "running" {
+		t.Fatalf("/jobs row = %+v", view.Jobs[0])
+	}
+
+	// A nil jobs source serves the empty view rather than null.
+	empty := NewAdmin(hub.Registry, nil)
+	esrv := httptest.NewServer(empty.Handler())
+	defer esrv.Close()
+	if _, body := get(t, esrv, "/jobs"); !strings.Contains(body, `"jobs": []`) {
+		t.Fatalf("nil jobs view = %s", body)
+	}
+}
+
+func TestAdminDebugEndpoints(t *testing.T) {
+	admin, _ := testAdmin(t)
+	srv := httptest.NewServer(admin.Handler())
+	defer srv.Close()
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol", "/debug/vars"} {
+		if code, _ := get(t, srv, path); code != http.StatusOK {
+			t.Errorf("%s status = %d, want 200", path, code)
+		}
+	}
+}
+
+func TestServeAndShutdown(t *testing.T) {
+	admin, _ := testAdmin(t)
+	srv, err := Serve("127.0.0.1:0", admin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatalf("GET live server: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("live /healthz = %d", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The listener is closed; further requests fail.
+	if _, err := http.Get("http://" + srv.Addr() + "/healthz"); err == nil {
+		t.Fatal("server still serving after Shutdown")
+	}
+}
+
+func TestServeBadAddress(t *testing.T) {
+	admin, _ := testAdmin(t)
+	if _, err := Serve("definitely-not-an-address:xyz", admin); err == nil {
+		t.Fatal("Serve accepted a bad address")
+	}
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one Chrome trace-event record (the JSON array format that
+// chrome://tracing and Perfetto load). The simulator emits complete events
+// (ph "X", with a duration) for spans and instant events (ph "i") for
+// point occurrences like fault injections.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"` // microseconds
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceDoc is the JSON object format wrapper tracecheck and the writers
+// use: {"traceEvents": [...]}.
+type TraceDoc struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit,omitempty"`
+}
+
+// Tracer collects trace events. It is safe for concurrent use (every
+// worker of a batch appends through one mutex; spans are built off the
+// shared path and appended once, at End).
+//
+// Time comes from the injected clock, a monotonic microsecond counter. A
+// nil clock means wall time (monotonic, starting at zero when the tracer
+// is created); tests inject a deterministic counter so span timing is
+// reproducible.
+type Tracer struct {
+	clock func() int64
+
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// NewTracer returns a tracer over the given monotonic microsecond clock
+// (nil = wall time from tracer creation).
+func NewTracer(clock func() int64) *Tracer {
+	if clock == nil {
+		start := time.Now()
+		clock = func() int64 { return time.Since(start).Microseconds() }
+	}
+	return &Tracer{clock: clock}
+}
+
+// Now returns the tracer's current clock reading in microseconds, or 0 on
+// a nil tracer.
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.clock()
+}
+
+// Span is an in-flight traced operation; End emits the complete event.
+// The zero/nil Span is inert, so call sites need no nil checks.
+type Span struct {
+	t     *Tracer
+	tid   int64
+	cat   string
+	name  string
+	start int64
+	args  map[string]any
+}
+
+// Begin opens a span on track tid. A nil tracer returns a nil span.
+func (t *Tracer) Begin(tid int64, cat, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, tid: tid, cat: cat, name: name, start: t.clock()}
+}
+
+// Arg attaches one argument to the span (shown in the trace viewer's
+// detail pane). Args must be deterministic values — they are part of the
+// canonical trace shape tracecheck compares across worker counts.
+func (s *Span) Arg(k string, v any) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.args == nil {
+		s.args = map[string]any{}
+	}
+	s.args[k] = v
+	return s
+}
+
+// End closes the span and records the complete event.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := s.t.clock()
+	s.t.append(TraceEvent{
+		Name: s.name, Cat: s.cat, Ph: "X",
+		TS: s.start, Dur: now - s.start,
+		PID: 1, TID: s.tid, Args: s.args,
+	})
+}
+
+// Instant records a point event on track tid (thread scope).
+func (t *Tracer) Instant(tid int64, cat, name string, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.append(TraceEvent{
+		Name: name, Cat: cat, Ph: "i", S: "t",
+		TS: t.clock(), PID: 1, TID: tid, Args: args,
+	})
+}
+
+func (t *Tracer) append(ev TraceEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the collected events, sorted by (TS, TID,
+// Name) so output order is stable for a given set of timestamps.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]TraceEvent(nil), t.events...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].TS != out[j].TS {
+			return out[i].TS < out[j].TS
+		}
+		if out[i].TID != out[j].TID {
+			return out[i].TID < out[j].TID
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// WriteJSON writes the collected events as a Chrome trace document.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	doc := TraceDoc{TraceEvents: t.Events(), DisplayTimeUnit: "ms"}
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// CanonicalTrace renders events stripped of every nondeterministic field
+// (timestamp, duration, pid, tid) and sorted, one JSON object per line.
+// Two runs of the same batch — at any worker count — produce identical
+// canonical traces; cmd/tracecheck -canon exposes this for CI diffing.
+func CanonicalTrace(events []TraceEvent, w io.Writer) error {
+	lines := make([]string, 0, len(events))
+	for _, ev := range events {
+		c := struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat,omitempty"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args,omitempty"`
+		}{ev.Name, ev.Cat, ev.Ph, ev.Args}
+		b, err := json.Marshal(c)
+		if err != nil {
+			return err
+		}
+		lines = append(lines, string(b))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -61,6 +61,11 @@ type Options struct {
 	// Workers is the pool size; <= 0 means runtime.GOMAXPROCS(0).
 	// 1 restores sequential execution.
 	Workers int
+	// Started, when non-nil, receives one Event per job as a worker picks
+	// it up, before the job runs (Elapsed zero, Err nil, Done counting
+	// completed jobs so far). Delivered serially, under the same lock as
+	// Progress, so the two callbacks never interleave.
+	Started func(Event)
 	// Progress, when non-nil, receives one Event per completed job, in
 	// completion order. Events are delivered serially.
 	Progress func(Event)
@@ -109,6 +114,11 @@ func Run[T any](ctx context.Context, jobs []Job[T], opts Options) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				if opts.Started != nil {
+					mu.Lock()
+					opts.Started(Event{Index: i, Label: jobs[i].Label, Done: done, Total: len(jobs)})
+					mu.Unlock()
+				}
 				start := time.Now()
 				if bounded {
 					results[i], errs[i] = callBounded(ctx, jobs[i], opts.JobTimeout)

@@ -1,0 +1,70 @@
+package runner
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestStartedCallback checks the start-side callback: one event per job,
+// fired before the job's own Run, never interleaved with Progress.
+func TestStartedCallback(t *testing.T) {
+	const n = 8
+	var mu sync.Mutex
+	startedBefore := make([]bool, n) // Started seen before the job ran
+	running := make([]bool, n)
+
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Label: "job",
+			Run: func() (int, error) {
+				mu.Lock()
+				running[i] = true
+				mu.Unlock()
+				return i, nil
+			},
+		}
+	}
+	var started, finished []int
+	_, err := Run(context.Background(), jobs, Options{
+		Workers: 4,
+		Started: func(ev Event) {
+			mu.Lock()
+			startedBefore[ev.Index] = !running[ev.Index]
+			started = append(started, ev.Index)
+			mu.Unlock()
+			if ev.Err != nil || ev.Elapsed != 0 {
+				t.Errorf("start event carries completion fields: %+v", ev)
+			}
+			if ev.Total != n {
+				t.Errorf("start event Total = %d, want %d", ev.Total, n)
+			}
+		},
+		Progress: func(ev Event) {
+			finished = append(finished, ev.Index) // serial: no lock needed
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(started) != n || len(finished) != n {
+		t.Fatalf("started %d, finished %d, want %d each", len(started), len(finished), n)
+	}
+	for i, ok := range startedBefore {
+		if !ok {
+			t.Errorf("job %d: Started fired after the job began running", i)
+		}
+	}
+}
+
+// TestStartedNilIsFastPath ensures batches without a Started callback behave
+// as before.
+func TestStartedNilIsFastPath(t *testing.T) {
+	jobs := []Job[int]{{Label: "a", Run: func() (int, error) { return 1, nil }}}
+	res, err := Run(context.Background(), jobs, Options{Workers: 1})
+	if err != nil || res[0] != 1 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}

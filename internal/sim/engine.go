@@ -20,6 +20,7 @@ import (
 	"morphcache/internal/hierarchy"
 	"morphcache/internal/mem"
 	"morphcache/internal/metrics"
+	"morphcache/internal/obs"
 	"morphcache/internal/telemetry"
 	"morphcache/internal/topology"
 	"morphcache/internal/workload"
@@ -138,6 +139,23 @@ func (t *HierarchyTarget) SetRecorder(r telemetry.Recorder) {
 	}
 }
 
+// ObserverSettable is implemented by targets (and policies) that accept an
+// observability hook set. A nil observer is always valid and must restore
+// the unobserved behavior.
+type ObserverSettable interface {
+	SetObserver(*obs.Observer)
+}
+
+// SetObserver implements ObserverSettable: the hierarchy gets the access
+// hook and the policy (when it supports it — the MorphCache controller
+// does) gets the decision counters.
+func (t *HierarchyTarget) SetObserver(o *obs.Observer) {
+	t.Sys.SetObserver(o)
+	if os, ok := t.Policy.(ObserverSettable); ok {
+		os.SetObserver(o)
+	}
+}
+
 // Config parameterizes a run.
 type Config struct {
 	// EpochCycles is the reconfiguration interval in CPU cycles.
@@ -166,6 +184,14 @@ type Config struct {
 	// work to the run. The engine calls the recorder from its own goroutine
 	// only, so one recorder per run needs no synchronization.
 	Recorder telemetry.Recorder
+	// Observer, when non-nil, receives the run's observability stream: one
+	// ObserveAccess per reference, reconfiguration decision counts, epoch
+	// counts, and — when its tracer is on — phase spans. Requires a target
+	// implementing ObserverSettable for the access/decision hooks; the
+	// engine-level hooks (spans, epoch counts, latency summaries) work with
+	// any target. Nil (the default) observes nothing: the run is
+	// byte-identical to a build without the obs package.
+	Observer *obs.Observer
 	// Faults, when non-nil and non-empty, is the deterministic fault plan:
 	// each event is injected into the target at the start of its epoch
 	// (absolute index, warmup included). The target must implement
@@ -265,8 +291,30 @@ func (e *Engine) Run() *metrics.Run {
 		}
 	}
 
+	// Observability: hand the observer to the target (access hook, decision
+	// counters) and start per-run latency collection when telemetry will
+	// consume it. A telemetry run without a configured observer gets a bare
+	// one (latency summaries only, no hub, no tracer), so epoch records
+	// carry latency quantiles whenever they are recorded at all. All hooks
+	// below are nil-safe, so the unobserved run takes the exact same path it
+	// always did.
+	o := e.cfg.Observer
+	var prevLat [obs.NumServed]obs.HistSnapshot
+	if o == nil && e.cfg.Recorder != nil {
+		o = &obs.Observer{}
+	}
+	if o != nil {
+		if os, ok := e.target.(ObserverSettable); ok {
+			os.SetObserver(o)
+		}
+		if e.cfg.Recorder != nil && o.Access == nil {
+			o.Access = obs.NewAccessStats()
+		}
+	}
+
 	totalEpochs := e.cfg.WarmupEpochs + e.cfg.Epochs
 	for ep := 0; ep < totalEpochs; ep++ {
+		epochSpan := o.Span("sim", "epoch").Arg("epoch", ep).Arg("warmup", ep < e.cfg.WarmupEpochs)
 		epochStart := uint64(ep) * e.cfg.EpochCycles
 		epochEnd := epochStart + e.cfg.EpochCycles
 		instr := make([]uint64, n)
@@ -280,11 +328,13 @@ func (e *Engine) Run() *metrics.Run {
 		if e.inj != nil {
 			e.inj.AgeFaults()
 			for _, ev := range e.cfg.Faults.At(ep) {
+				faultSpan := o.Span("sim", "fault").Arg("event", ev.String())
 				if err := e.inj.ApplyFault(ev); err != nil {
 					// The plan was validated against this target in
 					// NewFromSources; a failure here is a bookkeeping bug.
 					panic("sim: validated fault event failed to apply: " + err.Error())
 				}
+				faultSpan.End()
 			}
 		}
 		spec := e.target.Spec()
@@ -337,10 +387,20 @@ func (e *Engine) Run() *metrics.Run {
 		// reconfiguration events the policy emits during EndEpoch must
 		// follow the record of the epoch they were decided in.
 		if e.cfg.Recorder != nil {
-			e.cfg.Recorder.RecordEpoch(e.epochRecord(ep, !measured, spec, instr, snapper, &prevSnap))
+			sampleSpan := o.Span("sim", "acfv-sample").Arg("epoch", ep)
+			rec := e.epochRecord(ep, !measured, spec, instr, snapper, &prevSnap)
+			if o != nil && o.Access != nil {
+				rec.Latency = latencySummary(o.Access.Snapshot(), &prevLat)
+			}
+			sampleSpan.End()
+			e.cfg.Recorder.RecordEpoch(rec)
 		}
 
+		reconfSpan := o.Span("sim", "reconfigure").Arg("epoch", ep).Arg("topology", spec)
 		reconf, asym := e.target.EndEpoch(ep)
+		reconfSpan.Arg("reconfigs", reconf).End()
+		o.CountEpoch()
+		epochSpan.End()
 		if measured {
 			run.Reconfigurations += reconf
 			if reconf > 0 && asym {
@@ -413,6 +473,40 @@ func (e *Engine) epochRecord(ep int, warmup bool, spec string, instr []uint64, s
 	}
 	*prev = snap
 	return rec
+}
+
+// latencySummary converts the per-run latency collector's cumulative
+// histograms into one epoch's quantile summary, diffing against prev
+// (updated in place). Levels with no accesses this epoch are nil; an epoch
+// with no accesses at all (e.g. a target that never feeds the collector,
+// like the PIPP/DSR baselines) yields nil, keeping those records unchanged.
+func latencySummary(cur [obs.NumServed]obs.HistSnapshot, prev *[obs.NumServed]obs.HistSnapshot) *telemetry.LatencySummary {
+	sum := &telemetry.LatencySummary{}
+	any := false
+	slots := [obs.NumServed]**telemetry.LatencyQuantiles{
+		obs.ServedL1:  &sum.L1,
+		obs.ServedL2:  &sum.L2,
+		obs.ServedL3:  &sum.L3,
+		obs.ServedC2C: &sum.C2C,
+		obs.ServedMem: &sum.Mem,
+	}
+	for l := range cur {
+		d := cur[l].Sub(prev[l])
+		if d.Count > 0 {
+			*slots[l] = &telemetry.LatencyQuantiles{
+				Count: d.Count,
+				P50:   d.Quantile(0.50),
+				P95:   d.Quantile(0.95),
+				P99:   d.Quantile(0.99),
+			}
+			any = true
+		}
+	}
+	*prev = cur
+	if !any {
+		return nil
+	}
+	return sum
 }
 
 // RunStatic builds a hierarchy in a fixed (x:y:z) topology with the paper's

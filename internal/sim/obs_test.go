@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"morphcache/internal/hierarchy"
+	"morphcache/internal/obs"
+	"morphcache/internal/telemetry"
+	"morphcache/internal/topology"
+)
+
+// runObserved runs a small static hierarchy with the given config mutator
+// and returns the engine's output.
+func runObserved(t *testing.T, mutate func(*Config)) *Engine {
+	t.Helper()
+	cfg := testConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	p := hierarchy.ScaledDefault(4, 16)
+	topo, err := topology.FromSpec("(4:1:1)", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := hierarchy.New(p, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(cfg, &HierarchyTarget{Sys: sys, Policy: NopPolicy{Label: "(4:1:1)"}}, testGens(t, "MIX 01", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	return eng
+}
+
+// fakeClock returns a deterministic microsecond counter.
+func fakeClock() func() int64 {
+	var t int64
+	return func() int64 { t += 3; return t }
+}
+
+func TestEngineEmitsLatencySummaries(t *testing.T) {
+	tl := telemetry.NewLog()
+	runObserved(t, func(c *Config) { c.Recorder = tl })
+	if len(tl.Epochs) == 0 {
+		t.Fatal("no epoch records")
+	}
+	for _, rec := range tl.Epochs {
+		if rec.Latency == nil {
+			t.Fatalf("epoch %d: no latency summary", rec.Epoch)
+		}
+		if rec.Latency.L1 == nil || rec.Latency.L1.Count == 0 {
+			t.Fatalf("epoch %d: missing L1 latency quantiles: %+v", rec.Epoch, rec.Latency)
+		}
+		q := rec.Latency.L1
+		if q.P50 <= 0 || q.P50 > q.P95 || q.P95 > q.P99 {
+			t.Fatalf("epoch %d: implausible quantiles %+v", rec.Epoch, q)
+		}
+	}
+}
+
+func TestEngineLatencySummariesAreDeterministic(t *testing.T) {
+	collect := func() []*telemetry.LatencySummary {
+		tl := telemetry.NewLog()
+		runObserved(t, func(c *Config) { c.Recorder = tl })
+		out := make([]*telemetry.LatencySummary, len(tl.Epochs))
+		for i, rec := range tl.Epochs {
+			out[i] = rec.Latency
+		}
+		return out
+	}
+	a, b := collect(), collect()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("latency summaries differ between identical runs")
+	}
+}
+
+func TestEngineEmitsPhaseSpans(t *testing.T) {
+	hub := obs.NewHub(obs.HubOptions{Shards: 1, Trace: true, Clock: fakeClock()})
+	o := hub.Observer("(4:1:1) MIX 01")
+	tl := telemetry.NewLog()
+	runObserved(t, func(c *Config) {
+		c.Recorder = tl
+		c.Observer = o
+	})
+
+	byName := map[string]int{}
+	for _, ev := range hub.Tracer.Events() {
+		byName[ev.Name]++
+		if ev.Ph != "X" {
+			t.Fatalf("unexpected phase %q on %s", ev.Ph, ev.Name)
+		}
+	}
+	// testConfig: 1 warmup + 4 measured epochs, recorder on.
+	if byName["epoch"] != 5 {
+		t.Fatalf("epoch spans = %d, want 5 (events %v)", byName["epoch"], byName)
+	}
+	if byName["reconfigure"] != 5 || byName["acfv-sample"] != 5 {
+		t.Fatalf("phase spans = %v", byName)
+	}
+}
+
+func TestEngineCountsIntoHub(t *testing.T) {
+	hub := obs.NewHub(obs.HubOptions{Shards: 1})
+	o := hub.Observer("(4:1:1) MIX 01")
+	runObserved(t, func(c *Config) { c.Observer = o })
+
+	if got := hub.Metrics.EpochsValue(); got != 5 {
+		t.Fatalf("epochs counted = %d, want 5", got)
+	}
+	var total uint64
+	for l := 0; l < obs.NumServed; l++ {
+		total += hub.Metrics.ServedValue(l)
+	}
+	if total == 0 {
+		t.Fatal("no accesses counted into the hub")
+	}
+}
+
+func TestObserverDoesNotChangeResults(t *testing.T) {
+	base := runObservedRun(t, nil)
+	hub := obs.NewHub(obs.HubOptions{Shards: 1, Trace: true})
+	o := hub.Observer("job")
+	observed := runObservedRun(t, func(c *Config) { c.Observer = o })
+	if !reflect.DeepEqual(base, observed) {
+		t.Fatal("observation changed simulation results")
+	}
+}
+
+// runObservedRun is runObserved returning the metrics run.
+func runObservedRun(t *testing.T, mutate func(*Config)) interface{} {
+	t.Helper()
+	cfg := testConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	p := hierarchy.ScaledDefault(4, 16)
+	topo, err := topology.FromSpec("(4:1:1)", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := hierarchy.New(p, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(cfg, &HierarchyTarget{Sys: sys, Policy: NopPolicy{Label: "(4:1:1)"}}, testGens(t, "MIX 01", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng.Run()
+}

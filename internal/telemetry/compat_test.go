@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// oldEpochRecord mirrors the EpochRecord schema as it stood before latency
+// summaries were added — the shape an already-deployed reader of
+// morphcache-report/v1 documents decodes into.
+type oldEpochRecord struct {
+	Epoch    int         `json:"epoch"`
+	Warmup   bool        `json:"warmup,omitempty"`
+	Topology string      `json:"topology,omitempty"`
+	Cores    []CoreEpoch `json:"cores"`
+	Bus      *BusEpoch   `json:"bus,omitempty"`
+	Faults   *FaultState `json:"faults,omitempty"`
+}
+
+// TestOldReadersParseLatencyRecords proves the latency field is a
+// backward-compatible addition: a reader compiled against the previous
+// schema decodes a record carrying latency summaries without error and
+// sees every pre-existing field unchanged.
+func TestOldReadersParseLatencyRecords(t *testing.T) {
+	rec := EpochRecord{
+		Epoch:    3,
+		Topology: "(4:4:1)",
+		Cores:    []CoreEpoch{{Core: 0, IPC: 1.5, Instructions: 1000, Accesses: 50}},
+		Bus:      &BusEpoch{},
+		Latency: &LatencySummary{
+			L1:  &LatencyQuantiles{Count: 40, P50: 2.5, P95: 3, P99: 3},
+			Mem: &LatencyQuantiles{Count: 10, P50: 310, P95: 350, P99: 390},
+		},
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var old oldEpochRecord
+	if err := json.Unmarshal(data, &old); err != nil {
+		t.Fatalf("old reader failed on new record: %v", err)
+	}
+	if old.Epoch != 3 || old.Topology != "(4:4:1)" || len(old.Cores) != 1 || old.Cores[0].IPC != 1.5 {
+		t.Fatalf("old reader mangled fields: %+v", old)
+	}
+}
+
+// TestNewReadersParseOldRecords proves the reverse direction: documents
+// written before the latency field existed decode into the current schema
+// with a nil Latency.
+func TestNewReadersParseOldRecords(t *testing.T) {
+	data, err := json.Marshal(oldEpochRecord{
+		Epoch: 1, Topology: "(16:1:1)",
+		Cores: []CoreEpoch{{Core: 0, IPC: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec EpochRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("new reader failed on old record: %v", err)
+	}
+	if rec.Latency != nil {
+		t.Fatalf("old record grew a latency summary: %+v", rec.Latency)
+	}
+	if rec.Epoch != 1 || rec.Cores[0].IPC != 2 {
+		t.Fatalf("fields mangled: %+v", rec)
+	}
+}
+
+// TestLatencyOmittedWhenNil pins the JSON wire shape: an unobserved record
+// serializes without any latency key at all, keeping default reports
+// byte-identical to earlier releases.
+func TestLatencyOmittedWhenNil(t *testing.T) {
+	data, err := json.Marshal(EpochRecord{Epoch: 0, Cores: []CoreEpoch{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["latency"]; ok {
+		t.Fatalf("nil latency serialized: %s", data)
+	}
+}

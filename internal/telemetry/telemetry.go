@@ -58,6 +58,33 @@ type EpochRecord struct {
 	// the epoch. Nil on fault-free runs, so their JSON (and the committed
 	// goldens) is unchanged; the flat CSV form never carries fault state.
 	Faults *FaultState `json:"faults,omitempty"`
+	// Latency summarizes the epoch's access-latency distribution per
+	// serving level. Nil unless the run was observed (DESIGN.md §10), so
+	// default reports are unchanged; like reconfig events, latency
+	// summaries never appear in the flat CSV form.
+	Latency *LatencySummary `json:"latency,omitempty"`
+}
+
+// LatencySummary holds per-serving-level access-latency quantiles for one
+// epoch, derived from the observer's fixed-bucket histograms (linear
+// interpolation within a bucket, so values are approximate but
+// deterministic). A level with no accesses in the epoch is nil.
+type LatencySummary struct {
+	L1  *LatencyQuantiles `json:"l1,omitempty"`
+	L2  *LatencyQuantiles `json:"l2,omitempty"`
+	L3  *LatencyQuantiles `json:"l3,omitempty"`
+	C2C *LatencyQuantiles `json:"c2c,omitempty"`
+	Mem *LatencyQuantiles `json:"mem,omitempty"`
+}
+
+// LatencyQuantiles is one level's latency distribution summary.
+type LatencyQuantiles struct {
+	// Count is the number of accesses the level served this epoch.
+	Count uint64 `json:"count"`
+	// P50/P95/P99 are latency quantiles in cycles.
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
 }
 
 // FaultState summarizes the injected hardware faults visible to the

@@ -40,6 +40,7 @@ import (
 	"morphcache/internal/fault"
 	"morphcache/internal/hierarchy"
 	"morphcache/internal/metrics"
+	"morphcache/internal/obs"
 	"morphcache/internal/runner"
 	"morphcache/internal/sim"
 	"morphcache/internal/telemetry"
@@ -78,6 +79,14 @@ type Config struct {
 	// morph-nodegrade) accept faults; PIPP/DSR runs reject them. Nil (the
 	// default) leaves every run byte-identical to a fault-free build.
 	Faults *fault.Plan
+	// Observer, when non-nil, attaches live observability hooks to the run:
+	// per-level access counters and latency histograms, controller decision
+	// counts, phase spans when its tracer is on, and — with Telemetry also
+	// set — per-epoch latency quantile summaries in the epoch log. Nil (the
+	// default) observes nothing and leaves results and reports
+	// byte-identical (DESIGN.md §10). Observation never changes simulation
+	// results.
+	Observer *obs.Observer
 }
 
 // Validate rejects configurations the simulator cannot run meaningfully:
@@ -142,6 +151,7 @@ func (c Config) simConfig() sim.Config {
 		IssueWidth:   4,
 		Seed:         c.Seed,
 		Faults:       c.Faults,
+		Observer:     c.Observer,
 	}
 }
 
@@ -389,11 +399,16 @@ func (s RunSpec) Label() string {
 	return l
 }
 
-// run executes one spec.
-func (s RunSpec) run(cfg Config) (*Result, error) {
+// run executes one spec. A non-nil observer overrides the configuration's
+// (RunBatch mints one per job, so each run lands on its own trace track
+// and job row).
+func (s RunSpec) run(cfg Config, o *obs.Observer) (*Result, error) {
 	c := cfg
 	if s.Config != nil {
 		c = *s.Config
+	}
+	if o != nil {
+		c.Observer = o
 	}
 	switch s.Policy {
 	case "morph":
@@ -435,8 +450,18 @@ type BatchOptions struct {
 	// Workers is the worker-pool size; <= 0 uses GOMAXPROCS, 1 restores
 	// strictly sequential execution.
 	Workers int
+	// Started, when non-nil, receives one JobEvent as each job begins
+	// (Elapsed zero, Err nil). Started and Progress callbacks are delivered
+	// serially under one lock and never interleave.
+	Started func(JobEvent)
 	// Progress, when non-nil, receives one JobEvent per completed job.
 	Progress func(JobEvent)
+	// Observe, when non-nil, mints the observer for each job before it is
+	// submitted (obs.Hub.Observer is the intended implementation; nil
+	// returns are fine and leave that job unobserved). RunBatch marks the
+	// observer's job lifecycle (JobStarted/JobFinished) around the run, so
+	// live /jobs views and trace job spans need no further wiring.
+	Observe func(index int, label string) *obs.Observer
 	// Context, when non-nil, cancels the batch: dispatch stops, in-flight
 	// jobs are abandoned, and RunBatch returns the partial results with a
 	// descriptive error (errors.Is(err, context.Canceled) holds). Nil means
@@ -455,28 +480,49 @@ type BatchOptions struct {
 // the corresponding Run* functions in a loop.
 func RunBatch(cfg Config, specs []RunSpec, opts BatchOptions) ([]*Result, error) {
 	jobs := make([]runner.Job[*Result], len(specs))
+	observers := make([]*obs.Observer, len(specs))
 	for i := range specs {
-		s := specs[i]
+		i, s := i, specs[i]
+		label := s.Label()
+		if opts.Observe != nil {
+			observers[i] = opts.Observe(i, label)
+		}
 		jobs[i] = runner.Job[*Result]{
-			Label: s.Label(),
-			Run:   func() (*Result, error) { return s.run(cfg) },
+			Label: label,
+			Run:   func() (*Result, error) { return s.run(cfg, observers[i]) },
+		}
+	}
+	toJobEvent := func(ev runner.Event) JobEvent {
+		return JobEvent{
+			Index:   ev.Index,
+			Label:   ev.Label,
+			Elapsed: ev.Elapsed,
+			Err:     ev.Err,
+			Done:    ev.Done,
+			Total:   ev.Total,
+		}
+	}
+	var started func(runner.Event)
+	if opts.Started != nil || opts.Observe != nil {
+		started = func(ev runner.Event) {
+			observers[ev.Index].JobStarted()
+			if opts.Started != nil {
+				opts.Started(toJobEvent(ev))
+			}
 		}
 	}
 	var progress func(runner.Event)
-	if opts.Progress != nil {
+	if opts.Progress != nil || opts.Observe != nil {
 		progress = func(ev runner.Event) {
-			opts.Progress(JobEvent{
-				Index:   ev.Index,
-				Label:   ev.Label,
-				Elapsed: ev.Elapsed,
-				Err:     ev.Err,
-				Done:    ev.Done,
-				Total:   ev.Total,
-			})
+			observers[ev.Index].JobFinished(ev.Err, ev.Elapsed)
+			if opts.Progress != nil {
+				opts.Progress(toJobEvent(ev))
+			}
 		}
 	}
 	return runner.Run(opts.Context, jobs, runner.Options{
 		Workers:    opts.Workers,
+		Started:    started,
 		Progress:   progress,
 		JobTimeout: opts.JobTimeout,
 	})

@@ -1,0 +1,131 @@
+package morphcache
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"morphcache/internal/obs"
+)
+
+// obsClock returns a deterministic, concurrency-safe microsecond counter.
+func obsClock() func() int64 {
+	var mu sync.Mutex
+	var t int64
+	return func() int64 {
+		mu.Lock()
+		defer mu.Unlock()
+		t += 5
+		return t
+	}
+}
+
+// runObservedBatch runs a small sweep with full observability at the given
+// worker count and returns the results and the hub.
+func runObservedBatch(t *testing.T, workers int) ([]*Result, *obs.Hub) {
+	t.Helper()
+	cfg := batchTestConfig()
+	specs := fig13Specs([]string{"MIX 01"})
+	hub := obs.NewHub(obs.HubOptions{Shards: workers, Trace: true, Clock: obsClock()})
+	results, err := RunBatch(cfg, specs, BatchOptions{
+		Workers: workers,
+		Observe: func(_ int, label string) *obs.Observer { return hub.Observer(label) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results, hub
+}
+
+// TestObservedBatchMatchesUnobserved asserts the DESIGN.md §10 invariant:
+// attaching the full observability stack (metrics, job tracking, tracing)
+// changes no simulation result.
+func TestObservedBatchMatchesUnobserved(t *testing.T) {
+	cfg := batchTestConfig()
+	specs := fig13Specs([]string{"MIX 01"})
+	plain, err := RunBatch(cfg, specs, BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, _ := runObservedBatch(t, 2)
+	if !reflect.DeepEqual(plain, observed) {
+		t.Fatal("observation changed batch results")
+	}
+}
+
+// TestBatchTraceCanonicalAcrossWorkers asserts the trace-determinism
+// acceptance gate: the canonical trace (timestamps, durations, and track
+// ids stripped; lines sorted) of the same sweep is byte-identical at
+// Workers 1 and Workers 4.
+func TestBatchTraceCanonicalAcrossWorkers(t *testing.T) {
+	canon := func(workers int) string {
+		_, hub := runObservedBatch(t, workers)
+		var buf bytes.Buffer
+		if err := obs.CanonicalTrace(hub.Tracer.Events(), &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	seq, par := canon(1), canon(4)
+	if seq == "" {
+		t.Fatal("empty canonical trace")
+	}
+	if seq != par {
+		t.Fatalf("canonical traces differ between worker counts:\n--- workers=1\n%s\n--- workers=4\n%s", seq, par)
+	}
+}
+
+// TestBatchJobLifecycleTracked checks the /jobs accounting RunBatch drives
+// through the per-job observers.
+func TestBatchJobLifecycleTracked(t *testing.T) {
+	results, hub := runObservedBatch(t, 2)
+	v := hub.Jobs()
+	if v.Total != len(results) || v.Done != len(results) || v.Running != 0 || v.Queued != 0 || v.Failed != 0 {
+		t.Fatalf("jobs view after batch = %+v", v)
+	}
+	if got := hub.Metrics.EpochsValue(); got == 0 {
+		t.Fatal("no epochs counted")
+	}
+	if got := hub.Metrics.ServedValue(obs.ServedL1); got == 0 {
+		t.Fatal("no L1 accesses counted")
+	}
+	// The morph jobs reconfigure; their decisions must be counted.
+	if hub.Metrics.ReconfigValue("merge")+hub.Metrics.ReconfigValue("split") == 0 {
+		t.Fatal("no reconfiguration decisions counted")
+	}
+}
+
+// TestBatchStartedCallback checks the facade-level start events: one per
+// job, before the corresponding completion event.
+func TestBatchStartedCallback(t *testing.T) {
+	cfg := batchTestConfig()
+	specs := fig13Specs([]string{"MIX 01"})
+	var mu sync.Mutex
+	startedAt := map[int]int{} // job index -> sequence number
+	seq := 0
+	_, err := RunBatch(cfg, specs, BatchOptions{
+		Workers: 2,
+		Started: func(ev JobEvent) {
+			mu.Lock()
+			startedAt[ev.Index] = seq
+			seq++
+			mu.Unlock()
+		},
+		Progress: func(ev JobEvent) {
+			mu.Lock()
+			_, ok := startedAt[ev.Index]
+			seq++
+			mu.Unlock()
+			if !ok {
+				t.Errorf("job %d finished without a start event", ev.Index)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(startedAt) != len(specs) {
+		t.Fatalf("%d start events for %d jobs", len(startedAt), len(specs))
+	}
+}
