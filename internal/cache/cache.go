@@ -21,6 +21,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"morphcache/internal/mem"
 )
@@ -113,6 +114,9 @@ func (c Config) Validate() error {
 	if sets&(sets-1) != 0 {
 		return fmt.Errorf("cache: set count %d not a power of two", sets)
 	}
+	if c.Ways > 64 {
+		return fmt.Errorf("cache: %d ways over the 64-way limit (one occupancy bit per way)", c.Ways)
+	}
 	if c.Policy == TreePLRU && c.Ways&(c.Ways-1) != 0 {
 		return fmt.Errorf("cache: tree-PLRU needs power-of-two ways, got %d", c.Ways)
 	}
@@ -138,6 +142,10 @@ type Slice struct {
 	setMask uint64
 	policy  Policy
 	entries []Entry // sets*ways, row-major by set
+	// occ holds one occupancy bit per way of each set (bit w of occ[set] is
+	// entries[set*ways+w].Valid), so free-way probes are a single mask and
+	// TrailingZeros instead of a scan. Ways is capped at 64 to fit.
+	occ []uint64
 	// plru holds the tree-PLRU state, ways-1 bits per set packed into one
 	// uint64 per set (sufficient for ways <= 64).
 	plru []uint64
@@ -165,6 +173,7 @@ func New(cfg Config) *Slice {
 		setMask: uint64(sets - 1),
 		policy:  cfg.Policy,
 		entries: make([]Entry, sets*cfg.Ways),
+		occ:     make([]uint64, sets),
 		clock:   &Clock{},
 	}
 	if cfg.Policy == TreePLRU {
@@ -218,6 +227,7 @@ func (s *Slice) SetDisabledWays(n int) []Entry {
 				if e := &s.entries[base+w]; e.Valid {
 					dropped = append(dropped, *e)
 					*e = Entry{}
+					s.occ[set] &^= 1 << uint(w)
 				}
 			}
 		}
@@ -253,9 +263,10 @@ func (s *Slice) Entry(set, way int) Entry { return *s.entry(set, way) }
 func (s *Slice) Lookup(asid mem.ASID, line mem.Line) int {
 	set := s.SetIndex(line)
 	base := set * s.ways
-	for w := 0; w < s.ways-s.disabled; w++ {
+	for m := s.occ[set] & (1<<uint(s.ways-s.disabled) - 1); m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m)
 		e := &s.entries[base+w]
-		if e.Valid && e.ASID == asid && e.Line == line {
+		if e.ASID == asid && e.Line == line {
 			return w
 		}
 	}
@@ -292,17 +303,15 @@ func (s *Slice) Access(asid mem.ASID, line mem.Line, write bool) int {
 	return w
 }
 
-// FreeWay returns the index of an invalid way in the line's set, or -1 if
-// the set is full.
+// FreeWay returns the index of the first invalid way in the line's set, or
+// -1 if the set is full (one mask-and-count on the occupancy bits).
 func (s *Slice) FreeWay(line mem.Line) int {
 	set := s.SetIndex(line)
-	base := set * s.ways
-	for w := 0; w < s.ways-s.disabled; w++ {
-		if !s.entries[base+w].Valid {
-			return w
-		}
+	free := ^s.occ[set] & (1<<uint(s.ways-s.disabled) - 1)
+	if free == 0 {
+		return -1
 	}
-	return -1
+	return bits.TrailingZeros64(free)
 }
 
 // VictimWay returns the way the replacement policy would evict from the
@@ -357,6 +366,7 @@ func (s *Slice) InsertAt(set, way int, asid mem.ASID, line mem.Line, dirty bool)
 		s.stats.Evictions++
 	}
 	*e = Entry{Valid: true, Dirty: dirty, ASID: asid, Line: line}
+	s.occ[set] |= 1 << uint(way)
 	s.stats.Inserts++
 	s.Touch(set, way)
 	if s.policy == SRRIP {
@@ -388,6 +398,7 @@ func (s *Slice) InvalidateWay(set, way int) Entry {
 	e := s.entry(set, way)
 	old := *e
 	*e = Entry{}
+	s.occ[set] &^= 1 << uint(way)
 	return old
 }
 
@@ -401,16 +412,17 @@ func (s *Slice) Flush() int {
 			s.entries[i] = Entry{}
 		}
 	}
+	for i := range s.occ {
+		s.occ[i] = 0
+	}
 	return n
 }
 
 // ValidLines returns the number of valid entries.
 func (s *Slice) ValidLines() int {
 	n := 0
-	for i := range s.entries {
-		if s.entries[i].Valid {
-			n++
-		}
+	for _, m := range s.occ {
+		n += bits.OnesCount64(m)
 	}
 	return n
 }

@@ -320,3 +320,71 @@ func TestSRRIPInHierarchyConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestOccupancyMaskConsistency cross-checks the per-set occupancy bitmask
+// (the O(1) FreeWay/ValidLines fast path) against a linear scan of the
+// entries through randomized insert/invalidate/disable/flush traffic.
+func TestOccupancyMaskConsistency(t *testing.T) {
+	s := New(Config{SizeBytes: 64 * 4 * 8, Ways: 8, Policy: LRU})
+	r := rng.New(17)
+	checkOcc := func(step int) {
+		t.Helper()
+		valid := 0
+		for set := 0; set < s.Sets(); set++ {
+			var want uint64
+			for w := 0; w < s.Ways(); w++ {
+				if s.Entry(set, w).Valid {
+					want |= 1 << uint(w)
+					valid++
+				}
+			}
+			if s.occ[set] != want {
+				t.Fatalf("step %d: set %d occupancy %#x, entries say %#x", step, set, s.occ[set], want)
+			}
+			free := -1
+			for w := 0; w < s.Ways()-s.DisabledWays(); w++ {
+				if !s.Entry(set, w).Valid {
+					free = w
+					break
+				}
+			}
+			// FreeWay takes a line; any line indexing this set will do.
+			if got := s.FreeWay(mem.Line(set)); got != free {
+				t.Fatalf("step %d: set %d FreeWay %d, scan says %d", step, set, got, free)
+			}
+		}
+		if got := s.ValidLines(); got != valid {
+			t.Fatalf("step %d: ValidLines %d, scan says %d", step, got, valid)
+		}
+	}
+	for step := 0; step < 3000; step++ {
+		line := mem.Line(r.Intn(64))
+		switch r.Intn(10) {
+		case 0:
+			s.Invalidate(1, line)
+		case 1:
+			s.SetDisabledWays(r.Intn(4))
+		case 2:
+			if step%500 == 0 {
+				s.Flush()
+			}
+		default:
+			if s.Access(1, line, r.Intn(2) == 0) < 0 {
+				s.Insert(1, line, r.Intn(2) == 0)
+			}
+		}
+		if step%250 == 0 {
+			checkOcc(step)
+		}
+	}
+	checkOcc(-1)
+}
+
+func TestWays64Limit(t *testing.T) {
+	if err := (Config{SizeBytes: 64 * 128 * 2, Ways: 128}).Validate(); err == nil {
+		t.Fatal("more than 64 ways must be rejected (one occupancy bit per way)")
+	}
+	if err := (Config{SizeBytes: 64 * 64 * 2, Ways: 64}).Validate(); err != nil {
+		t.Fatalf("64 ways should be valid: %v", err)
+	}
+}

@@ -186,7 +186,7 @@ func (s *System) access(core int, a mem.Access, now uint64) AccessResult {
 	// Off-group: cache-to-cache transfer if any other L3 group holds the
 	// line, otherwise main memory.
 	served := ByMemory
-	if s.presentL3[gl]&^s.groupSliceMask(L3, core) != 0 {
+	if s.presL3.get(gl)&^s.groupSliceMask(L3, core) != 0 {
 		lat += s.p.C2CCycles
 		s.stats.C2C++
 		served = ByC2C
@@ -209,13 +209,7 @@ func (s *System) access(core int, a mem.Access, now uint64) AccessResult {
 // nearest the requester is retained, all others are invalidated on this
 // access. Returns (-1, -1) on a group miss.
 func (s *System) findInGroup(l Level, core int, gl mem.GlobalLine) (slice, way int) {
-	var present map[mem.GlobalLine]uint32
-	if l == L2 {
-		present = s.presentL2
-	} else {
-		present = s.presentL3
-	}
-	mask := present[gl] & s.groupSliceMask(l, core)
+	mask := s.pres(l).get(gl) & s.groupSliceMask(l, core)
 	if mask == 0 {
 		return -1, -1
 	}
@@ -252,7 +246,7 @@ func (s *System) fillL1(core int, a mem.Access, write bool) {
 	old := s.l1[core].Insert(a.ASID, a.Line, write)
 	if old.Valid && old.Dirty {
 		ogl := mem.GlobalLine{ASID: old.ASID, Line: old.Line}
-		if mask := s.presentL2[ogl] & s.groupSliceMask(L2, core); mask != 0 {
+		if mask := s.presL2.get(ogl) & s.groupSliceMask(L2, core); mask != 0 {
 			sl := bits.TrailingZeros32(mask)
 			if w := s.l2[sl].Lookup(old.ASID, old.Line); w >= 0 {
 				s.l2[sl].SetDirty(s.l2[sl].SetIndex(old.Line), w)
@@ -297,21 +291,20 @@ func (s *System) fillGroup(l Level, core int, asid mem.ASID, line mem.Line, dirt
 		return core
 	}
 	victim := local.InsertAt(set, local.VictimWay(line), asid, line, dirty)
-	s.addPresent(l, core, gl)
+	// Remove the victim's key before adding the new line's: the index is
+	// sized to the level's physical line capacity, and this ordering keeps
+	// its key count within that bound at every step. The keys are always
+	// distinct (fillGroup runs only on a group miss), so the swap is
+	// invisible.
 	vgl := mem.GlobalLine{ASID: victim.ASID, Line: victim.Line}
 	s.removePresent(l, core, vgl)
+	s.addPresent(l, core, gl)
 
 	// Merges leave duplicates in place until lazy invalidation resolves
 	// them; if another copy of the victim survives within the group there
 	// is nothing to spill (and spilling would double-insert the line into
 	// one slice). Dirtiness propagates to the surviving copy.
-	var present map[mem.GlobalLine]uint32
-	if l == L2 {
-		present = s.presentL2
-	} else {
-		present = s.presentL3
-	}
-	if mask := present[vgl] & s.groupSliceMask(l, core); mask != 0 {
+	if mask := s.pres(l).get(vgl) & s.groupSliceMask(l, core); mask != 0 {
 		if victim.Dirty {
 			dup := bits.TrailingZeros32(mask)
 			dsl := s.sliceAt(l, dup)
@@ -348,10 +341,14 @@ func (s *System) fillGroup(l Level, core int, asid mem.ASID, line mem.Line, dirt
 	}
 	tsl := s.sliceAt(l, target)
 	old := tsl.InsertAt(tsl.SetIndex(victim.Line), tsl.VictimWay(victim.Line), victim.ASID, victim.Line, victim.Dirty)
-	s.addPresent(l, target, vgl)
+	// As above: retire the displaced occupant's key before registering the
+	// spilled victim's, keeping the index within its capacity bound. The
+	// eviction handlers never consult the victim's own presence, so the
+	// order of the two is unobservable.
 	if old.Valid && !targetFree {
 		s.dropEvicted(l, target, old)
 	}
+	s.addPresent(l, target, vgl)
 	return core
 }
 
@@ -393,7 +390,7 @@ func (s *System) onL2Evict(slice int, e cache.Entry) {
 	s.removePresent(L2, slice, gl)
 	s.backInvalidateL1(slice, gl)
 	if e.Dirty {
-		if mask := s.presentL3[gl] & s.groupSliceMask(L3, slice); mask != 0 {
+		if mask := s.presL3.get(gl) & s.groupSliceMask(L3, slice); mask != 0 {
 			sl := bits.TrailingZeros32(mask)
 			if w := s.l3[sl].Lookup(e.ASID, e.Line); w >= 0 {
 				s.l3[sl].SetDirty(s.l3[sl].SetIndex(e.Line), w)
@@ -407,7 +404,7 @@ func (s *System) onL2Evict(slice int, e cache.Entry) {
 func (s *System) onL3Evict(slice int, e cache.Entry) {
 	gl := mem.GlobalLine{ASID: e.ASID, Line: e.Line}
 	s.removePresent(L3, slice, gl)
-	under := s.presentL2[gl] & s.slicesUnderL3Group(slice)
+	under := s.presL2.get(gl) & s.slicesUnderL3Group(slice)
 	for m := under; m != 0; m &= m - 1 {
 		l2s := bits.TrailingZeros32(m)
 		s.stats.BackInv++
@@ -441,7 +438,7 @@ func (s *System) invalidateAt(l Level, slice int, gl mem.GlobalLine, cascade boo
 			s.backInvalidateL1(slice, gl)
 		}
 		if e.Dirty {
-			if mask := s.presentL3[gl] & s.groupSliceMask(L3, slice); mask != 0 {
+			if mask := s.presL3.get(gl) & s.groupSliceMask(L3, slice); mask != 0 {
 				sl := bits.TrailingZeros32(mask)
 				if w := s.l3[sl].Lookup(gl.ASID, gl.Line); w >= 0 {
 					s.l3[sl].SetDirty(s.l3[sl].SetIndex(gl.Line), w)
@@ -475,12 +472,12 @@ func (s *System) writeInvalidateOthers(core int, gl mem.GlobalLine) {
 			}
 		}
 	}
-	for m := s.presentL2[gl] &^ s.groupSliceMask(L2, core); m != 0; m &= m - 1 {
+	for m := s.presL2.get(gl) &^ s.groupSliceMask(L2, core); m != 0; m &= m - 1 {
 		sl := bits.TrailingZeros32(m)
 		s.stats.CoherenceInv++
 		s.invalidateAt(L2, sl, gl, true)
 	}
-	for m := s.presentL3[gl] &^ s.groupSliceMask(L3, core); m != 0; m &= m - 1 {
+	for m := s.presL3.get(gl) &^ s.groupSliceMask(L3, core); m != 0; m &= m - 1 {
 		sl := bits.TrailingZeros32(m)
 		s.stats.CoherenceInv++
 		s.invalidateAt(L3, sl, gl, false)
@@ -488,25 +485,11 @@ func (s *System) writeInvalidateOthers(core int, gl mem.GlobalLine) {
 }
 
 func (s *System) addPresent(l Level, slice int, gl mem.GlobalLine) {
-	if l == L2 {
-		s.presentL2[gl] |= 1 << uint(slice)
-	} else {
-		s.presentL3[gl] |= 1 << uint(slice)
-	}
+	s.pres(l).or(gl, 1<<uint(slice))
 }
 
 func (s *System) removePresent(l Level, slice int, gl mem.GlobalLine) {
-	var m map[mem.GlobalLine]uint32
-	if l == L2 {
-		m = s.presentL2
-	} else {
-		m = s.presentL3
-	}
-	if v := m[gl] &^ (1 << uint(slice)); v == 0 {
-		delete(m, gl)
-	} else {
-		m[gl] = v
-	}
+	s.pres(l).clear(gl, 1<<uint(slice))
 }
 
 // interconnectWait charges one transaction on the level's interconnect,

@@ -23,14 +23,202 @@ import "morphcache/internal/mem"
 // — quantifies how well small vectors track the true footprint. The
 // simulator hands the controller the exact set (the paper's "oracle") so
 // that policy quality is studied separately from estimator fidelity.
+//
+// Representation: the sets used to be map[mem.Line]uint8 values rebuilt
+// from scratch every interval, which made markDemand (on the access path)
+// and every epoch reset allocate. They are now generation-stamped
+// open-addressing tables: a slot is live only when its gen equals the
+// table's current generation, so ResetFootprints is one counter bump and
+// the backing arrays are reused across intervals (grown geometrically to
+// the high-water footprint, then allocation-free). Iteration order over a
+// table is array order — deterministic — and every consumer below reduces
+// to order-independent set cardinalities anyway.
 
-// demandSet tracks one (core, slice) footprint: line -> touch count
-// (saturating).
-type demandSet map[mem.Line]uint8
+// demandHash mixes a line address into a table index (same multiplicative
+// scheme as presenceHash, without the ASID term: demand sets are per-core
+// and cores do not mix address spaces within an interval).
+func demandHash(line mem.Line) uint64 {
+	h := uint64(line) * 0x9E3779B97F4A7C15
+	return h ^ h>>32
+}
 
-func (d demandSet) mark(line mem.Line) {
-	if v := d[line]; v < 15 {
-		d[line] = v + 1
+// demandTable tracks one (core, slice) footprint: line -> touch count
+// (saturating at 15). The zero value is an empty table.
+type demandTable struct {
+	mask  uint64
+	lines []mem.Line
+	cnt   []uint8
+	gen   []uint32
+	cur   uint32 // current generation; slots with gen != cur are empty
+	n     int    // live entries in the current generation
+}
+
+// mark records one touch of the line in the current interval.
+func (d *demandTable) mark(line mem.Line) {
+	if d.lines == nil {
+		d.grow(64)
+	}
+	i := demandHash(line) & d.mask
+	for {
+		if d.gen[i] != d.cur {
+			d.lines[i], d.gen[i], d.cnt[i] = line, d.cur, 1
+			d.n++
+			if 4*d.n > 3*len(d.lines) {
+				d.grow(2 * len(d.lines))
+			}
+			return
+		}
+		if d.lines[i] == line {
+			if d.cnt[i] < 15 {
+				d.cnt[i]++
+			}
+			return
+		}
+		i = (i + 1) & d.mask
+	}
+}
+
+// grow rehashes the live entries into a table of the given slot count.
+func (d *demandTable) grow(slots int) {
+	oldLines, oldCnt, oldGen, oldCur := d.lines, d.cnt, d.gen, d.cur
+	d.lines = make([]mem.Line, slots)
+	d.cnt = make([]uint8, slots)
+	d.gen = make([]uint32, slots)
+	d.mask = uint64(slots - 1)
+	d.cur = 1
+	for i, g := range oldGen {
+		if g != oldCur {
+			continue
+		}
+		j := demandHash(oldLines[i]) & d.mask
+		for d.gen[j] == d.cur {
+			j = (j + 1) & d.mask
+		}
+		d.lines[j], d.gen[j], d.cnt[j] = oldLines[i], 1, oldCnt[i]
+	}
+}
+
+// reset empties the table for the next interval without touching the
+// backing arrays: slots stamped with older generations read as empty.
+func (d *demandTable) reset() {
+	if d.lines == nil {
+		return
+	}
+	d.cur++
+	if d.cur == 0 {
+		// Generation counter wrapped (after 2^32 intervals): clear the
+		// stamps so stale slots cannot alias the new generation.
+		for i := range d.gen {
+			d.gen[i] = 0
+		}
+		d.cur = 1
+	}
+	d.n = 0
+}
+
+// forEach calls fn for every line touched at least thr times this interval.
+func (d *demandTable) forEach(thr uint8, fn func(mem.Line)) {
+	for i, g := range d.gen {
+		if g == d.cur && d.cnt[i] >= thr {
+			fn(d.lines[i])
+		}
+	}
+}
+
+// lineSet is a reusable set of lines with the same generation-stamped
+// reset: the utilization/overlap signals below build their union sets in
+// two of these scratch instances owned by the System instead of allocating
+// fresh maps on every controller query. The zero value is an empty set.
+type lineSet struct {
+	mask  uint64
+	lines []mem.Line
+	gen   []uint32
+	cur   uint32
+	n     int
+}
+
+// reset empties the set.
+func (s *lineSet) reset() {
+	if s.lines == nil {
+		return
+	}
+	s.cur++
+	if s.cur == 0 {
+		for i := range s.gen {
+			s.gen[i] = 0
+		}
+		s.cur = 1
+	}
+	s.n = 0
+}
+
+// add inserts the line (idempotent).
+func (s *lineSet) add(line mem.Line) {
+	if s.lines == nil {
+		s.grow(64)
+	}
+	i := demandHash(line) & s.mask
+	for {
+		if s.gen[i] != s.cur {
+			s.lines[i], s.gen[i] = line, s.cur
+			s.n++
+			if 4*s.n > 3*len(s.lines) {
+				s.grow(2 * len(s.lines))
+			}
+			return
+		}
+		if s.lines[i] == line {
+			return
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// has reports membership.
+func (s *lineSet) has(line mem.Line) bool {
+	if s.lines == nil {
+		return false
+	}
+	i := demandHash(line) & s.mask
+	for {
+		if s.gen[i] != s.cur {
+			return false
+		}
+		if s.lines[i] == line {
+			return true
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// size returns the set cardinality.
+func (s *lineSet) size() int { return s.n }
+
+// forEach calls fn for every member.
+func (s *lineSet) forEach(fn func(mem.Line)) {
+	for i, g := range s.gen {
+		if g == s.cur {
+			fn(s.lines[i])
+		}
+	}
+}
+
+// grow rehashes the members into a table of the given slot count.
+func (s *lineSet) grow(slots int) {
+	oldLines, oldGen, oldCur := s.lines, s.gen, s.cur
+	s.lines = make([]mem.Line, slots)
+	s.gen = make([]uint32, slots)
+	s.mask = uint64(slots - 1)
+	s.cur = 1
+	for i, g := range oldGen {
+		if g != oldCur {
+			continue
+		}
+		j := demandHash(oldLines[i]) & s.mask
+		for s.gen[j] == s.cur {
+			j = (j + 1) & s.mask
+		}
+		s.lines[j], s.gen[j] = oldLines[i], 1
 	}
 }
 
@@ -58,22 +246,18 @@ func (s *System) markDemand(l Level, core, slice int, line mem.Line) {
 	if l == L3 {
 		dd = s.demandL3
 	}
-	d := dd[core][slice]
-	if d == nil {
-		d = make(demandSet)
-		dd[core][slice] = d
-	}
-	d.mark(line)
+	dd[core][slice].mark(line)
 }
 
 // ResetFootprints clears every footprint set; called once per
 // reconfiguration interval so the sets track only the current interval's
-// actively used data (§2.1).
+// actively used data (§2.1). The backing tables are retained (generation
+// bump), so steady-state epochs allocate nothing.
 func (s *System) ResetFootprints() {
 	for c := 0; c < s.p.Cores; c++ {
 		for sl := 0; sl < s.p.Cores; sl++ {
-			s.demandL2[c][sl] = nil
-			s.demandL3[c][sl] = nil
+			s.demandL2[c][sl].reset()
+			s.demandL3[c][sl].reset()
 		}
 	}
 }
@@ -86,18 +270,14 @@ func (s *System) sliceLines(l Level) int {
 }
 
 // sliceReused builds the union over cores of one slice's reused lines.
-func (s *System) sliceReused(l Level, slice int, into map[mem.Line]struct{}) {
+func (s *System) sliceReused(l Level, slice int, into *lineSet) {
 	dd := s.demandL2
 	if l == L3 {
 		dd = s.demandL3
 	}
 	thr := reuseThreshold(l)
 	for c := 0; c < s.p.Cores; c++ {
-		for line, v := range dd[c][slice] {
-			if v >= thr {
-				into[line] = struct{}{}
-			}
-		}
+		dd[c][slice].forEach(thr, into.add)
 	}
 }
 
@@ -105,12 +285,13 @@ func (s *System) sliceReused(l Level, slice int, into map[mem.Line]struct{}) {
 // its capacity — the signal compared against the MSAT bounds. Values above
 // 1 mean the active working set exceeds the slice.
 func (s *System) SliceUtilization(l Level, slice int) float64 {
-	set := make(map[mem.Line]struct{})
+	set := &s.scratchA
+	set.reset()
 	s.sliceReused(l, slice, set)
 	if !s.flt.any {
-		return float64(len(set)) / float64(s.sliceLines(l))
+		return float64(set.size()) / float64(s.sliceLines(l))
 	}
-	return float64(len(set)) / float64(s.effSliceLines(l, slice))
+	return float64(set.size()) / float64(s.effSliceLines(l, slice))
 }
 
 // SubsetUtilization returns the juxtaposed utilization of a set of slices
@@ -118,18 +299,19 @@ func (s *System) SliceUtilization(l Level, slice int) float64 {
 // the group's utilization; with half a group it is the signal the split
 // rule examines.
 func (s *System) SubsetUtilization(l Level, slices []int) float64 {
-	set := make(map[mem.Line]struct{})
+	set := &s.scratchA
+	set.reset()
 	for _, sl := range slices {
 		s.sliceReused(l, sl, set)
 	}
 	if !s.flt.any {
-		return float64(len(set)) / (float64(len(slices)) * float64(s.sliceLines(l)))
+		return float64(set.size()) / (float64(len(slices)) * float64(s.sliceLines(l)))
 	}
 	capLines := 0
 	for _, sl := range slices {
 		capLines += s.effSliceLines(l, sl)
 	}
-	return float64(len(set)) / float64(capLines)
+	return float64(set.size()) / float64(capLines)
 }
 
 // GroupUtilization returns the utilization of a whole group.
@@ -137,33 +319,40 @@ func (s *System) GroupUtilization(l Level, group int) float64 {
 	return s.SubsetUtilization(l, s.grouping(l).Members(group))
 }
 
+// overlapOf returns the fraction of the smaller set's members that both
+// sets contain, 0 when either set is empty.
+func overlapOf(sa, sb *lineSet) float64 {
+	if sa.size() == 0 || sb.size() == 0 {
+		return 0
+	}
+	small, big := sa, sb
+	if sb.size() < sa.size() {
+		small, big = sb, sa
+	}
+	common := 0
+	small.forEach(func(line mem.Line) {
+		if big.has(line) {
+			common++
+		}
+	})
+	return float64(common) / float64(small.size())
+}
+
 // SubsetOverlap returns the data-sharing signal between two slice sets at a
 // level: the fraction of the smaller set's reuse demand that both sets
 // reference. This is the "significant number of common 1s" test of merge
 // rule (ii); the caller is responsible for the same-address-space check.
 func (s *System) SubsetOverlap(l Level, a, b []int) float64 {
-	sa := make(map[mem.Line]struct{})
-	sb := make(map[mem.Line]struct{})
+	sa, sb := &s.scratchA, &s.scratchB
+	sa.reset()
+	sb.reset()
 	for _, sl := range a {
 		s.sliceReused(l, sl, sa)
 	}
 	for _, sl := range b {
 		s.sliceReused(l, sl, sb)
 	}
-	if len(sa) == 0 || len(sb) == 0 {
-		return 0
-	}
-	small, big := sa, sb
-	if len(sb) < len(sa) {
-		small, big = sb, sa
-	}
-	common := 0
-	for line := range small {
-		if _, ok := big[line]; ok {
-			common++
-		}
-	}
-	return float64(common) / float64(len(small))
+	return overlapOf(sa, sb)
 }
 
 // GroupOverlap is SubsetOverlap over two existing groups.
@@ -192,18 +381,14 @@ func (s *System) SlicesShareASID(slices ...[]int) bool {
 // cache lines referenced by that thread in that epoch" — independent of
 // *where* a merged group placed the lines, which matters because the
 // locality spill spreads a thread's working set across its group.
-func (s *System) coreReused(l Level, core int, into map[mem.Line]struct{}) {
+func (s *System) coreReused(l Level, core int, into *lineSet) {
 	dd := s.demandL2
 	if l == L3 {
 		dd = s.demandL3
 	}
 	thr := reuseThreshold(l)
 	for sl := 0; sl < s.p.Cores; sl++ {
-		for line, v := range dd[core][sl] {
-			if v >= thr {
-				into[line] = struct{}{}
-			}
-		}
+		dd[core][sl].forEach(thr, into.add)
 	}
 }
 
@@ -215,19 +400,20 @@ func (s *System) coreReused(l Level, core int, into map[mem.Line]struct{}) {
 // the reading to corruptUtilization — the garbage a stuck-at-1 ACFV feeds
 // an unprotected controller.
 func (s *System) CoresUtilization(l Level, cores []int) float64 {
-	set := make(map[mem.Line]struct{})
+	set := &s.scratchA
+	set.reset()
 	for _, c := range cores {
 		s.coreReused(l, c, set)
 	}
 	if !s.flt.any {
-		return float64(len(set)) / (float64(len(cores)) * float64(s.sliceLines(l)))
+		return float64(set.size()) / (float64(len(cores)) * float64(s.sliceLines(l)))
 	}
 	capLines, corrupt := 0, false
 	for _, c := range cores {
 		capLines += s.effSliceLines(l, c)
 		corrupt = corrupt || s.MonitorCorrupt(c)
 	}
-	u := float64(len(set)) / float64(capLines)
+	u := float64(set.size()) / float64(capLines)
 	if corrupt && u < corruptUtilization {
 		u = corruptUtilization
 	}
@@ -248,26 +434,14 @@ func (s *System) CoresOverlap(l Level, a, b []int) float64 {
 			}
 		}
 	}
-	sa := make(map[mem.Line]struct{})
-	sb := make(map[mem.Line]struct{})
+	sa, sb := &s.scratchA, &s.scratchB
+	sa.reset()
+	sb.reset()
 	for _, c := range a {
 		s.coreReused(l, c, sa)
 	}
 	for _, c := range b {
 		s.coreReused(l, c, sb)
 	}
-	if len(sa) == 0 || len(sb) == 0 {
-		return 0
-	}
-	small, big := sa, sb
-	if len(sb) < len(sa) {
-		small, big = sb, sa
-	}
-	common := 0
-	for line := range small {
-		if _, ok := big[line]; ok {
-			common++
-		}
-	}
-	return float64(common) / float64(len(small))
+	return overlapOf(sa, sb)
 }

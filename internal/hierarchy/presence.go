@@ -1,0 +1,181 @@
+package hierarchy
+
+import (
+	"fmt"
+
+	"morphcache/internal/mem"
+)
+
+// presenceIndex maps a global line to the bitmask of slices holding it at
+// one level. It replaces the former map[mem.GlobalLine]uint32: the access
+// path probes it on every reference, so it is a fixed-size open-addressing
+// table (linear probing, backward-shift deletion) instead of a Go map — no
+// hashing interface, no incremental growth, no allocation after New.
+//
+// Sizing argument: every key in the index corresponds to at least one valid
+// entry in some slice of the level, so the number of distinct keys can never
+// exceed the level's total line capacity (cores × lines per slice). The
+// table is sized to twice that bound at construction, capping the load
+// factor at 0.5 and making probe chains short; it never grows, and or()
+// panics if the bound is ever violated (which would be a bookkeeping bug of
+// the same severity as the "present mask inconsistent" panic).
+//
+// Determinism: the structure is only ever probed by key — nothing iterates
+// it on the simulation path — so replacing the map cannot reorder any
+// observable event. All default outputs are byte-identical to the map-based
+// implementation (enforced by the golden-report CI jobs).
+type presenceIndex struct {
+	mask   uint64
+	lines  []mem.Line
+	asids  []mem.ASID
+	owners []uint32 // 0 = empty slot (a present line always has owners)
+	n      int      // live keys
+	cap    int      // maximum keys (level line capacity)
+}
+
+// newPresenceIndex builds an index able to hold maxKeys distinct lines.
+func newPresenceIndex(maxKeys int) *presenceIndex {
+	slots := 16
+	for slots < 2*maxKeys {
+		slots <<= 1
+	}
+	return &presenceIndex{
+		mask:   uint64(slots - 1),
+		lines:  make([]mem.Line, slots),
+		asids:  make([]mem.ASID, slots),
+		owners: make([]uint32, slots),
+		cap:    maxKeys,
+	}
+}
+
+// presenceHash mixes an address-space-qualified line into a table index.
+// Fibonacci-style multiplicative hashing with a fold of the high bits keeps
+// the low bits (the ones the mask selects) well mixed even for the
+// strided, small-range line addresses the workload models generate.
+func presenceHash(asid mem.ASID, line mem.Line) uint64 {
+	h := uint64(line)*0x9E3779B97F4A7C15 ^ uint64(asid)*0xC2B2AE3D27D4EB4F
+	return h ^ h>>32
+}
+
+// get returns the owner mask of the line, or 0 if absent.
+func (p *presenceIndex) get(gl mem.GlobalLine) uint32 {
+	i := presenceHash(gl.ASID, gl.Line) & p.mask
+	for {
+		o := p.owners[i]
+		if o == 0 {
+			return 0
+		}
+		if p.lines[i] == gl.Line && p.asids[i] == gl.ASID {
+			return o
+		}
+		i = (i + 1) & p.mask
+	}
+}
+
+// or adds the slice bit to the line's owner mask, inserting the key if new.
+func (p *presenceIndex) or(gl mem.GlobalLine, bit uint32) {
+	i := presenceHash(gl.ASID, gl.Line) & p.mask
+	for {
+		o := p.owners[i]
+		if o == 0 {
+			if p.n >= p.cap {
+				panic("hierarchy: presence index over line capacity")
+			}
+			p.lines[i], p.asids[i], p.owners[i] = gl.Line, gl.ASID, bit
+			p.n++
+			return
+		}
+		if p.lines[i] == gl.Line && p.asids[i] == gl.ASID {
+			p.owners[i] = o | bit
+			return
+		}
+		i = (i + 1) & p.mask
+	}
+}
+
+// clear removes the slice bit from the line's owner mask, deleting the key
+// when the mask empties. Clearing an absent line is a no-op.
+func (p *presenceIndex) clear(gl mem.GlobalLine, bit uint32) {
+	i := presenceHash(gl.ASID, gl.Line) & p.mask
+	for {
+		o := p.owners[i]
+		if o == 0 {
+			return
+		}
+		if p.lines[i] == gl.Line && p.asids[i] == gl.ASID {
+			if o &^= bit; o != 0 {
+				p.owners[i] = o
+				return
+			}
+			p.deleteAt(i)
+			return
+		}
+		i = (i + 1) & p.mask
+	}
+}
+
+// deleteAt empties slot i and compacts the probe chain behind it
+// (backward-shift deletion), so lookups never need tombstones.
+func (p *presenceIndex) deleteAt(i uint64) {
+	p.n--
+	for {
+		p.owners[i] = 0
+		j := i
+		for {
+			j = (j + 1) & p.mask
+			if p.owners[j] == 0 {
+				return
+			}
+			h := presenceHash(p.asids[j], p.lines[j]) & p.mask
+			// The entry at j may move into the hole at i iff its home h
+			// does not lie cyclically within (i, j] — otherwise moving it
+			// would put it before its home and break its own chain.
+			if (j-h)&p.mask >= (j-i)&p.mask {
+				p.lines[i], p.asids[i], p.owners[i] = p.lines[j], p.asids[j], p.owners[j]
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// Len returns the number of distinct lines present at the level.
+func (p *presenceIndex) Len() int { return p.n }
+
+// check verifies the structural invariants of the table: the live count
+// matches n, every live entry is reachable from its home slot without
+// crossing an empty slot, and no key occurs twice. It is the test-time
+// generalization of the access path's "present mask inconsistent" panic.
+func (p *presenceIndex) check() error {
+	live := 0
+	for i := range p.owners {
+		if p.owners[i] == 0 {
+			continue
+		}
+		live++
+		gl := mem.GlobalLine{ASID: p.asids[i], Line: p.lines[i]}
+		// Probe from the home slot: the first matching key must be slot i
+		// (anything else is a duplicate key or a broken chain), and the
+		// chain up to i must have no holes.
+		j := presenceHash(gl.ASID, gl.Line) & p.mask
+		for {
+			if p.owners[j] == 0 {
+				return fmt.Errorf("hierarchy: presence entry %+v at slot %d unreachable (hole at %d)", gl, i, j)
+			}
+			if p.lines[j] == gl.Line && p.asids[j] == gl.ASID {
+				if j != uint64(i) {
+					return fmt.Errorf("hierarchy: presence key %+v duplicated at slots %d and %d", gl, j, i)
+				}
+				break
+			}
+			j = (j + 1) & p.mask
+		}
+	}
+	if live != p.n {
+		return fmt.Errorf("hierarchy: presence index count %d, live slots %d", p.n, live)
+	}
+	if p.n > p.cap {
+		return fmt.Errorf("hierarchy: presence index holds %d keys over capacity %d", p.n, p.cap)
+	}
+	return nil
+}

@@ -28,8 +28,9 @@ func (s *System) applyTopology(topo topology.Topology, initial bool) error {
 	}
 	s.topo = topo
 	s.computeRemoteOverheads()
-	s.chanBusyL2 = make([]float64, topo.L2.NumGroups())
-	s.chanBusyL3 = make([]float64, topo.L3.NumGroups())
+	s.computeGroupMasks()
+	s.chanBusyL2 = resetChan(s.chanStoreL2, topo.L2.NumGroups())
+	s.chanBusyL3 = resetChan(s.chanStoreL3, topo.L3.NumGroups())
 	if topo.L2.IsBuddyGrouping() {
 		if err := s.busL2.Configure(topo.L2); err != nil {
 			return err
@@ -72,6 +73,34 @@ func (s *System) computeRemoteOverheads() {
 	fill(s.topo.L3, s.remoteOvL3)
 }
 
+// resetChan reslices a cores-sized backing array to the group count and
+// zeroes it, so reconfigurations reuse storage instead of reallocating.
+func resetChan(store []float64, groups int) []float64 {
+	ch := store[:groups]
+	for i := range ch {
+		ch[i] = 0
+	}
+	return ch
+}
+
+// computeGroupMasks caches groupSliceMask for every slice of the current
+// topology; the access path reads these on every reference.
+func (s *System) computeGroupMasks() {
+	fill := func(g topology.Grouping, out []uint32) {
+		for gi := 0; gi < g.NumGroups(); gi++ {
+			var mask uint32
+			for _, sl := range g.Members(gi) {
+				mask |= 1 << uint(sl)
+			}
+			for _, sl := range g.Members(gi) {
+				out[sl] = mask
+			}
+		}
+	}
+	fill(s.topo.L2, s.groupMaskL2)
+	fill(s.topo.L3, s.groupMaskL3)
+}
+
 // enforceInclusion removes lines that the new topology places outside their
 // owner's reach: L2 lines whose L3 copy is no longer in the same L3 group,
 // and L1 lines whose L2 copy is no longer in the core's L2 group.
@@ -79,10 +108,10 @@ func (s *System) enforceInclusion() {
 	// L2 against L3 groups.
 	for sl := 0; sl < s.p.Cores; sl++ {
 		l3mask := s.groupSliceMask(L3, sl)
-		var stale []mem.GlobalLine
+		stale := s.scratchGL[:0]
 		s.l2[sl].ForEachValid(func(_, _ int, e cache.Entry) {
 			gl := mem.GlobalLine{ASID: e.ASID, Line: e.Line}
-			if s.presentL3[gl]&l3mask == 0 {
+			if s.presL3.get(gl)&l3mask == 0 {
 				stale = append(stale, gl)
 			}
 		})
@@ -90,14 +119,15 @@ func (s *System) enforceInclusion() {
 			s.stats.InclusionInv++
 			s.invalidateAt(L2, sl, gl, true)
 		}
+		s.scratchGL = stale[:0]
 	}
 	// L1 against L2 groups.
 	for c := 0; c < s.p.Cores; c++ {
 		l2mask := s.groupSliceMask(L2, c)
-		var stale []mem.GlobalLine
+		stale := s.scratchGL[:0]
 		s.l1[c].ForEachValid(func(_, _ int, e cache.Entry) {
 			gl := mem.GlobalLine{ASID: e.ASID, Line: e.Line}
-			if s.presentL2[gl]&l2mask == 0 {
+			if s.presL2.get(gl)&l2mask == 0 {
 				stale = append(stale, gl)
 			}
 		})
@@ -105,6 +135,7 @@ func (s *System) enforceInclusion() {
 			s.stats.InclusionInv++
 			s.l1[c].Invalidate(gl.ASID, gl.Line)
 		}
+		s.scratchGL = stale[:0]
 	}
 }
 
@@ -113,26 +144,8 @@ func (s *System) enforceInclusion() {
 // and every valid L2 line has an L3 copy within its slice's L3 group. It
 // also cross-checks the present masks against actual slice contents.
 func (s *System) CheckInclusion() error {
-	// Present-mask consistency.
-	for l, caches := range map[Level][]*cache.Slice{L2: s.l2, L3: s.l3} {
-		present := s.presentL2
-		if l == L3 {
-			present = s.presentL3
-		}
-		counts := make(map[mem.GlobalLine]uint32)
-		for i, c := range caches {
-			c.ForEachValid(func(_, _ int, e cache.Entry) {
-				counts[mem.GlobalLine{ASID: e.ASID, Line: e.Line}] |= 1 << uint(i)
-			})
-		}
-		if len(counts) != len(present) {
-			return fmt.Errorf("hierarchy: %v present map has %d lines, slices hold %d", l, len(present), len(counts))
-		}
-		for gl, mask := range counts {
-			if present[gl] != mask {
-				return fmt.Errorf("hierarchy: %v present mask %#x != contents %#x for %+v", l, present[gl], mask, gl)
-			}
-		}
+	if err := s.CheckPresence(); err != nil {
+		return err
 	}
 	// L1 ⊆ L2 group.
 	for c := 0; c < s.p.Cores; c++ {
@@ -140,7 +153,7 @@ func (s *System) CheckInclusion() error {
 		var err error
 		s.l1[c].ForEachValid(func(_, _ int, e cache.Entry) {
 			gl := mem.GlobalLine{ASID: e.ASID, Line: e.Line}
-			if err == nil && s.presentL2[gl]&mask == 0 {
+			if err == nil && s.presL2.get(gl)&mask == 0 {
 				err = fmt.Errorf("hierarchy: L1 of core %d holds %+v with no L2 copy in group", c, gl)
 			}
 		})
@@ -154,12 +167,41 @@ func (s *System) CheckInclusion() error {
 		var err error
 		s.l2[sl].ForEachValid(func(_, _ int, e cache.Entry) {
 			gl := mem.GlobalLine{ASID: e.ASID, Line: e.Line}
-			if err == nil && s.presentL3[gl]&mask == 0 {
+			if err == nil && s.presL3.get(gl)&mask == 0 {
 				err = fmt.Errorf("hierarchy: L2 slice %d holds %+v with no L3 copy in group", sl, gl)
 			}
 		})
 		if err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// CheckPresence verifies the presence indexes exhaustively (test support):
+// each index's structural invariants hold (probe chains intact, no duplicate
+// keys, live count consistent), and its owner masks agree exactly with the
+// valid lines the slices actually hold. It is the exhaustive generalization
+// of the access path's "present mask inconsistent" panic.
+func (s *System) CheckPresence() error {
+	for l, caches := range map[Level][]*cache.Slice{L2: s.l2, L3: s.l3} {
+		idx := s.pres(l)
+		if err := idx.check(); err != nil {
+			return fmt.Errorf("%v index: %w", l, err)
+		}
+		counts := make(map[mem.GlobalLine]uint32)
+		for i, c := range caches {
+			c.ForEachValid(func(_, _ int, e cache.Entry) {
+				counts[mem.GlobalLine{ASID: e.ASID, Line: e.Line}] |= 1 << uint(i)
+			})
+		}
+		if len(counts) != idx.Len() {
+			return fmt.Errorf("hierarchy: %v presence index has %d lines, slices hold %d", l, idx.Len(), len(counts))
+		}
+		for gl, mask := range counts {
+			if got := idx.get(gl); got != mask {
+				return fmt.Errorf("hierarchy: %v present mask %#x != contents %#x for %+v", l, got, mask, gl)
+			}
 		}
 	}
 	return nil

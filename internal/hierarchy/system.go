@@ -266,16 +266,25 @@ type System struct {
 	l2 []*cache.Slice
 	l3 []*cache.Slice
 
-	// present*[line] is the bitmask of slices holding the line at each
+	// pres*.get(line) is the bitmask of slices holding the line at each
 	// level; slice indices are stable across reconfigurations, so the masks
-	// survive topology changes.
-	presentL2 map[mem.GlobalLine]uint32
-	presentL3 map[mem.GlobalLine]uint32
+	// survive topology changes. The indexes are fixed-size open-addressing
+	// tables (see presence.go) so the access path never hashes through a Go
+	// map or allocates.
+	presL2 *presenceIndex
+	presL3 *presenceIndex
 
 	// demand[level][core][slice] are the per-interval reuse-demand
 	// footprints the controller reads (see footprint.go).
-	demandL2, demandL3 [][]demandSet
+	demandL2, demandL3 [][]demandTable
 	l2Lines, l3Lines   int
+
+	// scratchA/scratchB are the reusable line-set scratch buffers behind
+	// the utilization/overlap signals, and scratchGL the reusable
+	// stale-line buffer of enforceInclusion; all grown once to their
+	// high-water size and reset per use.
+	scratchA, scratchB lineSet
+	scratchGL          []mem.GlobalLine
 
 	// coreASID[c] is the address space the thread on core c runs in; set by
 	// the simulation engine each epoch so the controller can apply the
@@ -295,10 +304,18 @@ type System struct {
 	// chanBusyL2/L3[group] and the memory channel hold the finite-bandwidth
 	// occupancies (see the *ChannelCycles parameters). In crossbar mode the
 	// port* arrays (indexed by slice) are used instead of chan* (indexed by
-	// group).
-	chanBusyL2, chanBusyL3 []float64
-	portBusyL2, portBusyL3 []float64
-	memChan                *mem.Channel
+	// group). The chan* slices are views into cores-sized backing arrays
+	// (chanStore*) resliced and zeroed on every reconfiguration instead of
+	// reallocated.
+	chanBusyL2, chanBusyL3   []float64
+	chanStoreL2, chanStoreL3 []float64
+	portBusyL2, portBusyL3   []float64
+	memChan                  *mem.Channel
+
+	// groupMaskL2/L3[slice] caches groupSliceMask for the current topology:
+	// the bitmask of the slices in the group containing each slice. Derived
+	// in applyTopology; read on every access.
+	groupMaskL2, groupMaskL3 []uint32
 
 	// flt is the injected-fault state (see fault.go); zero value = healthy.
 	flt faultState
@@ -328,18 +345,22 @@ func New(p Params, topo topology.Topology) (*System, error) {
 	}
 	s := &System{
 		p:             p,
-		presentL2:     make(map[mem.GlobalLine]uint32),
-		presentL3:     make(map[mem.GlobalLine]uint32),
+		presL2:        newPresenceIndex(p.Cores * p.L2SliceBytes / mem.LineSize),
+		presL3:        newPresenceIndex(p.Cores * p.L3SliceBytes / mem.LineSize),
 		coreASID:      make([]mem.ASID, p.Cores),
 		perCore:       make([]CoreStats, p.Cores),
 		perCoreMisses: make([]uint64, p.Cores),
 		busL2:         bus.NewSegmentedBus(p.Cores, p.BusTiming),
 		busL3:         bus.NewSegmentedBus(p.Cores, p.BusTiming),
 		memChan:       mem.NewChannel(p.MemChannelCycles),
+		chanStoreL2:   make([]float64, p.Cores),
+		chanStoreL3:   make([]float64, p.Cores),
 		portBusyL2:    make([]float64, p.Cores),
 		portBusyL3:    make([]float64, p.Cores),
 		remoteOvL2:    make([]int, p.Cores),
 		remoteOvL3:    make([]int, p.Cores),
+		groupMaskL2:   make([]uint32, p.Cores),
+		groupMaskL3:   make([]uint32, p.Cores),
 	}
 	clockL2, clockL3 := &cache.Clock{}, &cache.Clock{}
 	for i := 0; i < p.Cores; i++ {
@@ -361,10 +382,10 @@ func New(p Params, topo topology.Topology) (*System, error) {
 func (s *System) initFootprints() {
 	s.l2Lines = s.p.L2SliceBytes / mem.LineSize
 	s.l3Lines = s.p.L3SliceBytes / mem.LineSize
-	mk := func() [][]demandSet {
-		dd := make([][]demandSet, s.p.Cores)
+	mk := func() [][]demandTable {
+		dd := make([][]demandTable, s.p.Cores)
 		for c := range dd {
-			dd[c] = make([]demandSet, s.p.Cores)
+			dd[c] = make([]demandTable, s.p.Cores)
 		}
 		return dd
 	}
@@ -426,12 +447,24 @@ func (s *System) grouping(l Level) topology.Grouping {
 }
 
 // groupSliceMask returns the bitmask of slices in the group containing
-// `slice` at the level.
+// `slice` at the level (precomputed per topology in applyTopology).
 func (s *System) groupSliceMask(l Level, slice int) uint32 {
-	g := s.grouping(l)
-	var m uint32
-	for _, sl := range g.Members(g.GroupOf(slice)) {
-		m |= 1 << uint(sl)
+	if l == L2 {
+		return s.groupMaskL2[slice]
 	}
-	return m
+	return s.groupMaskL3[slice]
+}
+
+// pres returns the level's presence index.
+func (s *System) pres(l Level) *presenceIndex {
+	if l == L2 {
+		return s.presL2
+	}
+	return s.presL3
+}
+
+// PresentMask returns the bitmask of slices holding the line at the level
+// (white-box test support; the simulation path uses the index directly).
+func (s *System) PresentMask(l Level, gl mem.GlobalLine) uint32 {
+	return s.pres(l).get(gl)
 }
