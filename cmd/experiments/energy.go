@@ -109,12 +109,12 @@ type meteredPolicy struct {
 
 func (m *meteredPolicy) Name() string { return "MorphCache+energy" }
 
-func (m *meteredPolicy) EndEpoch(e int, sys *hierarchy.System) (int, bool) {
-	cur := *sys.Stats()
-	m.seg.Charge(m.prev, cur, sys.Topology())
-	m.mono.Charge(m.prev, cur, energy.MonolithicTopology(sys.Cores()))
+func (m *meteredPolicy) EndEpoch(e int, mach core.Machine) (int, bool) {
+	cur := *m.sys.Stats()
+	m.seg.Charge(m.prev, cur, m.sys.Topology())
+	m.mono.Charge(m.prev, cur, energy.MonolithicTopology(m.sys.Cores()))
 	m.prev = cur
-	return m.inner.EndEpoch(e, sys)
+	return m.inner.EndEpoch(e, mach)
 }
 
 // flush charges any tail accumulated after the last EndEpoch.

@@ -5,6 +5,7 @@ import (
 
 	mc "morphcache"
 
+	"morphcache/internal/core"
 	"morphcache/internal/hierarchy"
 	"morphcache/internal/runner"
 	"morphcache/internal/sim"
@@ -21,7 +22,7 @@ type measurePolicy struct {
 
 func (m *measurePolicy) Name() string { return "measure" }
 
-func (m *measurePolicy) EndEpoch(_ int, sys *hierarchy.System) (int, bool) {
+func (m *measurePolicy) EndEpoch(_ int, sys core.Machine) (int, bool) {
 	n := sys.Cores()
 	l2 := make([]float64, n)
 	l3 := make([]float64, n)

@@ -1,0 +1,95 @@
+// Command morphserve runs the serve-mode MorphCache: a sharded in-memory
+// cache whose capacity is dynamically repartitioned between tenants by
+// the paper's ACFV-driven controller (internal/serve; DESIGN.md §12).
+//
+// The cache API and the admin endpoints share one mux and listener:
+//
+//	GET/PUT/POST/DELETE /cache/{tenant}/{key...}
+//	GET /topology                 current partition map (JSON)
+//	GET /metrics                  Prometheus text (per-tenant series)
+//	GET /healthz                  200, 503 once draining
+//	/debug/pprof, /debug/vars
+//
+// SIGINT/SIGTERM drains gracefully: /healthz flips to 503, in-flight
+// requests finish, new cache operations get 503, and the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"morphcache/internal/obs"
+	"morphcache/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "morphserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8944", "listen address for the cache + admin mux")
+		tenants   = flag.String("tenants", "", "comma-separated tenant names (required)")
+		slots     = flag.Int("slots", 16, "capacity slots (the paper's cores); power of two in [2, 32]")
+		shards    = flag.Int("shards", 4, "concurrency shards; power of two")
+		slotBytes = flag.Int("slot-bytes", 256<<10, "per-slot capacity in bytes (across shards)")
+		ways      = flag.Int("ways", 8, "slice associativity")
+		maxValue  = flag.Int("max-value-bytes", 64<<10, "largest accepted value")
+		epoch     = flag.Duration("epoch", 10*time.Second, "reconfiguration interval")
+	)
+	flag.Parse()
+	if *tenants == "" {
+		return fmt.Errorf("-tenants is required (e.g. -tenants alpha,beta)")
+	}
+
+	cfg := serve.Config{
+		Tenants:       strings.Split(*tenants, ","),
+		Slots:         *slots,
+		Shards:        *shards,
+		SlotBytes:     *slotBytes,
+		Ways:          *ways,
+		MaxValueBytes: *maxValue,
+		EpochInterval: *epoch,
+	}
+	hub := obs.NewHub(obs.HubOptions{Shards: 1})
+	cache, err := serve.New(cfg, hub.Registry)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	admin := obs.NewAdmin(hub.Registry, hub.Jobs)
+	cache.Register(admin)
+	srv, err := obs.Serve(*addr, admin)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "morphserve: serving %d tenants on http://%s (policy %s, epoch %s)\n",
+		len(cfg.Tenants), srv.Addr(), cache.PolicyName(), *epoch)
+
+	go cache.RunEpochs(ctx)
+
+	<-ctx.Done()
+	stop() // a second signal kills immediately
+	fmt.Fprintln(os.Stderr, "morphserve: draining")
+	admin.SetHealthy(false)
+	cache.Drain()
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "morphserve: done")
+	return nil
+}

@@ -144,7 +144,8 @@ type Decision struct {
 const maxHistory = 4096
 
 // Controller is the MorphCache reconfiguration policy; it implements
-// sim.Policy.
+// Policy over any Machine (the simulated hierarchy or the serve-mode
+// cache).
 type Controller struct {
 	opts Options
 	msat MSAT
@@ -200,7 +201,7 @@ func New(opts Options) *Controller {
 	return &Controller{opts: opts, msat: opts.MSAT, degrade: true}
 }
 
-// Name implements sim.Policy.
+// Name implements Policy.
 func (c *Controller) Name() string {
 	if !c.degrade {
 		return "MorphCache-nodegrade"
@@ -289,9 +290,9 @@ func (c *Controller) AsymmetricIntervals() int { return c.asymmetricConfig }
 // ThrottleUps reports how many times the QoS guard raised the MSAT (§5.3).
 func (c *Controller) ThrottleUps() int { return c.throttleUps }
 
-// EndEpoch implements sim.Policy: it examines the interval's ACFVs and
-// reconfigures the hierarchy.
-func (c *Controller) EndEpoch(e int, sys *hierarchy.System) (int, bool) {
+// EndEpoch implements Policy: it examines the interval's ACFVs and
+// reconfigures the machine.
+func (c *Controller) EndEpoch(e int, sys Machine) (int, bool) {
 	c.epoch = e
 	c.intervals++
 	c.locked = make(map[lockKey]bool)
@@ -336,7 +337,7 @@ func (c *Controller) EndEpoch(e int, sys *hierarchy.System) (int, bool) {
 // group a dead bus link cuts in two is force-split so its intra-group
 // traffic stops riding the dead link. Every reaction is mirrored to the
 // recorder under rule "fault".
-func (c *Controller) degradePass(sys *hierarchy.System) int {
+func (c *Controller) degradePass(sys Machine) int {
 	if !sys.HasFaults() {
 		return 0
 	}
@@ -411,7 +412,7 @@ func (c *Controller) degradePass(sys *hierarchy.System) int {
 // mergeBlockedByFault vetoes a merge whose resulting group would span a
 // dead bus link, or whose decision inputs include a quarantined monitor
 // (garbage in, garbage topology out).
-func (c *Controller) mergeBlockedByFault(sys *hierarchy.System, l hierarchy.Level, ma, mb []int) bool {
+func (c *Controller) mergeBlockedByFault(sys Machine, l hierarchy.Level, ma, mb []int) bool {
 	if !c.degrade || !sys.HasFaults() {
 		return false
 	}
@@ -441,7 +442,7 @@ func (c *Controller) mergeBlockedByFault(sys *hierarchy.System, l hierarchy.Leve
 // whose monitors are quarantined: the readings that would justify the
 // split cannot be trusted, so the topology is frozen around the corrupted
 // core until the monitor recovers. Forced fault splits bypass this.
-func (c *Controller) splitBlockedByFault(sys *hierarchy.System, m []int) bool {
+func (c *Controller) splitBlockedByFault(sys Machine, m []int) bool {
 	if !c.degrade || !sys.HasFaults() {
 		return false
 	}
@@ -461,7 +462,7 @@ func (c *Controller) splitBlockedByFault(sys *hierarchy.System, m []int) bool {
 // cores sit in (unless their halves still genuinely share data). When no
 // core got worse, the thresholds relax back toward the configured bounds.
 // Returns the number of reconfiguration operations performed.
-func (c *Controller) throttle(sys *hierarchy.System) int {
+func (c *Controller) throttle(sys Machine) int {
 	if !c.mergedLast || len(c.prevMisses) == 0 {
 		return 0
 	}
@@ -488,7 +489,7 @@ func (c *Controller) throttle(sys *hierarchy.System) int {
 // qosSplitAround splits the merged groups containing a hurt core, L2 first
 // (always safe), then its L3 group if the coupling rules allow, and locks
 // the results so this interval's merge pass cannot re-form them.
-func (c *Controller) qosSplitAround(sys *hierarchy.System, core int) int {
+func (c *Controller) qosSplitAround(sys Machine, core int) int {
 	ops := 0
 	for _, l := range []hierarchy.Level{hierarchy.L2, hierarchy.L3} {
 		topo := sys.Topology()
@@ -546,7 +547,7 @@ func maxf(a, b float64) float64 {
 // overlap). The margin relaxes the bounds: merge decisions use margin 0,
 // while "is this existing merge still justified" checks pass a positive
 // margin so that groups are not torn down by boundary flicker (hysteresis).
-func (c *Controller) mergeRule(sys *hierarchy.System, l hierarchy.Level, a, b []int, margin float64) (rule string, ua, ub, ov float64) {
+func (c *Controller) mergeRule(sys Machine, l hierarchy.Level, a, b []int, margin float64) (rule string, ua, ub, ov float64) {
 	ua = sys.CoresUtilization(l, a)
 	ub = sys.CoresUtilization(l, b)
 	ov = sys.CoresOverlap(l, a, b)
@@ -582,7 +583,7 @@ func (c *Controller) mergeRule(sys *hierarchy.System, l hierarchy.Level, a, b []
 }
 
 // mergeCondition reports whether either §2.2 merge rule fires.
-func (c *Controller) mergeCondition(sys *hierarchy.System, l hierarchy.Level, a, b []int, margin float64) bool {
+func (c *Controller) mergeCondition(sys Machine, l hierarchy.Level, a, b []int, margin float64) bool {
 	rule, _, _, _ := c.mergeRule(sys, l, a, b, margin)
 	return rule != ""
 }
@@ -592,7 +593,7 @@ func (c *Controller) mergeCondition(sys *hierarchy.System, l hierarchy.Level, a,
 // halves starved without sharing), "stale" (the merge reason has lapsed
 // even under the hysteresis margin), "" for no split — along with the ACFV
 // inputs compared.
-func (c *Controller) splitRule(sys *hierarchy.System, l hierarchy.Level, h1, h2 []int) (rule string, u1, u2, ov float64) {
+func (c *Controller) splitRule(sys Machine, l hierarchy.Level, h1, h2 []int) (rule string, u1, u2, ov float64) {
 	u1 = sys.CoresUtilization(l, h1)
 	u2 = sys.CoresUtilization(l, h2)
 	ov = sys.CoresOverlap(l, h1, h2)
@@ -677,7 +678,7 @@ func max2(a, b int) int {
 
 // tryMerges performs one round of merges at both levels; returns the number
 // of reconfiguration operations applied.
-func (c *Controller) tryMerges(sys *hierarchy.System, merged *bool) int {
+func (c *Controller) tryMerges(sys Machine, merged *bool) int {
 	n := 0
 	// L3-motivated merges first: always safe.
 	n += c.mergeLevel(sys, hierarchy.L3)
@@ -689,7 +690,7 @@ func (c *Controller) tryMerges(sys *hierarchy.System, merged *bool) int {
 	return n
 }
 
-func (c *Controller) mergeLevel(sys *hierarchy.System, l hierarchy.Level) int {
+func (c *Controller) mergeLevel(sys Machine, l hierarchy.Level) int {
 	n := 0
 	for {
 		topo := sys.Topology()
@@ -738,7 +739,7 @@ func (c *Controller) mergeLevel(sys *hierarchy.System, l hierarchy.Level) int {
 // applyMerge merges groups a and b at the level, first merging the covering
 // L3 groups if an L2 merge requires it (§2.2). Returns the number of
 // operations performed and whether the merge succeeded.
-func (c *Controller) applyMerge(sys *hierarchy.System, l hierarchy.Level, a, b int) (int, bool) {
+func (c *Controller) applyMerge(sys Machine, l hierarchy.Level, a, b int) (int, bool) {
 	topo := sys.Topology()
 	ops := 0
 	if l == hierarchy.L2 {
@@ -813,14 +814,14 @@ func (c *Controller) lockFirst(l hierarchy.Level, first int) {
 }
 
 // trySplits performs one round of splits at both levels.
-func (c *Controller) trySplits(sys *hierarchy.System) int {
+func (c *Controller) trySplits(sys Machine) int {
 	// L2 splits are always safe; L3 splits may require them, so L2 first.
 	n := c.splitLevel(sys, hierarchy.L2)
 	n += c.splitLevel(sys, hierarchy.L3)
 	return n
 }
 
-func (c *Controller) splitLevel(sys *hierarchy.System, l hierarchy.Level) int {
+func (c *Controller) splitLevel(sys Machine, l hierarchy.Level) int {
 	n := 0
 	for {
 		topo := sys.Topology()
@@ -873,7 +874,7 @@ func (c *Controller) splitLevel(sys *hierarchy.System, l hierarchy.Level) int {
 // the split condition (§2.3). With force (fault degradation), spanning L2
 // groups are split apart even when their merge is still justified: the
 // link beneath them is physically gone.
-func (c *Controller) applySplit(sys *hierarchy.System, l hierarchy.Level, gi int, force bool) (int, bool) {
+func (c *Controller) applySplit(sys Machine, l hierarchy.Level, gi int, force bool) (int, bool) {
 	topo := sys.Topology()
 	ops := 0
 	if l == hierarchy.L3 {

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"morphcache/internal/hierarchy"
+	"morphcache/internal/topology"
+)
+
+// Machine is the surface a reconfiguration policy observes and rewires: the
+// ACFV-derived footprint signals of §2.1, the topology mutation entry point,
+// and the fault-status queries the graceful-degradation pass consumes. The
+// simulated hierarchy (*hierarchy.System) implements it natively; the
+// serve-mode cache (internal/serve) implements it over live multi-tenant
+// traffic, with tenants playing the role of cores. Extracting the interface
+// here lets the same Controller govern both without either importing the
+// other.
+type Machine interface {
+	// Cores returns the number of cores (serve mode: tenant slots); slices
+	// map one-to-one to cores at both levels.
+	Cores() int
+	// Topology returns the current slice grouping at both levels.
+	Topology() topology.Topology
+	// SetTopology applies a new grouping at an interval boundary.
+	SetTopology(topology.Topology) error
+
+	// CoresUtilization reports the interval's active-footprint fraction of
+	// the group capacity backing the given cores at a level (§2.1's |ACFV|
+	// signal, normalized to capacity).
+	CoresUtilization(l hierarchy.Level, cores []int) float64
+	// CoresOverlap reports the shared fraction of the two core sets'
+	// footprints (common ACFV 1s over the smaller footprint).
+	CoresOverlap(l hierarchy.Level, a, b []int) float64
+	// SlicesShareASID reports whether every listed slice group is home to
+	// the same address space (merge rule (ii)'s precondition).
+	SlicesShareASID(slices ...[]int) bool
+	// PerCoreMisses returns cumulative per-core miss counts (QoS, §5.3).
+	PerCoreMisses() []uint64
+
+	// HasFaults reports whether any fault is active; the remaining queries
+	// refine it for the degradation pass.
+	HasFaults() bool
+	// CorruptMonitors lists cores whose ACFV monitors read garbage.
+	CorruptMonitors() []int
+	// MonitorCorrupt reports whether one core's monitor reads garbage.
+	MonitorCorrupt(core int) bool
+	// SpansDeadLink reports whether a group over the members would ride a
+	// dead bus segment at the level.
+	SpansDeadLink(l hierarchy.Level, members []int) bool
+}
+
+// Policy decides reconfigurations for a Machine at each interval boundary.
+// The MorphCache Controller is the canonical implementation; the simulator
+// (internal/sim) and the cache server (internal/serve) both drive their
+// machines through this interface.
+type Policy interface {
+	// Name identifies the policy in reports and metrics.
+	Name() string
+	// EndEpoch runs after an interval completes, before footprint vectors
+	// are reset, and returns the number of reconfiguration operations
+	// applied and whether the resulting configuration is asymmetric.
+	EndEpoch(e int, m Machine) (reconfigs int, asymmetric bool)
+}
+
+// Compile-time checks: the simulated hierarchy is a Machine, and the
+// Controller is a Policy over it.
+var (
+	_ Machine = (*hierarchy.System)(nil)
+	_ Policy  = (*Controller)(nil)
+)

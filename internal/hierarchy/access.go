@@ -186,7 +186,7 @@ func (s *System) access(core int, a mem.Access, now uint64) AccessResult {
 	// Off-group: cache-to-cache transfer if any other L3 group holds the
 	// line, otherwise main memory.
 	served := ByMemory
-	if s.presL3.get(gl)&^s.groupSliceMask(L3, core) != 0 {
+	if s.presL3.Get(gl)&^s.groupSliceMask(L3, core) != 0 {
 		lat += s.p.C2CCycles
 		s.stats.C2C++
 		served = ByC2C
@@ -209,7 +209,7 @@ func (s *System) access(core int, a mem.Access, now uint64) AccessResult {
 // nearest the requester is retained, all others are invalidated on this
 // access. Returns (-1, -1) on a group miss.
 func (s *System) findInGroup(l Level, core int, gl mem.GlobalLine) (slice, way int) {
-	mask := s.pres(l).get(gl) & s.groupSliceMask(l, core)
+	mask := s.pres(l).Get(gl) & s.groupSliceMask(l, core)
 	if mask == 0 {
 		return -1, -1
 	}
@@ -246,7 +246,7 @@ func (s *System) fillL1(core int, a mem.Access, write bool) {
 	old := s.l1[core].Insert(a.ASID, a.Line, write)
 	if old.Valid && old.Dirty {
 		ogl := mem.GlobalLine{ASID: old.ASID, Line: old.Line}
-		if mask := s.presL2.get(ogl) & s.groupSliceMask(L2, core); mask != 0 {
+		if mask := s.presL2.Get(ogl) & s.groupSliceMask(L2, core); mask != 0 {
 			sl := bits.TrailingZeros32(mask)
 			if w := s.l2[sl].Lookup(old.ASID, old.Line); w >= 0 {
 				s.l2[sl].SetDirty(s.l2[sl].SetIndex(old.Line), w)
@@ -304,7 +304,7 @@ func (s *System) fillGroup(l Level, core int, asid mem.ASID, line mem.Line, dirt
 	// them; if another copy of the victim survives within the group there
 	// is nothing to spill (and spilling would double-insert the line into
 	// one slice). Dirtiness propagates to the surviving copy.
-	if mask := s.pres(l).get(vgl) & s.groupSliceMask(l, core); mask != 0 {
+	if mask := s.pres(l).Get(vgl) & s.groupSliceMask(l, core); mask != 0 {
 		if victim.Dirty {
 			dup := bits.TrailingZeros32(mask)
 			dsl := s.sliceAt(l, dup)
@@ -390,7 +390,7 @@ func (s *System) onL2Evict(slice int, e cache.Entry) {
 	s.removePresent(L2, slice, gl)
 	s.backInvalidateL1(slice, gl)
 	if e.Dirty {
-		if mask := s.presL3.get(gl) & s.groupSliceMask(L3, slice); mask != 0 {
+		if mask := s.presL3.Get(gl) & s.groupSliceMask(L3, slice); mask != 0 {
 			sl := bits.TrailingZeros32(mask)
 			if w := s.l3[sl].Lookup(e.ASID, e.Line); w >= 0 {
 				s.l3[sl].SetDirty(s.l3[sl].SetIndex(e.Line), w)
@@ -404,7 +404,7 @@ func (s *System) onL2Evict(slice int, e cache.Entry) {
 func (s *System) onL3Evict(slice int, e cache.Entry) {
 	gl := mem.GlobalLine{ASID: e.ASID, Line: e.Line}
 	s.removePresent(L3, slice, gl)
-	under := s.presL2.get(gl) & s.slicesUnderL3Group(slice)
+	under := s.presL2.Get(gl) & s.slicesUnderL3Group(slice)
 	for m := under; m != 0; m &= m - 1 {
 		l2s := bits.TrailingZeros32(m)
 		s.stats.BackInv++
@@ -438,7 +438,7 @@ func (s *System) invalidateAt(l Level, slice int, gl mem.GlobalLine, cascade boo
 			s.backInvalidateL1(slice, gl)
 		}
 		if e.Dirty {
-			if mask := s.presL3.get(gl) & s.groupSliceMask(L3, slice); mask != 0 {
+			if mask := s.presL3.Get(gl) & s.groupSliceMask(L3, slice); mask != 0 {
 				sl := bits.TrailingZeros32(mask)
 				if w := s.l3[sl].Lookup(gl.ASID, gl.Line); w >= 0 {
 					s.l3[sl].SetDirty(s.l3[sl].SetIndex(gl.Line), w)
@@ -472,12 +472,12 @@ func (s *System) writeInvalidateOthers(core int, gl mem.GlobalLine) {
 			}
 		}
 	}
-	for m := s.presL2.get(gl) &^ s.groupSliceMask(L2, core); m != 0; m &= m - 1 {
+	for m := s.presL2.Get(gl) &^ s.groupSliceMask(L2, core); m != 0; m &= m - 1 {
 		sl := bits.TrailingZeros32(m)
 		s.stats.CoherenceInv++
 		s.invalidateAt(L2, sl, gl, true)
 	}
-	for m := s.presL3.get(gl) &^ s.groupSliceMask(L3, core); m != 0; m &= m - 1 {
+	for m := s.presL3.Get(gl) &^ s.groupSliceMask(L3, core); m != 0; m &= m - 1 {
 		sl := bits.TrailingZeros32(m)
 		s.stats.CoherenceInv++
 		s.invalidateAt(L3, sl, gl, false)
@@ -485,11 +485,11 @@ func (s *System) writeInvalidateOthers(core int, gl mem.GlobalLine) {
 }
 
 func (s *System) addPresent(l Level, slice int, gl mem.GlobalLine) {
-	s.pres(l).or(gl, 1<<uint(slice))
+	s.pres(l).Or(gl, 1<<uint(slice))
 }
 
 func (s *System) removePresent(l Level, slice int, gl mem.GlobalLine) {
-	s.pres(l).clear(gl, 1<<uint(slice))
+	s.pres(l).Clear(gl, 1<<uint(slice))
 }
 
 // interconnectWait charges one transaction on the level's interconnect,

@@ -127,7 +127,7 @@ func TestLazyInvalidation(t *testing.T) {
 	s.SetCoreASID(1, 9)
 	s.Access(0, rd(42, 9), 0)
 	s.Access(1, rd(42, 9), 0)
-	if s.presL2.get(mem.GlobalLine{ASID: 9, Line: 42}) == 0 {
+	if s.presL2.Get(mem.GlobalLine{ASID: 9, Line: 42}) == 0 {
 		t.Fatal("line not present")
 	}
 	topo := topology.Topology{L2: mustGroups(t, 4, [][]int{{0, 1}, {2}, {3}}),
@@ -143,7 +143,7 @@ func TestLazyInvalidation(t *testing.T) {
 	if s.Stats().LazyInv != before+1 {
 		t.Fatalf("lazy invalidation count %d, want %d", s.Stats().LazyInv, before+1)
 	}
-	mask := s.presL2.get(mem.GlobalLine{ASID: 9, Line: 42})
+	mask := s.presL2.Get(mem.GlobalLine{ASID: 9, Line: 42})
 	if mask != 1<<0 {
 		t.Fatalf("exactly the local copy should remain, mask %#x", mask)
 	}
@@ -170,11 +170,11 @@ func TestWriteInvalidatesOtherGroups(t *testing.T) {
 	s.Access(0, rd(77, 5), 0)
 	s.Access(1, rd(77, 5), 0)
 	gl := mem.GlobalLine{ASID: 5, Line: 77}
-	if s.presL3.get(gl)&(1<<1) == 0 {
+	if s.presL3.Get(gl)&(1<<1) == 0 {
 		t.Fatal("replica missing before write")
 	}
 	s.Access(0, wr(77, 5), 0)
-	if s.presL3.get(gl)&(1<<1) != 0 || s.presL2.get(gl)&(1<<1) != 0 {
+	if s.presL3.Get(gl)&(1<<1) != 0 || s.presL2.Get(gl)&(1<<1) != 0 {
 		t.Fatal("write did not invalidate the other group's copies")
 	}
 	if s.L1Cache(1).Lookup(5, 77) >= 0 {

@@ -6,7 +6,7 @@ import (
 	"morphcache/internal/mem"
 )
 
-// presenceIndex maps a global line to the bitmask of slices holding it at
+// PresenceIndex maps a global line to the bitmask of slices holding it at
 // one level. It replaces the former map[mem.GlobalLine]uint32: the access
 // path probes it on every reference, so it is a fixed-size open-addressing
 // table (linear probing, backward-shift deletion) instead of a Go map — no
@@ -16,7 +16,7 @@ import (
 // entry in some slice of the level, so the number of distinct keys can never
 // exceed the level's total line capacity (cores × lines per slice). The
 // table is sized to twice that bound at construction, capping the load
-// factor at 0.5 and making probe chains short; it never grows, and or()
+// factor at 0.5 and making probe chains short; it never grows, and Or()
 // panics if the bound is ever violated (which would be a bookkeeping bug of
 // the same severity as the "present mask inconsistent" panic).
 //
@@ -24,7 +24,7 @@ import (
 // it on the simulation path — so replacing the map cannot reorder any
 // observable event. All default outputs are byte-identical to the map-based
 // implementation (enforced by the golden-report CI jobs).
-type presenceIndex struct {
+type PresenceIndex struct {
 	mask   uint64
 	lines  []mem.Line
 	asids  []mem.ASID
@@ -33,13 +33,13 @@ type presenceIndex struct {
 	cap    int      // maximum keys (level line capacity)
 }
 
-// newPresenceIndex builds an index able to hold maxKeys distinct lines.
-func newPresenceIndex(maxKeys int) *presenceIndex {
+// NewPresenceIndex builds an index able to hold maxKeys distinct lines.
+func NewPresenceIndex(maxKeys int) *PresenceIndex {
 	slots := 16
 	for slots < 2*maxKeys {
 		slots <<= 1
 	}
-	return &presenceIndex{
+	return &PresenceIndex{
 		mask:   uint64(slots - 1),
 		lines:  make([]mem.Line, slots),
 		asids:  make([]mem.ASID, slots),
@@ -57,8 +57,8 @@ func presenceHash(asid mem.ASID, line mem.Line) uint64 {
 	return h ^ h>>32
 }
 
-// get returns the owner mask of the line, or 0 if absent.
-func (p *presenceIndex) get(gl mem.GlobalLine) uint32 {
+// Get returns the owner mask of the line, or 0 if absent.
+func (p *PresenceIndex) Get(gl mem.GlobalLine) uint32 {
 	i := presenceHash(gl.ASID, gl.Line) & p.mask
 	for {
 		o := p.owners[i]
@@ -72,8 +72,8 @@ func (p *presenceIndex) get(gl mem.GlobalLine) uint32 {
 	}
 }
 
-// or adds the slice bit to the line's owner mask, inserting the key if new.
-func (p *presenceIndex) or(gl mem.GlobalLine, bit uint32) {
+// Or adds the slice bit to the line's owner mask, inserting the key if new.
+func (p *PresenceIndex) Or(gl mem.GlobalLine, bit uint32) {
 	i := presenceHash(gl.ASID, gl.Line) & p.mask
 	for {
 		o := p.owners[i]
@@ -93,9 +93,9 @@ func (p *presenceIndex) or(gl mem.GlobalLine, bit uint32) {
 	}
 }
 
-// clear removes the slice bit from the line's owner mask, deleting the key
+// Clear removes the slice bit from the line's owner mask, deleting the key
 // when the mask empties. Clearing an absent line is a no-op.
-func (p *presenceIndex) clear(gl mem.GlobalLine, bit uint32) {
+func (p *PresenceIndex) Clear(gl mem.GlobalLine, bit uint32) {
 	i := presenceHash(gl.ASID, gl.Line) & p.mask
 	for {
 		o := p.owners[i]
@@ -116,7 +116,7 @@ func (p *presenceIndex) clear(gl mem.GlobalLine, bit uint32) {
 
 // deleteAt empties slot i and compacts the probe chain behind it
 // (backward-shift deletion), so lookups never need tombstones.
-func (p *presenceIndex) deleteAt(i uint64) {
+func (p *PresenceIndex) deleteAt(i uint64) {
 	p.n--
 	for {
 		p.owners[i] = 0
@@ -140,13 +140,13 @@ func (p *presenceIndex) deleteAt(i uint64) {
 }
 
 // Len returns the number of distinct lines present at the level.
-func (p *presenceIndex) Len() int { return p.n }
+func (p *PresenceIndex) Len() int { return p.n }
 
-// check verifies the structural invariants of the table: the live count
+// Check verifies the structural invariants of the table: the live count
 // matches n, every live entry is reachable from its home slot without
 // crossing an empty slot, and no key occurs twice. It is the test-time
 // generalization of the access path's "present mask inconsistent" panic.
-func (p *presenceIndex) check() error {
+func (p *PresenceIndex) Check() error {
 	live := 0
 	for i := range p.owners {
 		if p.owners[i] == 0 {

@@ -9,50 +9,50 @@ import (
 )
 
 func TestPresenceIndexBasics(t *testing.T) {
-	p := newPresenceIndex(64)
+	p := NewPresenceIndex(64)
 	a := mem.GlobalLine{ASID: 1, Line: 100}
 	b := mem.GlobalLine{ASID: 2, Line: 100} // same line, different space
 
-	if p.get(a) != 0 {
+	if p.Get(a) != 0 {
 		t.Fatal("empty index reports a line present")
 	}
-	p.or(a, 1<<0)
-	p.or(a, 1<<3)
-	p.or(b, 1<<1)
-	if got := p.get(a); got != 1<<0|1<<3 {
+	p.Or(a, 1<<0)
+	p.Or(a, 1<<3)
+	p.Or(b, 1<<1)
+	if got := p.Get(a); got != 1<<0|1<<3 {
 		t.Fatalf("mask %#x, want %#x", got, 1<<0|1<<3)
 	}
-	if got := p.get(b); got != 1<<1 {
+	if got := p.Get(b); got != 1<<1 {
 		t.Fatalf("ASIDs not distinguished: mask %#x", got)
 	}
 	if p.Len() != 2 {
 		t.Fatalf("Len %d, want 2", p.Len())
 	}
-	p.clear(a, 1<<0)
-	if got := p.get(a); got != 1<<3 {
+	p.Clear(a, 1<<0)
+	if got := p.Get(a); got != 1<<3 {
 		t.Fatalf("after partial clear mask %#x, want %#x", got, 1<<3)
 	}
-	p.clear(a, 1<<3)
-	if p.get(a) != 0 || p.Len() != 1 {
+	p.Clear(a, 1<<3)
+	if p.Get(a) != 0 || p.Len() != 1 {
 		t.Fatal("clearing the last bit must delete the key")
 	}
-	p.clear(a, 1<<5) // absent key: no-op
-	if err := p.check(); err != nil {
+	p.Clear(a, 1<<5) // absent key: no-op
+	if err := p.Check(); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestPresenceIndexOverflowPanics(t *testing.T) {
-	p := newPresenceIndex(4)
+	p := NewPresenceIndex(4)
 	for i := 0; i < 4; i++ {
-		p.or(mem.GlobalLine{ASID: 1, Line: mem.Line(i)}, 1)
+		p.Or(mem.GlobalLine{ASID: 1, Line: mem.Line(i)}, 1)
 	}
 	defer func() {
 		if recover() == nil {
 			t.Fatal("inserting beyond capacity must panic")
 		}
 	}()
-	p.or(mem.GlobalLine{ASID: 1, Line: 99}, 1)
+	p.Or(mem.GlobalLine{ASID: 1, Line: 99}, 1)
 }
 
 // TestPresenceIndexChurn drives randomized or/clear traffic against a
@@ -60,7 +60,7 @@ func TestPresenceIndexOverflowPanics(t *testing.T) {
 // both the answers and the structural invariants after every phase.
 func TestPresenceIndexChurn(t *testing.T) {
 	const keys = 512
-	p := newPresenceIndex(keys)
+	p := NewPresenceIndex(keys)
 	ref := make(map[mem.GlobalLine]uint32)
 	r := rng.New(11)
 	gl := func() mem.GlobalLine {
@@ -72,25 +72,25 @@ func TestPresenceIndexChurn(t *testing.T) {
 			k := gl()
 			bit := uint32(1) << uint(r.Intn(8))
 			if r.Intn(3) == 0 {
-				p.clear(k, bit)
+				p.Clear(k, bit)
 				if v := ref[k] &^ bit; v == 0 {
 					delete(ref, k)
 				} else {
 					ref[k] = v
 				}
 			} else if len(ref) < keys || ref[k] != 0 {
-				p.or(k, bit)
+				p.Or(k, bit)
 				ref[k] |= bit
 			}
 		}
-		if err := p.check(); err != nil {
+		if err := p.Check(); err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
 		if p.Len() != len(ref) {
 			t.Fatalf("round %d: Len %d, reference %d", round, p.Len(), len(ref))
 		}
 		for k, v := range ref {
-			if got := p.get(k); got != v {
+			if got := p.Get(k); got != v {
 				t.Fatalf("round %d: get(%+v) = %#x, want %#x", round, k, got, v)
 			}
 		}
@@ -119,8 +119,8 @@ func seedDuplicates(t *testing.T, s *System, line mem.Line, asid mem.ASID) {
 		t.Fatal(err)
 	}
 	gl := mem.GlobalLine{ASID: asid, Line: line}
-	if s.presL2.get(gl) != 3 || s.presL3.get(gl) != 3 {
-		t.Fatalf("duplicates not seeded: L2 %#x L3 %#x", s.presL2.get(gl), s.presL3.get(gl))
+	if s.presL2.Get(gl) != 3 || s.presL3.Get(gl) != 3 {
+		t.Fatalf("duplicates not seeded: L2 %#x L3 %#x", s.presL2.Get(gl), s.presL3.Get(gl))
 	}
 }
 
@@ -169,7 +169,7 @@ func TestDirtyCreditSurvivesLazyInvalidation(t *testing.T) {
 	if r.Served != ByL2 || r.Remote {
 		t.Fatalf("expected a local L2 hit, got %+v", r)
 	}
-	if mask := s.presL2.get(gl); mask != 1<<1 {
+	if mask := s.presL2.Get(gl); mask != 1<<1 {
 		t.Fatalf("surviving L2 copy mask %#x, want slice 1 only", mask)
 	}
 	l3set := s.SliceCache(L3, 0).SetIndex(line)
@@ -222,7 +222,7 @@ func TestFillGroupDuplicateVictimSuppression(t *testing.T) {
 	for i := 1; i <= evictions; i++ {
 		s.Access(0, rd(line+mem.Line(4*i*l2.Sets()), asid), 0)
 	}
-	if got := s.presL2.get(gl); got != 1<<1 {
+	if got := s.presL2.Get(gl); got != 1<<1 {
 		t.Fatalf("after eviction, presence mask %#x, want only the slice 1 duplicate", got)
 	}
 	if w := s.SliceCache(L2, 1).Lookup(asid, line); w < 0 {
@@ -258,7 +258,7 @@ func TestFillGroupSpillMovesPresence(t *testing.T) {
 	spilled := 0
 	for i := 0; i < n; i++ {
 		gl := mem.GlobalLine{ASID: asid, Line: mem.Line(100 + i*l2.Sets())}
-		switch s.presL2.get(gl) {
+		switch s.presL2.Get(gl) {
 		case 1 << 0:
 		case 1 << 1:
 			spilled++
@@ -266,7 +266,7 @@ func TestFillGroupSpillMovesPresence(t *testing.T) {
 				t.Fatalf("presence claims slice 1 holds %+v but it does not", gl)
 			}
 		default:
-			t.Fatalf("line %+v has unexpected presence mask %#x", gl, s.presL2.get(gl))
+			t.Fatalf("line %+v has unexpected presence mask %#x", gl, s.presL2.Get(gl))
 		}
 	}
 	if spilled != 1 {

@@ -111,7 +111,7 @@ func (s *System) enforceInclusion() {
 		stale := s.scratchGL[:0]
 		s.l2[sl].ForEachValid(func(_, _ int, e cache.Entry) {
 			gl := mem.GlobalLine{ASID: e.ASID, Line: e.Line}
-			if s.presL3.get(gl)&l3mask == 0 {
+			if s.presL3.Get(gl)&l3mask == 0 {
 				stale = append(stale, gl)
 			}
 		})
@@ -127,7 +127,7 @@ func (s *System) enforceInclusion() {
 		stale := s.scratchGL[:0]
 		s.l1[c].ForEachValid(func(_, _ int, e cache.Entry) {
 			gl := mem.GlobalLine{ASID: e.ASID, Line: e.Line}
-			if s.presL2.get(gl)&l2mask == 0 {
+			if s.presL2.Get(gl)&l2mask == 0 {
 				stale = append(stale, gl)
 			}
 		})
@@ -153,7 +153,7 @@ func (s *System) CheckInclusion() error {
 		var err error
 		s.l1[c].ForEachValid(func(_, _ int, e cache.Entry) {
 			gl := mem.GlobalLine{ASID: e.ASID, Line: e.Line}
-			if err == nil && s.presL2.get(gl)&mask == 0 {
+			if err == nil && s.presL2.Get(gl)&mask == 0 {
 				err = fmt.Errorf("hierarchy: L1 of core %d holds %+v with no L2 copy in group", c, gl)
 			}
 		})
@@ -167,7 +167,7 @@ func (s *System) CheckInclusion() error {
 		var err error
 		s.l2[sl].ForEachValid(func(_, _ int, e cache.Entry) {
 			gl := mem.GlobalLine{ASID: e.ASID, Line: e.Line}
-			if err == nil && s.presL3.get(gl)&mask == 0 {
+			if err == nil && s.presL3.Get(gl)&mask == 0 {
 				err = fmt.Errorf("hierarchy: L2 slice %d holds %+v with no L3 copy in group", sl, gl)
 			}
 		})
@@ -186,7 +186,7 @@ func (s *System) CheckInclusion() error {
 func (s *System) CheckPresence() error {
 	for l, caches := range map[Level][]*cache.Slice{L2: s.l2, L3: s.l3} {
 		idx := s.pres(l)
-		if err := idx.check(); err != nil {
+		if err := idx.Check(); err != nil {
 			return fmt.Errorf("%v index: %w", l, err)
 		}
 		counts := make(map[mem.GlobalLine]uint32)
@@ -199,7 +199,7 @@ func (s *System) CheckPresence() error {
 			return fmt.Errorf("hierarchy: %v presence index has %d lines, slices hold %d", l, idx.Len(), len(counts))
 		}
 		for gl, mask := range counts {
-			if got := idx.get(gl); got != mask {
+			if got := idx.Get(gl); got != mask {
 				return fmt.Errorf("hierarchy: %v present mask %#x != contents %#x for %+v", l, got, mask, gl)
 			}
 		}

@@ -266,13 +266,13 @@ type System struct {
 	l2 []*cache.Slice
 	l3 []*cache.Slice
 
-	// pres*.get(line) is the bitmask of slices holding the line at each
+	// pres*.Get(line) is the bitmask of slices holding the line at each
 	// level; slice indices are stable across reconfigurations, so the masks
 	// survive topology changes. The indexes are fixed-size open-addressing
 	// tables (see presence.go) so the access path never hashes through a Go
 	// map or allocates.
-	presL2 *presenceIndex
-	presL3 *presenceIndex
+	presL2 *PresenceIndex
+	presL3 *PresenceIndex
 
 	// demand[level][core][slice] are the per-interval reuse-demand
 	// footprints the controller reads (see footprint.go).
@@ -345,8 +345,8 @@ func New(p Params, topo topology.Topology) (*System, error) {
 	}
 	s := &System{
 		p:             p,
-		presL2:        newPresenceIndex(p.Cores * p.L2SliceBytes / mem.LineSize),
-		presL3:        newPresenceIndex(p.Cores * p.L3SliceBytes / mem.LineSize),
+		presL2:        NewPresenceIndex(p.Cores * p.L2SliceBytes / mem.LineSize),
+		presL3:        NewPresenceIndex(p.Cores * p.L3SliceBytes / mem.LineSize),
 		coreASID:      make([]mem.ASID, p.Cores),
 		perCore:       make([]CoreStats, p.Cores),
 		perCoreMisses: make([]uint64, p.Cores),
@@ -456,7 +456,7 @@ func (s *System) groupSliceMask(l Level, slice int) uint32 {
 }
 
 // pres returns the level's presence index.
-func (s *System) pres(l Level) *presenceIndex {
+func (s *System) pres(l Level) *PresenceIndex {
 	if l == L2 {
 		return s.presL2
 	}
@@ -466,5 +466,5 @@ func (s *System) pres(l Level) *presenceIndex {
 // PresentMask returns the bitmask of slices holding the line at the level
 // (white-box test support; the simulation path uses the index directly).
 func (s *System) PresentMask(l Level, gl mem.GlobalLine) uint32 {
-	return s.pres(l).get(gl)
+	return s.pres(l).Get(gl)
 }

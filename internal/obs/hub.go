@@ -147,6 +147,7 @@ type Hub struct {
 
 	mu   sync.Mutex
 	jobs []jobEntry
+	now  func() time.Time
 
 	queued, running Gauge
 	done, failed    Gauge
@@ -161,11 +162,18 @@ type HubOptions struct {
 	Trace bool
 	// Clock is the tracer's monotonic microsecond clock (nil = wall time).
 	Clock func() int64
+	// Now is the job tracker's time source (nil = time.Now). Injecting it
+	// keeps /jobs output testable and job timestamps consistent with an
+	// injected trace Clock.
+	Now func() time.Time
 }
 
 // NewHub builds a hub with a fresh registry.
 func NewHub(opts HubOptions) *Hub {
-	h := &Hub{Registry: NewRegistry()}
+	h := &Hub{Registry: NewRegistry(), now: opts.Now}
+	if h.now == nil {
+		h.now = time.Now
+	}
 	h.Metrics = NewMetrics(h.Registry, opts.Shards)
 	if opts.Trace {
 		h.Tracer = NewTracer(opts.Clock)
@@ -208,7 +216,7 @@ func (h *Hub) Jobs() JobsView {
 			v.Queued++
 		case jobRunning:
 			v.Running++
-			st.ElapsedMS = time.Since(j.started).Milliseconds()
+			st.ElapsedMS = h.now().Sub(j.started).Milliseconds()
 		case jobDone:
 			v.Done++
 			st.ElapsedMS = j.elapsed.Milliseconds()
@@ -324,7 +332,7 @@ func (o *Observer) JobStarted() {
 	j := &h.jobs[o.job]
 	label := j.label
 	j.state = jobRunning
-	j.started = time.Now()
+	j.started = h.now()
 	h.mu.Unlock()
 	h.queued.Add(-1)
 	h.running.Add(1)

@@ -429,3 +429,26 @@ func ExampleRegistry() {
 	// # TYPE example_total counter
 	// example_total 2
 }
+
+func TestHubInjectedClock(t *testing.T) {
+	// A fake clock makes /jobs ElapsedMS deterministic: running jobs report
+	// exactly the fake time elapsed since JobStarted, not wall time.
+	now := time.Unix(1000, 0)
+	h := NewHub(HubOptions{Shards: 1, Now: func() time.Time { return now }})
+	o := h.Observer("fig13")
+	o.JobStarted()
+	now = now.Add(1500 * time.Millisecond)
+	v := h.Jobs()
+	if len(v.Jobs) != 1 || v.Jobs[0].State != "running" {
+		t.Fatalf("jobs view = %+v", v)
+	}
+	if v.Jobs[0].ElapsedMS != 1500 {
+		t.Fatalf("running ElapsedMS = %d, want 1500 from the injected clock", v.Jobs[0].ElapsedMS)
+	}
+	// Finished jobs report the elapsed duration passed by the batch layer,
+	// untouched by the clock.
+	o.JobFinished(nil, 2*time.Second)
+	if got := h.Jobs().Jobs[0].ElapsedMS; got != 2000 {
+		t.Fatalf("done ElapsedMS = %d, want 2000", got)
+	}
+}

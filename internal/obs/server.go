@@ -50,6 +50,11 @@ func NewAdmin(reg *Registry, jobs func() JobsView) *Admin {
 // Handler returns the endpoint's root handler.
 func (a *Admin) Handler() http.Handler { return a.mux }
 
+// Handle mounts an additional handler on the admin mux (Go 1.22 ServeMux
+// patterns). The serve-mode cache uses this to ride the same listener as
+// /metrics and /healthz.
+func (a *Admin) Handle(pattern string, h http.Handler) { a.mux.Handle(pattern, h) }
+
 // SetHealthy flips the /healthz state (Server.Shutdown flips it false
 // before draining, so load balancers and probes see the drain).
 func (a *Admin) SetHealthy(ok bool) { a.healthy.Store(ok) }
@@ -99,7 +104,17 @@ func Serve(addr string, a *Admin) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: a.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	// Full-request timeouts, not just the header read: once this mux also
+	// carries cache traffic (internal/serve), a stalled client must not be
+	// able to pin a handler goroutine for the life of the process. The
+	// write timeout stays above /debug/pprof/profile's 30s default.
+	srv := &http.Server{
+		Handler:           a.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	s := &Server{admin: a, srv: srv, ln: ln}
 	go srv.Serve(ln) //nolint:errcheck // Serve always returns ErrServerClosed after Shutdown
 	return s, nil

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+)
+
+// Registrar is anything that mounts handlers by Go 1.22 ServeMux pattern:
+// *http.ServeMux natively, and obs.Admin via its Handle method — which is
+// how the cache API rides the existing -admin mux next to /metrics.
+type Registrar interface {
+	Handle(pattern string, handler http.Handler)
+}
+
+// Register mounts the cache API:
+//
+//	GET    /cache/{tenant}/{key...}   200 value | 404
+//	PUT    /cache/{tenant}/{key...}   204 | 413 too large
+//	POST   /cache/{tenant}/{key...}   alias of PUT
+//	DELETE /cache/{tenant}/{key...}   204 | 404
+//	GET    /topology                  JSON partition map
+//
+// Unknown tenants are 404, draining is 503 for every route.
+func (c *Cache) Register(r Registrar) {
+	r.Handle("GET /cache/{tenant}/{key...}", http.HandlerFunc(c.handleGet))
+	r.Handle("PUT /cache/{tenant}/{key...}", http.HandlerFunc(c.handlePut))
+	r.Handle("POST /cache/{tenant}/{key...}", http.HandlerFunc(c.handlePut))
+	r.Handle("DELETE /cache/{tenant}/{key...}", http.HandlerFunc(c.handleDelete))
+	r.Handle("GET /topology", http.HandlerFunc(c.handleTopology))
+}
+
+// Handler returns a standalone mux carrying only the cache API (tests and
+// embedders that do not use the admin mux).
+func (c *Cache) Handler() http.Handler {
+	mux := http.NewServeMux()
+	c.Register(mux)
+	return mux
+}
+
+// writeErr maps the cache's sentinel errors onto HTTP statuses.
+func writeErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		http.Error(w, "not found", http.StatusNotFound)
+	case errors.Is(err, ErrUnknownTenant):
+		http.Error(w, "unknown tenant", http.StatusNotFound)
+	case errors.Is(err, ErrValueTooLarge):
+		http.Error(w, "value too large", http.StatusRequestEntityTooLarge)
+	case errors.Is(err, ErrDraining):
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case errors.Is(err, ErrEmptyKey):
+		http.Error(w, "empty key", http.StatusBadRequest)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (c *Cache) handleGet(w http.ResponseWriter, r *http.Request) {
+	val, err := c.Get(r.PathValue("tenant"), r.PathValue("key"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(val)
+}
+
+func (c *Cache) handlePut(w http.ResponseWriter, r *http.Request) {
+	// Read one byte past the limit so an oversized body is distinguished
+	// from one exactly at it.
+	val, err := io.ReadAll(io.LimitReader(r.Body, int64(c.cfg.MaxValueBytes)+1))
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(val) > c.cfg.MaxValueBytes {
+		writeErr(w, ErrValueTooLarge)
+		return
+	}
+	if err := c.Set(r.PathValue("tenant"), r.PathValue("key"), val); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Cache) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := c.Delete(r.PathValue("tenant"), r.PathValue("key")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// TenantStatus is one tenant's row in the /topology response.
+type TenantStatus struct {
+	Name           string `json:"name"`
+	Slot           int    `json:"slot"`
+	PartitionSlots []int  `json:"partition_slots"`
+	PartitionLines int64  `json:"partition_lines"`
+	OccupancyLines int64  `json:"occupancy_lines"`
+}
+
+// TopologyStatus is the /topology response body.
+type TopologyStatus struct {
+	Policy  string         `json:"policy"`
+	Spec    string         `json:"spec"`
+	Epoch   int            `json:"epoch"`
+	Slots   int            `json:"slots"`
+	Shards  int            `json:"shards"`
+	Tenants []TenantStatus `json:"tenants"`
+}
+
+// Status snapshots the partition map (also served as GET /topology).
+func (c *Cache) Status() TopologyStatus {
+	c.shards[0].mu.Lock()
+	g := c.topo.L2
+	st := TopologyStatus{
+		Policy: c.policy.Name(),
+		Spec:   c.topo.Spec(),
+		Epoch:  c.epoch,
+		Slots:  c.cfg.Slots,
+		Shards: len(c.shards),
+	}
+	for slot, name := range c.names {
+		if name == "" {
+			continue
+		}
+		members := g.Members(g.GroupOf(slot))
+		part := make([]int, len(members))
+		copy(part, members)
+		st.Tenants = append(st.Tenants, TenantStatus{
+			Name:           name,
+			Slot:           slot,
+			PartitionSlots: part,
+			PartitionLines: int64(len(members)) * int64(c.slotLines) * int64(len(c.shards)),
+			OccupancyLines: c.occupancy[slot].Load(),
+		})
+	}
+	c.shards[0].mu.Unlock()
+	return st
+}
+
+func (c *Cache) handleTopology(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(c.Status())
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"morphcache/internal/obs"
+)
+
+func do(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	c := mustCache(t, testConfig("alpha", "beta"))
+	h := c.Handler()
+
+	if rr := do(t, h, "PUT", "/cache/alpha/user/42", "hello"); rr.Code != http.StatusNoContent {
+		t.Fatalf("PUT = %d %s", rr.Code, rr.Body)
+	}
+	rr := do(t, h, "GET", "/cache/alpha/user/42", "")
+	if rr.Code != http.StatusOK || rr.Body.String() != "hello" {
+		t.Fatalf("GET = %d %q", rr.Code, rr.Body)
+	}
+	// Keys may contain slashes ({key...} wildcard); tenants namespace them.
+	if rr := do(t, h, "GET", "/cache/beta/user/42", ""); rr.Code != http.StatusNotFound {
+		t.Fatalf("cross-tenant GET = %d", rr.Code)
+	}
+	// POST is an alias of PUT.
+	if rr := do(t, h, "POST", "/cache/alpha/user/42", "bye"); rr.Code != http.StatusNoContent {
+		t.Fatalf("POST = %d", rr.Code)
+	}
+	if rr := do(t, h, "GET", "/cache/alpha/user/42", ""); rr.Body.String() != "bye" {
+		t.Fatalf("GET after POST = %q", rr.Body)
+	}
+	if rr := do(t, h, "DELETE", "/cache/alpha/user/42", ""); rr.Code != http.StatusNoContent {
+		t.Fatalf("DELETE = %d", rr.Code)
+	}
+	if rr := do(t, h, "GET", "/cache/alpha/user/42", ""); rr.Code != http.StatusNotFound {
+		t.Fatalf("GET after DELETE = %d", rr.Code)
+	}
+}
+
+func TestHTTPErrorStatuses(t *testing.T) {
+	cfg := testConfig("alpha")
+	cfg.MaxValueBytes = 8
+	c := mustCache(t, cfg)
+	h := c.Handler()
+
+	if rr := do(t, h, "GET", "/cache/nobody/k", ""); rr.Code != http.StatusNotFound {
+		t.Errorf("unknown tenant = %d, want 404", rr.Code)
+	}
+	if rr := do(t, h, "PUT", "/cache/alpha/k", "123456789"); rr.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized PUT = %d, want 413", rr.Code)
+	}
+	if rr := do(t, h, "PUT", "/cache/alpha/k", "12345678"); rr.Code != http.StatusNoContent {
+		t.Errorf("at-limit PUT = %d, want 204", rr.Code)
+	}
+	c.Drain()
+	for _, m := range []string{"GET", "PUT", "DELETE"} {
+		if rr := do(t, h, m, "/cache/alpha/k", "x"); rr.Code != http.StatusServiceUnavailable {
+			t.Errorf("draining %s = %d, want 503", m, rr.Code)
+		}
+	}
+}
+
+func TestHTTPTopology(t *testing.T) {
+	c := mustCache(t, testConfig("alpha", "beta"))
+	c.Set("alpha", "k", []byte("v"))
+	rr := do(t, c.Handler(), "GET", "/topology", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET /topology = %d", rr.Code)
+	}
+	var st TopologyStatus
+	if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Spec != "(1:1:4)" || st.Slots != 4 || len(st.Tenants) != 2 {
+		t.Fatalf("topology = %+v", st)
+	}
+	if st.Tenants[0].Name != "alpha" || st.Tenants[0].OccupancyLines != 1 {
+		t.Fatalf("alpha row = %+v", st.Tenants[0])
+	}
+	if st.Tenants[0].PartitionLines != 128 {
+		t.Fatalf("alpha partition lines = %d, want 128", st.Tenants[0].PartitionLines)
+	}
+}
+
+// TestAdminMount proves the ISSUE's serving shape: the cache API and the
+// observability endpoints share one admin mux, and /metrics carries the
+// per-tenant series.
+func TestAdminMount(t *testing.T) {
+	hub := obs.NewHub(obs.HubOptions{Shards: 1})
+	c, err := New(testConfig("alpha", "beta"), hub.Registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admin := obs.NewAdmin(hub.Registry, hub.Jobs)
+	c.Register(admin)
+	h := admin.Handler()
+
+	if rr := do(t, h, "PUT", "/cache/alpha/k", "v"); rr.Code != http.StatusNoContent {
+		t.Fatalf("PUT via admin mux = %d", rr.Code)
+	}
+	if rr := do(t, h, "GET", "/cache/alpha/k", ""); rr.Body.String() != "v" {
+		t.Fatalf("GET via admin mux = %q", rr.Body)
+	}
+	rr := do(t, h, "GET", "/metrics", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", rr.Code)
+	}
+	for _, want := range []string{
+		`morphserve_requests_total{op="get",outcome="hit",tenant="alpha"} 1`,
+		`morphserve_tenant_occupancy_lines{tenant="alpha"} 1`,
+		`morphserve_tenant_partition_lines{tenant="beta"} 128`,
+	} {
+		if !strings.Contains(rr.Body.String(), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if rr := do(t, h, "GET", "/healthz", ""); rr.Code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", rr.Code)
+	}
+}

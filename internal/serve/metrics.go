@@ -1,0 +1,111 @@
+package serve
+
+import "morphcache/internal/obs"
+
+// metrics holds the per-tenant series, pre-resolved per slot (and sharded
+// by request shard where the access path is hot) so incrementing needs no
+// map lookup and no allocation. Exported families (DESIGN.md §12):
+//
+//	morphserve_requests_total{tenant,op,outcome}   counter
+//	morphserve_evictions_total{tenant,reason}      counter
+//	morphserve_hash_collisions_total{tenant}       counter
+//	morphserve_tenant_occupancy_lines{tenant}      gauge (func)
+//	morphserve_tenant_partition_lines{tenant}      gauge
+//	morphserve_epochs_total                        counter
+//	morphserve_reconfigurations_total              counter
+//	morphserve_repartitions_total                  counter
+type metrics struct {
+	c *Cache
+	// Indexed [slot]; nil for donor slots, which serve no requests and
+	// own no lines.
+	hits, miss, sets, dels []*obs.ShardedCounter
+	collisions             []*obs.Counter
+	evictCap, evictRepart  []*obs.Counter
+	partLines              []*obs.Gauge
+
+	epochs, reconfigs, reparts *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry, c *Cache) *metrics {
+	m := &metrics{
+		c:           c,
+		hits:        make([]*obs.ShardedCounter, c.cfg.Slots),
+		miss:        make([]*obs.ShardedCounter, c.cfg.Slots),
+		sets:        make([]*obs.ShardedCounter, c.cfg.Slots),
+		dels:        make([]*obs.ShardedCounter, c.cfg.Slots),
+		collisions:  make([]*obs.Counter, c.cfg.Slots),
+		evictCap:    make([]*obs.Counter, c.cfg.Slots),
+		evictRepart: make([]*obs.Counter, c.cfg.Slots),
+		partLines:   make([]*obs.Gauge, c.cfg.Slots),
+	}
+	const req = "morphserve_requests_total"
+	const reqHelp = "Cache requests by tenant, operation, and outcome."
+	const evict = "morphserve_evictions_total"
+	const evictHelp = "Lines evicted, by owning tenant and reason (capacity pressure or partition shrink)."
+	shards := len(c.shards)
+	for slot, name := range c.names {
+		if name == "" {
+			continue
+		}
+		tenant := obs.Labels{"tenant": name}
+		m.hits[slot] = reg.ShardedCounter(req, reqHelp, obs.Labels{"tenant": name, "op": "get", "outcome": "hit"}, shards)
+		m.miss[slot] = reg.ShardedCounter(req, reqHelp, obs.Labels{"tenant": name, "op": "get", "outcome": "miss"}, shards)
+		m.sets[slot] = reg.ShardedCounter(req, reqHelp, obs.Labels{"tenant": name, "op": "set", "outcome": "stored"}, shards)
+		m.dels[slot] = reg.ShardedCounter(req, reqHelp, obs.Labels{"tenant": name, "op": "delete", "outcome": "deleted"}, shards)
+		m.collisions[slot] = reg.Counter("morphserve_hash_collisions_total",
+			"Requests whose key aliased a different resident key's line hash.", tenant)
+		m.evictCap[slot] = reg.Counter(evict, evictHelp, obs.Labels{"tenant": name, "reason": "capacity"})
+		m.evictRepart[slot] = reg.Counter(evict, evictHelp, obs.Labels{"tenant": name, "reason": "repartition"})
+		m.partLines[slot] = reg.Gauge("morphserve_tenant_partition_lines",
+			"Line capacity of the tenant's current partition (its slot group, all shards).", tenant)
+		occ := &c.occupancy[slot]
+		reg.RegisterGaugeFunc("morphserve_tenant_occupancy_lines",
+			"Lines currently resident per tenant.", tenant,
+			func() float64 { return float64(occ.Load()) })
+	}
+	m.epochs = reg.Counter("morphserve_epochs_total",
+		"Completed reconfiguration intervals.", nil)
+	m.reconfigs = reg.Counter("morphserve_reconfigurations_total",
+		"Reconfiguration operations (merges and splits) the policy applied.", nil)
+	m.reparts = reg.Counter("morphserve_repartitions_total",
+		"Topology changes applied to the serving partition map.", nil)
+	return m
+}
+
+// setPartitionGauges refreshes every tenant's granted-capacity gauge from
+// the current topology. Called at construction and after each
+// repartition (with the shard locks held).
+func (m *metrics) setPartitionGauges() {
+	c := m.c
+	g := c.topo.L2
+	for slot, gauge := range m.partLines {
+		if gauge == nil {
+			continue
+		}
+		lines := int64(g.GroupSize(g.GroupOf(slot))) * int64(c.slotLines) * int64(len(c.shards))
+		gauge.Set(lines)
+	}
+}
+
+func (m *metrics) getHit(slot, shard int)  { m.hits[slot].Shard(shard).Inc() }
+func (m *metrics) getMiss(slot, shard int) { m.miss[slot].Shard(shard).Inc() }
+func (m *metrics) set(slot, shard int)     { m.sets[slot].Shard(shard).Inc() }
+func (m *metrics) del(slot, shard int)     { m.dels[slot].Shard(shard).Inc() }
+func (m *metrics) collision(slot, _ int)   { m.collisions[slot].Inc() }
+
+func (m *metrics) evict(ownerSlot int, reason string) {
+	if reason == "repartition" {
+		m.evictRepart[ownerSlot].Inc()
+		return
+	}
+	m.evictCap[ownerSlot].Inc()
+}
+
+func (m *metrics) epoch(reconfigs int) {
+	m.epochs.Inc()
+	if reconfigs > 0 {
+		m.reconfigs.Add(uint64(reconfigs))
+	}
+}
+
+func (m *metrics) repartition() { m.reparts.Inc() }

@@ -16,6 +16,7 @@ package sim
 import (
 	"fmt"
 
+	"morphcache/internal/core"
 	"morphcache/internal/fault"
 	"morphcache/internal/hierarchy"
 	"morphcache/internal/mem"
@@ -69,12 +70,11 @@ type Target interface {
 }
 
 // Policy decides reconfigurations for a hierarchy-backed target. Static
-// topologies use NopPolicy; the MorphCache controller implements this.
-type Policy interface {
-	Name() string
-	// EndEpoch runs after an epoch completes, before ACFVs are reset.
-	EndEpoch(e int, sys *hierarchy.System) (reconfigs int, asymmetric bool)
-}
+// topologies use NopPolicy; the MorphCache controller implements this. It
+// is the shared core.Policy interface, which the serve-mode cache
+// (internal/serve) drives too — the simulator passes a *hierarchy.System
+// as the core.Machine.
+type Policy = core.Policy
 
 // NopPolicy is the no-op policy of a fixed topology.
 type NopPolicy struct{ Label string }
@@ -83,7 +83,7 @@ type NopPolicy struct{ Label string }
 func (p NopPolicy) Name() string { return p.Label }
 
 // EndEpoch does nothing.
-func (p NopPolicy) EndEpoch(int, *hierarchy.System) (int, bool) { return 0, false }
+func (p NopPolicy) EndEpoch(int, core.Machine) (int, bool) { return 0, false }
 
 // HierarchyTarget adapts a hierarchy.System plus a Policy to the Target
 // interface.

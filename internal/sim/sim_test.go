@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"morphcache/internal/core"
 	"morphcache/internal/hierarchy"
 	"morphcache/internal/mem"
 	"morphcache/internal/topology"
@@ -99,7 +100,7 @@ type countingPolicy struct {
 }
 
 func (p *countingPolicy) Name() string { return "counting" }
-func (p *countingPolicy) EndEpoch(e int, _ *hierarchy.System) (int, bool) {
+func (p *countingPolicy) EndEpoch(e int, _ core.Machine) (int, bool) {
 	p.calls++
 	p.epochs = append(p.epochs, e)
 	return 1, true // pretend every interval reconfigured asymmetrically

@@ -1,0 +1,39 @@
+package morphcache
+
+import (
+	"morphcache/internal/core"
+	"morphcache/internal/obs"
+	"morphcache/internal/serve"
+)
+
+// Serve-mode re-exports: the embeddable policy-governed cache server
+// (internal/serve; DESIGN.md §12). The aliases let programs outside this
+// module embed the server — internal packages are unnameable to them, but
+// an exported alias of an internal type is fully usable.
+//
+//	cache, err := morphcache.NewServeCache(morphcache.ServeConfig{
+//		Tenants: []string{"alpha", "beta"},
+//	}, nil)
+//	cache.Register(mux) // or mount on an obs admin mux
+//	go cache.RunEpochs(ctx)
+//
+// The controller that repartitions tenants is the same core.Controller the
+// simulator runs; both drive it through the extracted PolicyInterface.
+type (
+	// ServeConfig sizes the serve-mode cache and names its tenants.
+	ServeConfig = serve.Config
+	// ServeCache is the sharded multi-tenant cache under MorphCache control.
+	ServeCache = serve.Cache
+	// PolicyInterface is the shared policy contract (core.Policy) both the
+	// simulator and the serve-mode cache consume.
+	PolicyInterface = core.Policy
+	// PolicyMachine is the surface a policy governs (core.Machine): the
+	// simulated hierarchy and the serve-mode cache both implement it.
+	PolicyMachine = core.Machine
+)
+
+// NewServeCache builds a serve-mode cache; reg may be nil (metrics stay
+// private). See serve.New.
+func NewServeCache(cfg ServeConfig, reg *obs.Registry) (*ServeCache, error) {
+	return serve.New(cfg, reg)
+}
