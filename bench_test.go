@@ -317,6 +317,37 @@ func BenchmarkBatchSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchSweepSampled — the same Fig. 13-shaped sweep in sampled
+// mode with the Fast preset (2 phases, 1 warmup epoch per window, window
+// epochs truncated to a quarter interval): the CI-gated demonstration that
+// a sweep job costs a fraction of the full run. The reported mean
+// throughput should track BenchmarkBatchSweep's within the Fast preset's
+// accuracy (the Defaults preset is the one gated at ≤ 3% by -run sampled).
+func BenchmarkBatchSweepSampled(b *testing.B) {
+	cfg := benchConfig()
+	so := FastSampledConfig(cfg.EpochCycles / 3)
+	cfg.Sampled = &so
+	var specs []RunSpec
+	for _, mn := range []string{"MIX 01", "MIX 05"} {
+		w := Mix(mn)
+		for _, s := range []string{"(16:1:1)", "(1:1:16)", "(4:4:1)"} {
+			specs = append(specs, RunSpec{Policy: s, Workload: w})
+		}
+		specs = append(specs, RunSpec{Policy: "morph", Workload: w})
+	}
+	for i := 0; i < b.N; i++ {
+		rs, err := RunBatch(cfg, specs, BatchOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, r := range rs {
+			sum += r.Throughput
+		}
+		b.ReportMetric(sum/float64(len(rs)), "mean-throughput")
+	}
+}
+
 // --- ablations of DESIGN.md §4's design decisions ---------------------------
 
 // BenchmarkAblationUniformLatency — charge every merged-group hit the

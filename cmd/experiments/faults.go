@@ -25,6 +25,11 @@ import (
 // healthy reference. The claim under test: reacting to faults retains
 // strictly more throughput than ignoring them.
 func faultsExp(cfg mc.Config, quick bool) error {
+	// Fault plans damage the machine at specific epochs; a sampled run does
+	// not simulate them all, so the facade rejects the combination. The
+	// fault experiment is therefore always a full simulation, -sampled or
+	// not (the flag's help says so).
+	cfg.Sampled = nil
 	names := mixNames(quick)
 
 	// One plan for every mix, drawn from the workload seed: the injection

@@ -72,6 +72,7 @@ var registry = []experiment{
 	{"seeds", "seed-robustness of the headline Fig. 13 gain", seeds},
 	{"interval", "reconfiguration-interval sweep (§4 epoch choice)", interval},
 	{"faults", "fault injection: graceful degradation vs no-degradation strawman (§9)", faultsExp},
+	{"sampled", "sampled simulation: reconstruction error vs full runs per mix (§13)", sampledExp},
 }
 
 // outw is the destination of every experiment's table output. It is stdout
@@ -172,6 +173,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		admin    = fs.String("admin", "", "serve the admin endpoint (/metrics, /jobs, /healthz, /debug/pprof) on this address, e.g. :9190 or 127.0.0.1:0")
 		trace    = fs.String("trace", "", "write a Chrome trace-event JSON of simulator phases to this file (open in chrome://tracing)")
 		progress = fs.Bool("progress", false, "print per-job start lines and a periodic batch-progress summary to stderr")
+		sampledF = fs.Bool("sampled", false, "run every facade simulation in sampled mode with the default sampling parameters (DESIGN.md §13); the faults experiment ignores it, and the sampled validation experiment always compares against true full runs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -237,6 +239,10 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if *quick {
 		cfg.Epochs = 8
 		cfg.WarmupEpochs = 2
+	}
+	if *sampledF {
+		so := mc.DefaultSampledConfig()
+		cfg.Sampled = &so
 	}
 	// Either structured output enables per-run telemetry; the default text
 	// path keeps it off so stdout stays byte-identical to earlier releases.

@@ -51,6 +51,13 @@ func specKey(cfg mc.Config, s mc.RunSpec) string {
 	if c.Faults != nil {
 		key += "|faults:" + c.Faults.Fingerprint()
 	}
+	// Sampling changes results too (the run is a reconstruction), so a
+	// sampled run must never alias its full-run twin. Present-only, like
+	// faults, so fault-free full-run keys stay byte-identical to prior
+	// releases.
+	if c.Sampled != nil {
+		key += "|sampled:" + c.Sampled.Fingerprint()
+	}
 	return key
 }
 

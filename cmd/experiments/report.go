@@ -66,6 +66,10 @@ type reportRun struct {
 	Reconfigurations int            `json:"reconfigurations"`
 	AsymmetricSteps  int            `json:"asymmetric_steps"`
 	Telemetry        *telemetry.Log `json:"telemetry,omitempty"`
+	// Sampled is the reconstruction report of a sampled run (absent for
+	// full runs, so documents without sampled runs — the committed goldens
+	// among them — are byte-identical to prior releases).
+	Sampled *mc.SampledReport `json:"sampled,omitempty"`
 }
 
 // reportSolo is one alone-IPC reference measurement.
@@ -147,6 +151,7 @@ func reportRecordRun(key string, s mc.RunSpec, res *mc.Result) {
 		Reconfigurations: res.Reconfigurations,
 		AsymmetricSteps:  res.AsymmetricSteps,
 		Telemetry:        res.Telemetry,
+		Sampled:          res.SampledReport,
 	}
 }
 

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"fmt"
+	"math"
+
+	mc "morphcache"
+)
+
+// sampledTolPct is the CI-gated reconstruction-error bound: the sampled
+// throughput of every validated (mix, policy) pair must land within this
+// percentage of the full run's. The CI `sampled` job greps the experiment's
+// output for the WARNING lines printed on violation.
+const sampledTolPct = 3.0
+
+// sampledExp validates sampled simulation against full runs: for every
+// Table 5 mix (the -quick subset under -quick) it runs MorphCache and one
+// static topology both ways with the default sampling parameters, then
+// reports the throughput reconstruction error, the worst per-core IPC
+// error, and the phase/cost structure. The experiment always compares
+// against true full runs, even under -sampled.
+func sampledExp(cfg mc.Config, quick bool) error {
+	full := cfg
+	full.Sampled = nil
+	sopts := mc.DefaultSampledConfig()
+	scfg := full
+	scfg.Sampled = &sopts
+
+	policies := []string{"morph", "(4:4:1)"}
+	mixes := mixNames(quick)
+	var specs []mc.RunSpec
+	for _, mn := range mixes {
+		w := mc.Mix(mn)
+		for _, pol := range policies {
+			specs = append(specs,
+				mc.RunSpec{Policy: pol, Workload: w, Config: &full},
+				mc.RunSpec{Policy: pol, Workload: w, Config: &scfg})
+		}
+	}
+	if err := prefetch(cfg, specs); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(outw, "Sampled simulation vs full runs (defaults: %s; gate |err| <= %.1f%%).\n",
+		sopts.Fingerprint(), sampledTolPct)
+	fmt.Fprintf(outw, "%-10s %-10s %10s %10s %8s %8s %7s %7s %8s\n",
+		"mix", "policy", "full", "sampled", "err%", "coreMax%", "phases", "simEp", "speedup")
+	var warnings int
+	maxErr, sumSpeedup := 0.0, 0.0
+	rows := 0
+	for _, mn := range mixes {
+		w := mc.Mix(mn)
+		for _, pol := range policies {
+			f, err := specResult(cfg, mc.RunSpec{Policy: pol, Workload: w, Config: &full})
+			if err != nil {
+				return err
+			}
+			s, err := specResult(cfg, mc.RunSpec{Policy: pol, Workload: w, Config: &scfg})
+			if err != nil {
+				return err
+			}
+			rep := s.SampledReport
+			if rep == nil {
+				return fmt.Errorf("sampled: run %s %s returned no SampledReport", pol, mn)
+			}
+			errPct := 100 * (s.Throughput - f.Throughput) / f.Throughput
+			coreMax := 0.0
+			for c := range f.PerCoreIPC {
+				if f.PerCoreIPC[c] <= 0 {
+					continue
+				}
+				if d := 100 * math.Abs(s.PerCoreIPC[c]-f.PerCoreIPC[c]) / f.PerCoreIPC[c]; d > coreMax {
+					coreMax = d
+				}
+			}
+			fmt.Fprintf(outw, "%-10s %-10s %10.4f %10.4f %+7.2f%% %7.2f%% %7d %7d %7.1fx\n",
+				mn, pol, f.Throughput, s.Throughput, errPct, coreMax,
+				len(rep.Phases), rep.SimulatedEpochs, rep.Speedup)
+			if math.Abs(errPct) > maxErr {
+				maxErr = math.Abs(errPct)
+			}
+			sumSpeedup += rep.Speedup
+			rows++
+			if math.Abs(errPct) > sampledTolPct {
+				warnings++
+				fmt.Fprintf(outw, "WARNING: sampled reconstruction error %+.2f%% exceeds %.1f%% on %s %s\n",
+					errPct, sampledTolPct, mn, pol)
+			}
+		}
+	}
+	fmt.Fprintf(outw, "max |throughput err| %.2f%% (gate %.1f%%), mean simulated-cycle speedup %.1fx\n",
+		maxErr, sampledTolPct, sumSpeedup/float64(rows))
+	fmt.Fprintln(outw, "Note: at this epoch count the default (accuracy-first) sampling parameters")
+	fmt.Fprintln(outw, "simulate about as many window epochs as the full run has; the speedup grows")
+	fmt.Fprintln(outw, "with Epochs/MaxPhases and with WindowCycles truncation (DESIGN.md §13).")
+	if warnings > 0 {
+		fmt.Fprintf(outw, "%d pair(s) exceeded the reconstruction-error gate\n", warnings)
+	}
+	return nil
+}

@@ -8,6 +8,7 @@
 //	morphsim -workload dedup -policy morph -verbose -stats
 //	morphsim -workload "MIX 05" -policy morph -trace-out mix05.mctr
 //	morphsim -trace-in mix05.mctr -policy "(16:1:1)"
+//	morphsim -workload "MIX 01" -policy morph -epochs 60 -sampled
 //
 // Policies: any static "(x:y:z)" spec, "morph", "morph-nodegrade",
 // "morph-qos", "morph-split-aggressive", "morph-arbitrary",
@@ -17,6 +18,12 @@
 // -fault-seed) into the measured region; "morph-nodegrade" runs the same
 // controller with graceful degradation disabled, as the strawman to compare
 // against (DESIGN.md §9).
+//
+// -sampled switches to sampled simulation (DESIGN.md §13): the run's epochs
+// are clustered into phases from cheap profiling signatures, one
+// representative window is simulated per phase, and the full-run metrics
+// are reconstructed as their weighted combination. The -sampled-* flags
+// override individual sampling parameters.
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"morphcache/internal/fault"
 	"morphcache/internal/hierarchy"
 	"morphcache/internal/metrics"
+	"morphcache/internal/sampled"
 	"morphcache/internal/sim"
 	"morphcache/internal/telemetry"
 	"morphcache/internal/topology"
@@ -63,6 +71,11 @@ func main() {
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed of the generated fault plan (with -faults)")
 		adminAddr   = flag.String("admin", "", "serve the admin endpoint (/metrics, /jobs, /healthz, /debug/pprof) on this address, e.g. :9190 or 127.0.0.1:0")
 		spanTrace   = flag.String("trace", "", "write a Chrome trace-event JSON of simulator phases to this file (open in chrome://tracing)")
+		sampledRun  = flag.Bool("sampled", false, "sampled simulation: cluster epochs into phases, simulate one representative window per phase, reconstruct full-run metrics (DESIGN.md §13)")
+		sampledK    = flag.Int("sampled-phases", 0, "with -sampled: maximum number of phases (0 = default 4)")
+		sampledWarm = flag.Int("sampled-warmup", -1, "with -sampled: unmeasured warmup epochs per window (-1 = default 2, 0 = none)")
+		sampledWin  = flag.Uint64("sampled-window", 0, "with -sampled: truncate window epochs to this many cycles (0 = full epochs)")
+		sampledRefs = flag.Int("sampled-refs", 0, "with -sampled: profiled references per core per epoch (0 = default 2048)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -75,6 +88,21 @@ func main() {
 	}
 	if *outFmt != "" && *outFmt != "json" && *outFmt != "csv" {
 		fatal(fmt.Errorf("-out must be json or csv (got %q)", *outFmt))
+	}
+
+	var sopts sampled.Options
+	if *sampledRun {
+		switch {
+		case *traceIn != "":
+			fatal(fmt.Errorf("-sampled needs re-runnable synthetic sources; -trace-in replay is full-run only"))
+		case *traceOut != "":
+			fatal(fmt.Errorf("-sampled simulates only representative windows; record traces with a full run (drop -sampled)"))
+		case *faults > 0:
+			fatal(fmt.Errorf("-sampled cannot honor a fault plan: faults damage specific epochs, and a sampled run does not simulate them all"))
+		case *stats:
+			fatal(fmt.Errorf("-stats reports one run's hierarchy; a sampled run simulates several independent windows (drop -stats)"))
+		}
+		sopts = sampledOptions(*sampledK, *sampledWarm, *sampledWin, *sampledRefs)
 	}
 
 	// Build the fault plan first so validation below covers it too.
@@ -105,6 +133,9 @@ func main() {
 		EpochCycles:  *epochCycles,
 		Seed:         *seed,
 		Faults:       plan,
+	}
+	if *sampledRun {
+		vcfg.Sampled = &sopts
 	}
 	if err := vcfg.Validate(); err != nil {
 		fatal(err)
@@ -162,26 +193,45 @@ func main() {
 	cfg.Observer = observer
 
 	type runOutcome struct {
-		run *metrics.Run
-		sys *hierarchy.System
-		err error
+		run  *metrics.Run
+		sys  *hierarchy.System
+		rep  *sampled.Report
+		slog *telemetry.Log
+		err  error
 	}
 	ch := make(chan runOutcome, 1)
 	go func() {
 		observer.JobStarted()
 		start := time.Now()
-		r, s, err := runPolicy(cfg, *cores, *scale, *policy, srcs)
-		observer.JobFinished(err, time.Since(start))
-		ch <- runOutcome{r, s, err}
+		var o runOutcome
+		if *sampledRun {
+			rr, err := runSampled(cfg, *cores, *scale, *policy, *wl, sopts)
+			if err != nil {
+				o.err = err
+			} else {
+				o = runOutcome{run: rr.Run, rep: rr.Report, slog: rr.Log}
+			}
+		} else {
+			o.run, o.sys, o.err = runPolicy(cfg, *cores, *scale, *policy, srcs)
+		}
+		observer.JobFinished(o.err, time.Since(start))
+		ch <- o
 	}()
 	var run *metrics.Run
 	var sys *hierarchy.System
+	var srep *sampled.Report
 	select {
 	case o := <-ch:
 		if o.err != nil {
 			fatal(o.err)
 		}
-		run, sys = o.run, o.sys
+		run, sys, srep = o.run, o.sys, o.rep
+		if tl != nil && o.slog != nil {
+			// Sampled runs record their windows into their own log (absolute
+			// epoch indices, warmup records flagged); that log is the one
+			// structured output should carry.
+			tl = o.slog
+		}
 	case <-ctx.Done():
 		stopSignals()
 		fatal(fmt.Errorf("interrupted (%v); partial results discarded", ctx.Err()))
@@ -203,7 +253,7 @@ func main() {
 	}
 	switch *outFmt {
 	case "json":
-		if err := emitJSON(os.Stdout, source, cfg, run, sys, tl); err != nil {
+		if err := emitJSON(os.Stdout, source, cfg, run, sys, tl, srep); err != nil {
 			fatal(err)
 		}
 		return
@@ -223,6 +273,19 @@ func main() {
 	if run.Reconfigurations > 0 {
 		fmt.Printf("reconfigurations: %d (asymmetric outcome in %d/%d intervals)\n",
 			run.Reconfigurations, run.AsymmetricSteps, len(run.Epochs))
+	}
+	if srep != nil {
+		fmt.Printf("sampled: %d phases over %d measured epochs; %d window epochs simulated (%.1fx cycle speedup)\n",
+			len(srep.Phases), srep.MeasuredEpochs, srep.SimulatedEpochs, srep.Speedup)
+		for _, ph := range srep.Phases {
+			fmt.Printf("  phase rep=%-3d weight=%.2f radius=%.3f throughput=%6.3f topology=%s\n",
+				ph.Representative, ph.Weight, ph.Radius, ph.Throughput, ph.Topology)
+		}
+		fmt.Printf("reconstructed: throughput %.4f +/- %.4f", srep.Throughput.Value, srep.Throughput.Err)
+		if srep.MPKI.Value > 0 {
+			fmt.Printf(", MPKI %.3f +/- %.3f", srep.MPKI.Value, srep.MPKI.Err)
+		}
+		fmt.Println()
 	}
 	if *stats && sys != nil {
 		dumpStats(sys)
@@ -251,9 +314,10 @@ func buildGenerators(name string, cores int, seed uint64, scale int) ([]*workloa
 	return workload.ParsecGenerators(p, cores, gcfg, seed), nil
 }
 
-// runPolicy executes the sources under the named policy. The returned
-// hierarchy is nil for the PIPP/DSR targets (they manage their own caches).
-func runPolicy(cfg sim.Config, cores, scale int, policy string, srcs []sim.Source) (*metrics.Run, *hierarchy.System, error) {
+// buildTarget assembles the cache system and policy named by the flag. The
+// returned hierarchy is nil for the PIPP/DSR targets (they manage their own
+// caches).
+func buildTarget(cores, scale int, policy string) (sim.Target, *hierarchy.System, error) {
 	params := hierarchy.ScaledDefault(cores, scale)
 	if scale <= 1 {
 		params = hierarchy.Default(cores)
@@ -306,6 +370,15 @@ func runPolicy(cfg sim.Config, cores, scale int, policy string, srcs []sim.Sourc
 			ctrl.SetDegradation(false)
 		}
 		target = &sim.HierarchyTarget{Sys: sys, Policy: ctrl}
+	}
+	return target, sys, nil
+}
+
+// runPolicy executes the sources under the named policy.
+func runPolicy(cfg sim.Config, cores, scale int, policy string, srcs []sim.Source) (*metrics.Run, *hierarchy.System, error) {
+	target, sys, err := buildTarget(cores, scale, policy)
+	if err != nil {
+		return nil, nil, err
 	}
 	eng, err := sim.NewFromSources(cfg, target, srcs)
 	if err != nil {

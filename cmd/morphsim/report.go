@@ -8,6 +8,7 @@ import (
 
 	"morphcache/internal/hierarchy"
 	"morphcache/internal/metrics"
+	"morphcache/internal/sampled"
 	"morphcache/internal/sim"
 	"morphcache/internal/telemetry"
 )
@@ -27,9 +28,12 @@ type report struct {
 	Hierarchy        *hierarchy.Stats      `json:"hierarchy,omitempty"`
 	PerCore          []hierarchy.CoreStats `json:"per_core,omitempty"`
 	Telemetry        *telemetry.Log        `json:"telemetry,omitempty"`
+	// Sampled is the reconstruction report of a -sampled run (absent for
+	// full runs, so their documents are unchanged by its introduction).
+	Sampled *sampled.Report `json:"sampled,omitempty"`
 }
 
-func emitJSON(w io.Writer, workload string, cfg sim.Config, run *metrics.Run, sys *hierarchy.System, tl *telemetry.Log) error {
+func emitJSON(w io.Writer, workload string, cfg sim.Config, run *metrics.Run, sys *hierarchy.System, tl *telemetry.Log, srep *sampled.Report) error {
 	r := report{
 		Workload:         workload,
 		Policy:           run.Policy,
@@ -52,6 +56,7 @@ func emitJSON(w io.Writer, workload string, cfg sim.Config, run *metrics.Run, sy
 		}
 	}
 	r.Telemetry = tl
+	r.Sampled = srep
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)

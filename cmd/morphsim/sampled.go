@@ -1,0 +1,55 @@
+package main
+
+import (
+	"fmt"
+
+	"morphcache/internal/sampled"
+	"morphcache/internal/sim"
+)
+
+// sampledOptions assembles the sampling parameters from the -sampled-* flag
+// values: the defaults of DESIGN.md §13, with any explicitly set flag
+// overriding its field. A warmup flag of -1 keeps the default; 0 disables
+// window warmup.
+func sampledOptions(phases, warmup int, window uint64, refs int) sampled.Options {
+	o := sampled.Defaults()
+	if phases > 0 {
+		o.MaxPhases = phases
+	}
+	switch {
+	case warmup > 0:
+		o.WindowWarmup = warmup
+	case warmup == 0:
+		o.WindowWarmup = sampled.NoWindowWarmup
+	}
+	if window > 0 {
+		o.WindowCycles = window
+	}
+	if refs > 0 {
+		o.ProfileRefs = refs
+	}
+	return o
+}
+
+// runSampled executes the sampled counterpart of runPolicy: phase-cluster
+// the run's epochs, simulate one representative window per phase on a fresh
+// target with fresh sources, and reconstruct the full-run metrics. The
+// hierarchy of a sampled run is per-window, so there is no -stats system to
+// return.
+func runSampled(cfg sim.Config, cores, scale int, policy, wl string, o sampled.Options) (*sampled.RunResult, error) {
+	f := sampled.Factories{
+		NewTarget: func() (sim.Target, error) {
+			t, _, err := buildTarget(cores, scale, policy)
+			return t, err
+		},
+		NewSources: func() ([]sim.Source, error) {
+			gens, err := buildGenerators(wl, cores, cfg.Seed, scale)
+			if err != nil {
+				return nil, err
+			}
+			return sim.FromGenerators(gens), nil
+		},
+	}
+	key := fmt.Sprintf("%s|c%d|x%d|cy%d", wl, cores, scale, cfg.EpochCycles)
+	return sampled.Run(cfg, o, key, f)
+}

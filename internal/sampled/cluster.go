@@ -1,0 +1,154 @@
+package sampled
+
+import (
+	"math"
+	"sort"
+
+	"morphcache/internal/rng"
+)
+
+// clusterSeedLabel salts the rng stream that drives k-means++ seeding, so
+// sampling randomness never collides with workload or fault streams derived
+// from the same run seed.
+const clusterSeedLabel = 0x5A3D_C157
+
+// phase is one cluster of measured epochs. Indices are measured-epoch
+// offsets (0 = the first measured epoch); callers add WarmupEpochs to get
+// absolute epochs.
+type phase struct {
+	rep     int   // member closest to the centroid
+	members []int // ascending
+	radius  float64
+}
+
+// clusterPhases groups the epoch signatures into at most k phases with
+// k-means: k-means++ seeding driven by an rng stream derived from the run
+// seed, then Lloyd refinement capped at maxIters. Every tie (nearest
+// center, representative choice) breaks toward the lowest index and the
+// iteration order is fixed, so the output is a pure function of
+// (sigs, k, maxIters, seed) — the byte-identity argument for sampled
+// batches at any worker count. Empty clusters are dropped; phases are
+// returned sorted by representative epoch.
+func clusterPhases(sigs [][]float64, k, maxIters int, seed uint64) []phase {
+	n := len(sigs)
+	if k > n {
+		k = n
+	}
+	d := len(sigs[0])
+
+	// k-means++ seeding.
+	r := rng.Derive(seed, clusterSeedLabel, uint64(n), uint64(k))
+	centers := make([][]float64, 0, k)
+	centers = append(centers, append([]float64(nil), sigs[r.Intn(n)]...))
+	d2 := make([]float64, n)
+	for len(centers) < k {
+		total := 0.0
+		for i := range sigs {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if v := sqDist(sigs[i], c); v < best {
+					best = v
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			break // fewer distinct signatures than k
+		}
+		t := r.Float64() * total
+		pick := n - 1
+		acc := 0.0
+		for i := range d2 {
+			acc += d2[i]
+			if acc >= t {
+				pick = i
+				break
+			}
+		}
+		centers = append(centers, append([]float64(nil), sigs[pick]...))
+	}
+	k = len(centers)
+
+	// Lloyd refinement.
+	assign := make([]int, n)
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i := range sigs {
+			best, bestD := 0, math.Inf(1)
+			for ci := range centers {
+				if v := sqDist(sigs[i], centers[ci]); v < bestD {
+					best, bestD = ci, v
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		for ci := range centers {
+			cnt := 0
+			sum := make([]float64, d)
+			for i := range sigs {
+				if assign[i] != ci {
+					continue
+				}
+				cnt++
+				for j, v := range sigs[i] {
+					sum[j] += v
+				}
+			}
+			if cnt == 0 {
+				continue // keep the old center; the cluster is dropped below
+			}
+			for j := range sum {
+				sum[j] /= float64(cnt)
+			}
+			centers[ci] = sum
+		}
+	}
+
+	// Representatives, radii, and the phase list. Radius is normalized by
+	// sqrt(d): every feature lives in [0, 1], so sqrt(d) is the diameter of
+	// the signature space and the normalized radius lands in [0, 1].
+	phases := make([]phase, 0, k)
+	for ci := range centers {
+		var members []int
+		for i := range sigs {
+			if assign[i] == ci {
+				members = append(members, i)
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		rep, repD := members[0], math.Inf(1)
+		sumSq := 0.0
+		for _, m := range members {
+			v := sqDist(sigs[m], centers[ci])
+			sumSq += v
+			if v < repD {
+				rep, repD = m, v
+			}
+		}
+		phases = append(phases, phase{
+			rep:     rep,
+			members: members,
+			radius:  math.Sqrt(sumSq/float64(len(members))) / math.Sqrt(float64(d)),
+		})
+	}
+	sort.Slice(phases, func(i, j int) bool { return phases[i].rep < phases[j].rep })
+	return phases
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		v := a[i] - b[i]
+		s += v * v
+	}
+	return s
+}

@@ -1,0 +1,111 @@
+package sampled
+
+import (
+	"fmt"
+	"sync"
+
+	"morphcache/internal/acfv"
+	"morphcache/internal/mem"
+	"morphcache/internal/sim"
+)
+
+// filterSlots sizes the direct-mapped reuse filter that contributes the
+// miss-proxy feature to each signature: a tiny tag store whose miss rate
+// over the sampled references tracks how reuse-friendly the epoch is — the
+// cheap stand-in for the hit/MPKI component of a telemetry signature,
+// computed without simulating a cache.
+const filterSlots = 256
+
+// buildProfile samples every measured epoch of the run and returns one
+// signature per epoch. A signature is the concatenation, over cores, of
+// four features in [0, 1]:
+//
+//	line occupancy    |ACFV| / bits over sampled line addresses (§2.1's
+//	                  utilization signal, computed on the reference stream)
+//	region occupancy  the same over 4 KiB regions (line >> 6), separating
+//	                  "many lines in few regions" from true sprawl
+//	miss proxy        miss rate of a small direct-mapped reuse filter
+//	write fraction    stores / references
+//
+// The pass drives only the reference sources — no cache, no timing — so it
+// costs ProfileRefs stream steps per core per epoch. Sources reseed per
+// epoch, so sampling a prefix of the epoch's stream is sampling the same
+// stream the simulation will replay.
+func buildProfile(scfg sim.Config, o Options, srcs []sim.Source) [][]float64 {
+	n := len(srcs)
+	lineVec := make([]*acfv.Vector, n)
+	regionVec := make([]*acfv.Vector, n)
+	for c := 0; c < n; c++ {
+		lineVec[c] = acfv.NewVector(o.SignatureBits, acfv.XOR)
+		regionVec[c] = acfv.NewVector(o.SignatureBits, acfv.XOR)
+	}
+	filt := make([]mem.Line, filterSlots)
+
+	sigs := make([][]float64, scfg.Epochs)
+	for i := 0; i < scfg.Epochs; i++ {
+		ep := scfg.WarmupEpochs + i // absolute epoch
+		sig := make([]float64, 0, 4*n)
+		for c := 0; c < n; c++ {
+			srcs[c].BeginEpoch(ep)
+			lineVec[c].Reset()
+			regionVec[c].Reset()
+			for s := range filt {
+				filt[s] = ^mem.Line(0)
+			}
+			writes, filterMisses := 0, 0
+			for r := 0; r < o.ProfileRefs; r++ {
+				a := srcs[c].Next()
+				lineVec[c].Set(a.Line)
+				regionVec[c].Set(a.Line >> 6)
+				if slot := uint64(a.Line) % filterSlots; filt[slot] != a.Line {
+					filt[slot] = a.Line
+					filterMisses++
+				}
+				if a.Kind == mem.Write {
+					writes++
+				}
+			}
+			refs := float64(o.ProfileRefs)
+			sig = append(sig,
+				lineVec[c].Utilization(),
+				regionVec[c].Utilization(),
+				float64(filterMisses)/refs,
+				float64(writes)/refs,
+			)
+		}
+		sigs[i] = sig
+	}
+	return sigs
+}
+
+// The profile cache: signatures depend only on the workload, the run
+// configuration, and the profiling options — not on the policy — so a batch
+// sweeping policies over one workload profiles it once. Concurrent misses
+// on the same key may both compute; the results are identical (the pass is
+// deterministic), so last-store-wins is safe.
+var (
+	profMu    sync.Mutex
+	profCache = make(map[string][][]float64)
+)
+
+// profileFor returns the cached signatures for profileKey (which the caller
+// derives from workload + configuration), building them on a miss.
+func profileFor(profileKey string, scfg sim.Config, o Options, newSources func() ([]sim.Source, error)) ([][]float64, error) {
+	key := fmt.Sprintf("%s|e%d|w%d|s%d|r%d|b%d", profileKey,
+		scfg.Epochs, scfg.WarmupEpochs, scfg.Seed, o.ProfileRefs, o.SignatureBits)
+	profMu.Lock()
+	sigs, ok := profCache[key]
+	profMu.Unlock()
+	if ok {
+		return sigs, nil
+	}
+	srcs, err := newSources()
+	if err != nil {
+		return nil, err
+	}
+	sigs = buildProfile(scfg, o, srcs)
+	profMu.Lock()
+	profCache[key] = sigs
+	profMu.Unlock()
+	return sigs, nil
+}

@@ -1,0 +1,202 @@
+package sampled
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"morphcache/internal/fault"
+	"morphcache/internal/rng"
+	"morphcache/internal/sim"
+	"morphcache/internal/workload"
+)
+
+// testSigs builds n deterministic pseudo-random signatures of width d.
+func testSigs(n, d int, seed uint64) [][]float64 {
+	r := rng.Derive(seed, 0xBEEF)
+	sigs := make([][]float64, n)
+	for i := range sigs {
+		s := make([]float64, d)
+		for j := range s {
+			s[j] = r.Float64()
+		}
+		sigs[i] = s
+	}
+	return sigs
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	sigs := testSigs(24, 8, 3)
+	want := clusterPhases(sigs, 4, 32, 9)
+	for i := 0; i < 5; i++ {
+		if got := clusterPhases(sigs, 4, 32, 9); !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d diverged:\n%+v\nvs\n%+v", i, got, want)
+		}
+	}
+}
+
+func TestClusterWellSeparated(t *testing.T) {
+	// Three tight blobs far apart must come out as three phases whose
+	// members never mix blobs.
+	var sigs [][]float64
+	blob := func(center float64, n int) {
+		for i := 0; i < n; i++ {
+			sigs = append(sigs, []float64{center + float64(i)*1e-4, center})
+		}
+	}
+	blob(0.1, 5)
+	blob(0.5, 5)
+	blob(0.9, 5)
+	phases := clusterPhases(sigs, 3, 32, 1)
+	if len(phases) != 3 {
+		t.Fatalf("%d phases, want 3", len(phases))
+	}
+	seen := 0
+	for _, ph := range phases {
+		blobOf := ph.members[0] / 5
+		for _, m := range ph.members {
+			if m/5 != blobOf {
+				t.Fatalf("phase mixes blobs: members %v", ph.members)
+			}
+		}
+		if ph.rep/5 != blobOf {
+			t.Fatalf("representative %d outside its blob %d", ph.rep, blobOf)
+		}
+		seen += len(ph.members)
+	}
+	if seen != len(sigs) {
+		t.Fatalf("phases cover %d of %d epochs", seen, len(sigs))
+	}
+}
+
+func TestClusterIdenticalSignatures(t *testing.T) {
+	sigs := make([][]float64, 6)
+	for i := range sigs {
+		sigs[i] = []float64{0.25, 0.75}
+	}
+	phases := clusterPhases(sigs, 4, 32, 5)
+	if len(phases) != 1 {
+		t.Fatalf("%d phases for identical signatures, want 1", len(phases))
+	}
+	if phases[0].radius != 0 {
+		t.Fatalf("radius %v, want 0", phases[0].radius)
+	}
+	if len(phases[0].members) != 6 {
+		t.Fatalf("members %v", phases[0].members)
+	}
+}
+
+func TestClusterKClamped(t *testing.T) {
+	sigs := testSigs(3, 4, 7)
+	phases := clusterPhases(sigs, 8, 32, 1)
+	if len(phases) > 3 {
+		t.Fatalf("%d phases from 3 epochs", len(phases))
+	}
+	total := 0
+	for _, ph := range phases {
+		total += len(ph.members)
+	}
+	if total != 3 {
+		t.Fatalf("phases cover %d of 3 epochs", total)
+	}
+}
+
+func TestOptionsValidateAndFingerprint(t *testing.T) {
+	var zero Options
+	if err := zero.Validate(); err != nil {
+		t.Fatalf("zero options rejected: %v", err)
+	}
+	if zero.Fingerprint() != Defaults().Fingerprint() {
+		t.Fatalf("zero fingerprint %q != defaults %q", zero.Fingerprint(), Defaults().Fingerprint())
+	}
+	if err := (Options{MaxPhases: -1}).Validate(); err == nil {
+		t.Fatal("negative MaxPhases accepted")
+	}
+	if err := (Options{SignatureBits: 100}).Validate(); err == nil {
+		t.Fatal("non-power-of-two SignatureBits accepted")
+	}
+	if err := (Options{WindowWarmup: -7}).Validate(); err == nil {
+		t.Fatal("negative warmup other than the sentinel accepted")
+	}
+	o := Options{WindowWarmup: NoWindowWarmup}
+	if err := o.Validate(); err != nil {
+		t.Fatalf("NoWindowWarmup rejected: %v", err)
+	}
+	if got := o.Fingerprint(); got != "k4,w0,c0,r2048,b256,i32" {
+		t.Fatalf("NoWindowWarmup fingerprint %q", got)
+	}
+}
+
+func testSources(t *testing.T, cores int) func() ([]sim.Source, error) {
+	t.Helper()
+	mix, err := workload.MixByName("MIX 01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix.Benchmarks = mix.Benchmarks[:cores]
+	return func() ([]sim.Source, error) {
+		return sim.FromGenerators(workload.MixGenerators(mix, workload.ScaledGenConfig(16), 1)), nil
+	}
+}
+
+func TestProfileDeterministic(t *testing.T) {
+	scfg := sim.DefaultConfig()
+	scfg.Epochs = 3
+	scfg.WarmupEpochs = 1
+	o := Defaults()
+	o.ProfileRefs = 64
+	o.SignatureBits = 32
+	newSrc := testSources(t, 4)
+	a, err := profileFor("det-a", scfg, o, newSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := profileFor("det-b", scfg, o, newSrc) // distinct key: rebuilt, not cached
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("profile pass is not deterministic")
+	}
+	c, err := profileFor("det-a", scfg, o, func() ([]sim.Source, error) {
+		return nil, fmt.Errorf("cache miss: sources rebuilt for a cached key")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, c) {
+		t.Fatal("cache returned different signatures")
+	}
+	if len(a) != 3 || len(a[0]) != 4*4 {
+		t.Fatalf("profile shape %dx%d, want 3x16", len(a), len(a[0]))
+	}
+	for _, sig := range a {
+		for _, v := range sig {
+			if v < 0 || v > 1 {
+				t.Fatalf("feature %v outside [0,1]", v)
+			}
+		}
+	}
+}
+
+func TestRunRejectsFaultsAndResume(t *testing.T) {
+	scfg := sim.DefaultConfig()
+	scfg.Epochs = 2
+	plan, err := fault.NewPlan(1, fault.Spec{Cores: 16, FirstEpoch: 0, Epochs: 2, Events: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfg := scfg
+	fcfg.Faults = plan
+	if _, err := Run(fcfg, Options{}, "k", Factories{}); err == nil {
+		t.Fatal("fault plan accepted")
+	}
+	rcfg := scfg
+	rcfg.StartEpoch = 3
+	if _, err := Run(rcfg, Options{}, "k", Factories{}); err == nil {
+		t.Fatal("nonzero StartEpoch accepted")
+	}
+	if _, err := Run(scfg, Options{MaxPhases: -1}, "k", Factories{}); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+}

@@ -164,6 +164,16 @@ type Config struct {
 	// and are excluded from metrics (the paper measures a region of
 	// interest in a warmed-up cache, §1.2).
 	Epochs, WarmupEpochs int
+	// StartEpoch is the absolute index of the first epoch the engine runs
+	// (warmup included). The default 0 is the ordinary full run. A positive
+	// value resumes the workload mid-run: sources are positioned with
+	// BeginEpoch(StartEpoch+i), clocks start at StartEpoch*EpochCycles, and
+	// telemetry records carry the absolute epoch index — this is how sampled
+	// simulation (internal/sampled) replays one representative window
+	// without simulating the epochs before it. Generators reseed per epoch
+	// from (seed, asid, thread, epoch), so a resumed window sees exactly the
+	// reference stream of the full run's same epochs.
+	StartEpoch int
 	// GapInstr instructions retire between consecutive memory references,
 	// at IssueWidth IPC (4-way issue superscalar, Table 3), so each
 	// reference charges GapInstr/IssueWidth cycles of compute on top of the
@@ -249,6 +259,9 @@ func NewFromSources(cfg Config, target Target, srcs []Source) (*Engine, error) {
 	if cfg.IssueWidth <= 0 || cfg.GapInstr < 0 {
 		return nil, fmt.Errorf("sim: bad gap model (GapInstr=%d, IssueWidth=%v)", cfg.GapInstr, cfg.IssueWidth)
 	}
+	if cfg.StartEpoch < 0 {
+		return nil, fmt.Errorf("sim: StartEpoch must be >= 0, got %d", cfg.StartEpoch)
+	}
 	var inj FaultInjectable
 	if !cfg.Faults.Empty() {
 		if err := cfg.Faults.Validate(target.Cores()); err != nil {
@@ -312,9 +325,16 @@ func (e *Engine) Run() *metrics.Run {
 		}
 	}
 
+	// Epoch indices: off counts epochs the engine actually runs; ep is the
+	// absolute epoch index of the workload (off + StartEpoch). Warmup/measured
+	// status follows off (the engine's own warmup prefix); sources, clocks,
+	// fault schedules, and telemetry follow ep (the workload's timeline).
+	// With StartEpoch == 0 the two coincide and this loop is exactly the
+	// classic full run.
 	totalEpochs := e.cfg.WarmupEpochs + e.cfg.Epochs
-	for ep := 0; ep < totalEpochs; ep++ {
-		epochSpan := o.Span("sim", "epoch").Arg("epoch", ep).Arg("warmup", ep < e.cfg.WarmupEpochs)
+	for off := 0; off < totalEpochs; off++ {
+		ep := e.cfg.StartEpoch + off
+		epochSpan := o.Span("sim", "epoch").Arg("epoch", ep).Arg("warmup", off < e.cfg.WarmupEpochs)
 		epochStart := uint64(ep) * e.cfg.EpochCycles
 		epochEnd := epochStart + e.cfg.EpochCycles
 		instr := make([]uint64, n)
@@ -368,7 +388,7 @@ func (e *Engine) Run() *metrics.Run {
 			instr[core] += uint64(e.cfg.GapInstr)
 		}
 
-		measured := ep >= e.cfg.WarmupEpochs
+		measured := off >= e.cfg.WarmupEpochs
 		if measured {
 			ipc := make([]float64, n)
 			for c := 0; c < n; c++ {
@@ -376,7 +396,7 @@ func (e *Engine) Run() *metrics.Run {
 				totalInstr[c] += instr[c]
 			}
 			run.Epochs = append(run.Epochs, metrics.Epoch{
-				Index:      ep - e.cfg.WarmupEpochs,
+				Index:      off - e.cfg.WarmupEpochs,
 				PerCoreIPC: ipc,
 				Topology:   spec,
 			})

@@ -23,11 +23,19 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
 	"morphcache/internal/mem"
 )
+
+// ErrTruncated reports a trace that ends in the middle of a record: the
+// file was cut while being written or copied. A well-formed trace can only
+// end on a record boundary (records are fixed-width), so a partial trailing
+// record is always corruption, never a clean end of stream. The wrapping
+// error carries the byte offset of the partial record.
+var ErrTruncated = errors.New("trace: truncated mid-record")
 
 const (
 	magic   = "MCTR"
@@ -104,11 +112,19 @@ type Trace struct {
 	epochStarts [][]int
 }
 
-// Read loads a trace written by Writer.
+// Read loads a trace written by Writer. It distinguishes a clean end of
+// stream (EOF exactly on a record boundary) from a mid-record truncation,
+// which returns an error wrapping ErrTruncated with the byte offset of the
+// cut; corrupt record payloads (unknown access kinds, epoch markers with
+// nonzero payload bytes) are rejected the same way rather than replayed as
+// garbage accesses.
 func Read(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
 	head := make([]byte, 8)
 	if _, err := io.ReadFull(br, head); err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("trace: empty input")
+		}
 		return nil, fmt.Errorf("trace: short header: %w", err)
 	}
 	if string(head[:4]) != magic {
@@ -130,28 +146,42 @@ func Read(r io.Reader) (*Trace, error) {
 		t.epochStarts[c] = []int{0}
 	}
 	var rec [recordLen]byte
-	for {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			if err == io.EOF {
-				break
-			}
-			return nil, fmt.Errorf("trace: truncated record: %w", err)
+	offset := int64(len(head)) // byte offset of the record being read
+	for nrec := 0; ; nrec++ {
+		n, err := io.ReadFull(br, rec[:])
+		if err == io.EOF {
+			break // clean end of stream, exactly on a record boundary
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d at byte %d has %d of %d bytes",
+				ErrTruncated, nrec, offset, n, recordLen)
 		}
 		core := rec[0]
 		if core == epochMark {
+			// Epoch markers carry no payload; nonzero bytes mean the stream
+			// is corrupt (e.g. interleaved writes), not a real boundary.
+			if rec[1] != 0 || binary.LittleEndian.Uint16(rec[2:]) != 0 ||
+				binary.LittleEndian.Uint64(rec[4:]) != 0 {
+				return nil, fmt.Errorf("trace: corrupt epoch marker at byte %d (nonzero payload)", offset)
+			}
 			for c := 0; c < cores; c++ {
 				t.epochStarts[c] = append(t.epochStarts[c], len(t.perCore[c]))
 			}
+			offset += recordLen
 			continue
 		}
 		if int(core) >= cores {
-			return nil, fmt.Errorf("trace: record for core %d of %d", core, cores)
+			return nil, fmt.Errorf("trace: record at byte %d for core %d of %d", offset, core, cores)
+		}
+		if k := mem.Kind(rec[1]); k > mem.Write {
+			return nil, fmt.Errorf("trace: record at byte %d has unknown access kind %d", offset, rec[1])
 		}
 		t.perCore[core] = append(t.perCore[core], mem.Access{
 			Kind: mem.Kind(rec[1]),
 			ASID: mem.ASID(binary.LittleEndian.Uint16(rec[2:])),
 			Line: mem.Line(binary.LittleEndian.Uint64(rec[4:])),
 		})
+		offset += recordLen
 	}
 	return t, nil
 }
@@ -206,13 +236,17 @@ func (c *Cursor) BeginEpoch(e int) {
 	c.pos = starts[e%len(starts)]
 }
 
-// Next returns the next access, wrapping at the end of the stream.
+// Next returns the next access, wrapping at the end of the stream. The wrap
+// check runs before the read, not after: BeginEpoch can legally position the
+// cursor at the stream's end when the core has no records in the final
+// recorded epoch (an epoch marker closing the file), and that position must
+// wrap, not fault.
 func (c *Cursor) Next() mem.Access {
 	s := c.t.perCore[c.core]
-	a := s[c.pos]
-	c.pos++
 	if c.pos >= len(s) {
 		c.pos = 0
 	}
+	a := s[c.pos]
+	c.pos++
 	return a
 }

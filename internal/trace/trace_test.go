@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"morphcache/internal/mem"
@@ -103,15 +104,119 @@ func TestHeaderValidation(t *testing.T) {
 	}
 }
 
-func TestTruncatedRecord(t *testing.T) {
+// validTrace builds a two-core trace with two epochs (five records total,
+// epoch marker included) for the corruption tests.
+func validTrace(t *testing.T) []byte {
+	t.Helper()
 	var buf bytes.Buffer
-	w, _ := NewWriter(&buf, 1)
-	w.Record(0, mem.Access{Line: 1, ASID: 1})
-	w.Flush()
-	data := buf.Bytes()
-	if _, err := Read(bytes.NewReader(data[:len(data)-3])); err == nil {
-		t.Fatal("truncated record accepted")
+	w, err := NewWriter(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
 	}
+	w.Record(0, mem.Access{Line: 1, ASID: 1})
+	w.Record(1, mem.Access{Line: 2, ASID: 2, Kind: mem.Write})
+	w.EpochBoundary()
+	w.Record(0, mem.Access{Line: 3, ASID: 1})
+	w.Record(1, mem.Access{Line: 4, ASID: 2})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestTruncationDetection(t *testing.T) {
+	data := validTrace(t)
+	const header = 8
+	// Every cut inside the record region that is NOT on a record boundary
+	// must be flagged as mid-record truncation; every cut ON a boundary is a
+	// clean (shorter) trace.
+	for cut := header; cut < len(data); cut++ {
+		_, err := Read(bytes.NewReader(data[:cut]))
+		if (cut-header)%recordLen == 0 {
+			if err != nil {
+				t.Fatalf("cut at boundary %d rejected: %v", cut, err)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("mid-record cut at %d: got %v, want ErrTruncated", cut, err)
+		}
+	}
+	// Cuts inside the header are header errors, not record truncation.
+	for cut := 1; cut < header; cut++ {
+		_, err := Read(bytes.NewReader(data[:cut]))
+		if err == nil || errors.Is(err, ErrTruncated) {
+			t.Fatalf("header cut at %d: got %v, want non-truncation error", cut, err)
+		}
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestCorruptRecords(t *testing.T) {
+	const header = 8
+	cases := []struct {
+		name    string
+		corrupt func([]byte)
+	}{
+		{"unknown access kind", func(d []byte) { d[header+1] = 9 }},
+		{"epoch marker with kind payload", func(d []byte) { d[header+2*recordLen+1] = 1 }},
+		{"epoch marker with line payload", func(d []byte) { d[header+2*recordLen+7] = 0xAB }},
+		{"record for out-of-range core", func(d []byte) { d[header] = 5 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := append([]byte(nil), validTrace(t)...)
+			tc.corrupt(data)
+			if _, err := Read(bytes.NewReader(data)); err == nil {
+				t.Fatal("corrupt trace accepted")
+			}
+		})
+	}
+}
+
+// FuzzRead asserts the reader never panics and never hands corrupt bytes to
+// a replay cursor: any trace it accepts must satisfy the cursor contract.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 2)
+	w.Record(0, mem.Access{Line: 1, ASID: 1})
+	w.EpochBoundary()
+	w.Record(1, mem.Access{Line: 2, ASID: 2, Kind: mem.Write})
+	w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])           // mid-record cut
+	f.Add(valid[:8])                      // header only
+	f.Add([]byte("MCTR"))                 // short header
+	f.Add([]byte("XXXX\x01\x00\x02\x00")) // bad magic
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if tr.Cores <= 0 || tr.Cores >= 0xFF {
+			t.Fatalf("accepted trace with core count %d", tr.Cores)
+		}
+		if tr.Epochs() < 1 {
+			t.Fatalf("accepted trace with %d epochs", tr.Epochs())
+		}
+		for c := 0; c < tr.Cores; c++ {
+			cur, err := tr.Cursor(c)
+			if err != nil {
+				continue // cores without records have no cursor
+			}
+			cur.BeginEpoch(0)
+			cur.BeginEpoch(tr.Epochs() + 3) // wraps, must not panic
+			for i := 0; i < 4; i++ {
+				if a := cur.Next(); a.Kind > mem.Write {
+					t.Fatalf("replayed unknown kind %d", a.Kind)
+				}
+			}
+		}
+	})
 }
 
 func TestRecordGeneratorOutput(t *testing.T) {

@@ -79,6 +79,12 @@ type Config struct {
 	// morph-nodegrade) accept faults; PIPP/DSR runs reject them. Nil (the
 	// default) leaves every run byte-identical to a fault-free build.
 	Faults *fault.Plan
+	// Sampled, when non-nil, switches the run to sampled simulation: the
+	// measured epochs are clustered into phases, one representative window
+	// per phase is simulated, and the Result is the weighted reconstruction
+	// (with Result.SampledReport attached; DESIGN.md §13). Incompatible
+	// with Faults. Nil (the default) simulates every epoch as always.
+	Sampled *SampledConfig
 	// Observer, when non-nil, attaches live observability hooks to the run:
 	// per-level access counters and latency histograms, controller decision
 	// counts, phase spans when its tracer is on, and — with Telemetry also
@@ -112,6 +118,14 @@ func (c Config) Validate() error {
 	}
 	if err := c.Faults.Validate(c.Cores); err != nil {
 		return fmt.Errorf("morphcache: %w", err)
+	}
+	if c.Sampled != nil {
+		if err := c.Sampled.Validate(); err != nil {
+			return fmt.Errorf("morphcache: %w", err)
+		}
+		if !c.Faults.Empty() {
+			return fmt.Errorf("morphcache: Sampled and Faults are incompatible (fault plans damage specific epochs; a sampled run does not simulate them all)")
+		}
 	}
 	return nil
 }
@@ -244,8 +258,13 @@ type Result struct {
 	// an asymmetric configuration (§2.4).
 	Reconfigurations, AsymmetricSteps int
 	// Telemetry is the run's epoch log (nil unless Config.Telemetry was
-	// set; see DESIGN.md §8 for the schema).
+	// set; see DESIGN.md §8 for the schema). For sampled runs it holds the
+	// simulated representative windows only (absolute epoch indices, window
+	// warmup records flagged).
 	Telemetry *telemetry.Log
+	// SampledReport describes the phase clustering and metric
+	// reconstruction of a sampled run (nil for full runs).
+	SampledReport *SampledReport
 }
 
 func fromRun(r *metrics.Run) *Result {
@@ -269,6 +288,9 @@ func RunStatic(c Config, spec string, w Workload) (*Result, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	if c.Sampled != nil {
+		return runSampled(c, w, "static", spec)
+	}
 	gens, err := w.Generators(c)
 	if err != nil {
 		return nil, err
@@ -286,13 +308,25 @@ func RunStatic(c Config, spec string, w Workload) (*Result, error) {
 // RunMorphCache runs the workload under the MorphCache controller
 // (starting all-private, remote-hit charging on).
 func RunMorphCache(c Config, w Workload) (*Result, error) {
+	if c.Sampled != nil {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		return runSampled(c, w, "morph", "")
+	}
 	res, _, err := RunMorphCacheWithController(c, w)
 	return res, err
 }
 
 // RunMorphCacheWithController is RunMorphCache plus the controller for
-// post-run inspection (merge/split counts, throttled MSAT bounds).
+// post-run inspection (merge/split counts, throttled MSAT bounds). It
+// rejects sampled configurations: a sampled run builds a fresh controller
+// per representative window, so there is no single controller to return —
+// use RunMorphCache and inspect Result.SampledReport instead.
 func RunMorphCacheWithController(c Config, w Workload) (*Result, *core.Controller, error) {
+	if c.Sampled != nil {
+		return nil, nil, fmt.Errorf("morphcache: RunMorphCacheWithController does not support sampled runs (one controller per representative window); use RunMorphCache")
+	}
 	ctrl := core.New(c.Morph)
 	res, err := runControlled(c, w, ctrl)
 	if err != nil {
@@ -307,6 +341,12 @@ func RunMorphCacheWithController(c Config, w Workload) (*Result, *core.Controlle
 // dead bus links as if the machine were healthy. On a fault-free
 // configuration it behaves identically to RunMorphCache.
 func RunMorphCacheNoDegrade(c Config, w Workload) (*Result, error) {
+	if c.Sampled != nil {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		return runSampled(c, w, "morph-nodegrade", "")
+	}
 	ctrl := core.New(c.Morph)
 	ctrl.SetDegradation(false)
 	return runControlled(c, w, ctrl)
@@ -336,6 +376,9 @@ func RunPIPP(c Config, w Workload) (*Result, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	if c.Sampled != nil {
+		return runSampled(c, w, "pipp", "")
+	}
 	gens, err := w.Generators(c)
 	if err != nil {
 		return nil, err
@@ -355,6 +398,9 @@ func RunPIPP(c Config, w Workload) (*Result, error) {
 func RunDSR(c Config, w Workload) (*Result, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
+	}
+	if c.Sampled != nil {
+		return runSampled(c, w, "dsr", "")
 	}
 	gens, err := w.Generators(c)
 	if err != nil {

@@ -1,0 +1,105 @@
+package morphcache
+
+import (
+	"fmt"
+
+	"morphcache/internal/baselines/dsr"
+	"morphcache/internal/baselines/pipp"
+	"morphcache/internal/core"
+	"morphcache/internal/hierarchy"
+	"morphcache/internal/sampled"
+	"morphcache/internal/sim"
+	"morphcache/internal/topology"
+)
+
+// SampledConfig configures sampled simulation (see internal/sampled and
+// DESIGN.md §13): phase detection over cheap per-epoch signatures,
+// deterministic k-means clustering of the measured epochs into phases, one
+// simulated representative window per phase, and weighted reconstruction of
+// the full-run metrics. Attach one to Config.Sampled to switch a run to
+// sampled mode. The zero value of every field selects the defaults.
+type SampledConfig = sampled.Options
+
+// SampledReport summarizes a sampled run's phases and reconstruction (with
+// heuristic per-metric error bars); Result.SampledReport carries it.
+type SampledReport = sampled.Report
+
+// DefaultSampledConfig returns the default sampling parameters — the
+// configuration the -run sampled validation experiment gates at ≤ 3%
+// reconstruction error in CI.
+func DefaultSampledConfig() SampledConfig { return sampled.Defaults() }
+
+// FastSampledConfig returns the aggressive benchmark preset: fewer phases,
+// a single warmup epoch per window, and window epochs truncated to the
+// given cycle count (0 keeps full epochs). Lower accuracy than
+// DefaultSampledConfig; used by BenchmarkBatchSweepSampled.
+func FastSampledConfig(windowCycles uint64) SampledConfig {
+	o := sampled.Fast()
+	o.WindowCycles = windowCycles
+	return o
+}
+
+// runSampled executes one sampled run: it profiles the workload (cached
+// across the batch — profiles are policy-independent), clusters the
+// measured epochs, and simulates one representative window per phase on a
+// fresh target. policy is the RunSpec policy vocabulary; staticSpec is the
+// "(x:y:z)" topology for static runs.
+func runSampled(c Config, w Workload, policy, staticSpec string) (*Result, error) {
+	f := sampled.Factories{
+		NewTarget: func() (sim.Target, error) { return c.sampledTarget(policy, staticSpec) },
+		NewSources: func() ([]sim.Source, error) {
+			gens, err := w.Generators(c)
+			if err != nil {
+				return nil, err
+			}
+			return sim.FromGenerators(gens), nil
+		},
+	}
+	key := fmt.Sprintf("%s|c%d|x%d|cy%d", w.String(), c.Cores, c.Scale, c.EpochCycles)
+	rr, err := sampled.Run(c.simConfig(), *c.Sampled, key, f)
+	if err != nil {
+		return nil, err
+	}
+	res := fromRun(rr.Run)
+	res.SampledReport = rr.Report
+	if c.Telemetry {
+		res.Telemetry = rr.Log
+	}
+	return res, nil
+}
+
+// sampledTarget builds a fresh simulation target for one representative
+// window. Each window gets its own hierarchy and controller — windows share
+// nothing mutable, exactly like batch jobs — so every window starts from
+// the same initial state the full run starts from.
+func (c Config) sampledTarget(policy, staticSpec string) (sim.Target, error) {
+	p := c.Params()
+	switch policy {
+	case "morph", "morph-nodegrade":
+		p.ChargeRemote = true
+		sys, err := hierarchy.New(p, topology.AllPrivate(p.Cores))
+		if err != nil {
+			return nil, err
+		}
+		ctrl := core.New(c.Morph)
+		if policy == "morph-nodegrade" {
+			ctrl.SetDegradation(false)
+		}
+		return &sim.HierarchyTarget{Sys: sys, Policy: ctrl}, nil
+	case "pipp":
+		return pipp.New(p, pipp.DefaultOptions()), nil
+	case "dsr":
+		return dsr.New(p, dsr.DefaultOptions()), nil
+	default:
+		topo, err := topology.FromSpec(staticSpec, p.Cores)
+		if err != nil {
+			return nil, err
+		}
+		p.ChargeRemote = false
+		sys, err := hierarchy.New(p, topo)
+		if err != nil {
+			return nil, err
+		}
+		return &sim.HierarchyTarget{Sys: sys, Policy: sim.NopPolicy{Label: staticSpec}}, nil
+	}
+}

@@ -1,0 +1,169 @@
+package morphcache
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"morphcache/internal/fault"
+)
+
+// sampledConfig is fastConfig with accuracy-light sampling: two phases and
+// one warmup epoch keep each test run to a few window epochs.
+func sampledConfig() Config {
+	c := fastConfig()
+	so := DefaultSampledConfig()
+	so.MaxPhases = 2
+	so.WindowWarmup = 1
+	so.ProfileRefs = 256
+	c.Sampled = &so
+	return c
+}
+
+func TestSampledReportShape(t *testing.T) {
+	cfg := sampledConfig()
+	r, err := RunMorphCache(cfg, Mix("MIX 01"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.SampledReport
+	if rep == nil {
+		t.Fatal("sampled run returned no report")
+	}
+	if rep.MeasuredEpochs != cfg.Epochs {
+		t.Fatalf("measured epochs %d, want %d", rep.MeasuredEpochs, cfg.Epochs)
+	}
+	if len(rep.Phases) < 1 || len(rep.Phases) > 2 {
+		t.Fatalf("%d phases", len(rep.Phases))
+	}
+	weight, covered := 0.0, 0
+	if !sort.SliceIsSorted(rep.Phases, func(i, j int) bool {
+		return rep.Phases[i].Representative < rep.Phases[j].Representative
+	}) {
+		t.Fatal("phases not sorted by representative")
+	}
+	for _, ph := range rep.Phases {
+		weight += ph.Weight
+		covered += len(ph.Epochs)
+		repInMembers := false
+		for _, e := range ph.Epochs {
+			if e == ph.Representative {
+				repInMembers = true
+			}
+			if e < cfg.WarmupEpochs || e >= cfg.WarmupEpochs+cfg.Epochs {
+				t.Fatalf("phase epoch %d outside the measured region", e)
+			}
+		}
+		if !repInMembers {
+			t.Fatalf("representative %d not among its phase's epochs %v", ph.Representative, ph.Epochs)
+		}
+	}
+	if math.Abs(weight-1) > 1e-9 || covered != cfg.Epochs {
+		t.Fatalf("weights %v cover %d epochs", weight, covered)
+	}
+	if rep.SimulatedEpochs <= 0 || rep.Speedup <= 0 {
+		t.Fatalf("cost summary %+v", rep)
+	}
+	if rep.Throughput.Value != r.Throughput {
+		t.Fatalf("report throughput %v != result %v", rep.Throughput.Value, r.Throughput)
+	}
+	if rep.Hits == nil || rep.MPKI.Value <= 0 {
+		t.Fatal("hierarchy targets must reconstruct MPKI and hit shares")
+	}
+	if len(r.EpochThroughputs) != cfg.Epochs || len(r.EpochTopologies) != cfg.Epochs {
+		t.Fatalf("per-epoch series %d/%d", len(r.EpochThroughputs), len(r.EpochTopologies))
+	}
+}
+
+// TestSampledBatchDeterminism is the worker-count/job-order gate: the same
+// sampled specs must produce byte-identical results at 1 worker, at 4
+// workers, and under a permuted submission order.
+func TestSampledBatchDeterminism(t *testing.T) {
+	cfg := sampledConfig()
+	specs := []RunSpec{
+		{Policy: "morph", Workload: Mix("MIX 01")},
+		{Policy: "(4:4:1)", Workload: Mix("MIX 01")},
+		{Policy: "morph", Workload: Mix("MIX 05")},
+		{Policy: "(4:4:1)", Workload: Mix("MIX 05")},
+	}
+	seq, err := RunBatch(cfg, specs, BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunBatch(cfg, specs, BatchOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := []int{2, 0, 3, 1}
+	permSpecs := make([]RunSpec, len(specs))
+	for i, p := range perm {
+		permSpecs[i] = specs[p]
+	}
+	permuted, err := RunBatch(cfg, permSpecs, BatchOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, a, b *Result) {
+		t.Helper()
+		if a.Throughput != b.Throughput || !reflect.DeepEqual(a.PerCoreIPC, b.PerCoreIPC) {
+			t.Fatalf("%s: metrics diverged (%v vs %v)", name, a.Throughput, b.Throughput)
+		}
+		if !reflect.DeepEqual(a.SampledReport, b.SampledReport) {
+			t.Fatalf("%s: phase assignments or reconstruction diverged:\n%+v\nvs\n%+v",
+				name, a.SampledReport, b.SampledReport)
+		}
+		if !reflect.DeepEqual(a.EpochTopologies, b.EpochTopologies) {
+			t.Fatalf("%s: topology series diverged", name)
+		}
+	}
+	for i := range specs {
+		check(specs[i].Policy+" workers", seq[i], par[i])
+	}
+	for i, p := range perm {
+		check(permSpecs[i].Policy+" permuted", permuted[i], seq[p])
+	}
+}
+
+func TestSampledIncompatibilities(t *testing.T) {
+	cfg := sampledConfig()
+	plan, err := fault.NewPlan(1, fault.Spec{Cores: cfg.Cores, FirstEpoch: 1, Epochs: 2, Events: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfg := cfg
+	fcfg.Faults = plan
+	if err := fcfg.Validate(); err == nil {
+		t.Fatal("sampled + faults accepted")
+	}
+	if _, _, err := RunMorphCacheWithController(cfg, Mix("MIX 01")); err == nil {
+		t.Fatal("sampled WithController accepted (windows use private controllers)")
+	}
+	bad := cfg
+	so := *bad.Sampled
+	so.SignatureBits = 100
+	bad.Sampled = &so
+	if _, err := RunStatic(bad, "(16:1:1)", Mix("MIX 01")); err == nil {
+		t.Fatal("invalid sampling options accepted")
+	}
+}
+
+func TestSampledBaselinesWithoutCounters(t *testing.T) {
+	// PIPP/DSR targets record no telemetry counters; the reconstruction
+	// must degrade gracefully (no MPKI, no hit shares) instead of reporting
+	// zeros as real values.
+	r, err := RunPIPP(sampledConfig(), Mix("MIX 01"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.SampledReport
+	if rep == nil {
+		t.Fatal("no report")
+	}
+	if rep.Hits != nil || rep.MPKI.Value != 0 {
+		t.Fatalf("counter-less target reported MPKI %v hits %+v", rep.MPKI, rep.Hits)
+	}
+	if r.Throughput <= 0 {
+		t.Fatal("no throughput")
+	}
+}
