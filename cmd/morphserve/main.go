@@ -10,8 +10,16 @@
 //	GET /healthz                  200, 503 once draining
 //	/debug/pprof, /debug/vars
 //
+// With -wal the cache is crash-safe: every acknowledged write is logged
+// (and under -fsync always, synced) before it is applied, and a restart
+// replays the log — values, epoch counter, and partition grants all come
+// back, with a torn tail truncated at the last valid record. The
+// -tenant-rps/-max-inflight/-request-timeout flags arm overload
+// admission (429 + Retry-After; see internal/serve.AdmissionConfig).
+//
 // SIGINT/SIGTERM drains gracefully: /healthz flips to 503, in-flight
-// requests finish, new cache operations get 503, and the process exits 0.
+// requests finish (bounded by -shutdown-timeout), new cache operations
+// get 503, the WAL is synced and closed, and the process exits 0.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 
 	"morphcache/internal/obs"
 	"morphcache/internal/serve"
+	"morphcache/internal/wal"
 )
 
 func main() {
@@ -45,6 +54,18 @@ func run() error {
 		ways      = flag.Int("ways", 8, "slice associativity")
 		maxValue  = flag.Int("max-value-bytes", 64<<10, "largest accepted value")
 		epoch     = flag.Duration("epoch", 10*time.Second, "reconfiguration interval")
+
+		walDir        = flag.String("wal", "", "write-ahead log directory; empty disables persistence")
+		fsync         = flag.String("fsync", "always", "WAL durability: always | interval | never")
+		fsyncInterval = flag.Duration("fsync-interval", 100*time.Millisecond, "sync cadence for -fsync interval")
+		segBytes      = flag.Int64("wal-segment-bytes", 16<<20, "WAL segment roll size")
+
+		tenantRPS   = flag.Float64("tenant-rps", 0, "per-tenant sustained requests/sec (0 = unlimited)")
+		tenantBurst = flag.Int("tenant-burst", 0, "per-tenant burst allowance (0 = max(rps, 1))")
+		maxInflight = flag.Int("max-inflight", 0, "global concurrent-request cap (0 = unlimited)")
+		reqTimeout  = flag.Duration("request-timeout", 0, "per-request deadline (0 = none)")
+
+		shutdownTimeout = flag.Duration("shutdown-timeout", 5*time.Second, "graceful drain deadline on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	if *tenants == "" {
@@ -59,6 +80,24 @@ func run() error {
 		Ways:          *ways,
 		MaxValueBytes: *maxValue,
 		EpochInterval: *epoch,
+		Admission: serve.AdmissionConfig{
+			TenantRPS:      *tenantRPS,
+			TenantBurst:    *tenantBurst,
+			MaxInFlight:    *maxInflight,
+			RequestTimeout: *reqTimeout,
+		},
+	}
+	if *walDir != "" {
+		policy, err := wal.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			return err
+		}
+		cfg.Persist = &serve.PersistConfig{
+			Dir:           *walDir,
+			Fsync:         policy,
+			FsyncInterval: *fsyncInterval,
+			SegmentBytes:  *segBytes,
+		}
 	}
 	hub := obs.NewHub(obs.HubOptions{Shards: 1})
 	cache, err := serve.New(cfg, hub.Registry)
@@ -77,6 +116,9 @@ func run() error {
 	}
 	fmt.Fprintf(os.Stderr, "morphserve: serving %d tenants on http://%s (policy %s, epoch %s)\n",
 		len(cfg.Tenants), srv.Addr(), cache.PolicyName(), *epoch)
+	if cfg.Persist != nil {
+		fmt.Fprintf(os.Stderr, "morphserve: wal %s (fsync %s)\n", cfg.Persist.Dir, *fsync)
+	}
 
 	go cache.RunEpochs(ctx)
 
@@ -85,10 +127,13 @@ func run() error {
 	fmt.Fprintln(os.Stderr, "morphserve: draining")
 	admin.SetHealthy(false)
 	cache.Drain()
-	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := cache.Close(); err != nil {
+		return fmt.Errorf("wal close: %w", err)
 	}
 	fmt.Fprintln(os.Stderr, "morphserve: done")
 	return nil

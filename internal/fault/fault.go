@@ -45,6 +45,25 @@ const (
 	// MemDerate multiplies the memory channel's service occupancy by
 	// Factor (≥ 1), modeling a DRAM channel dropping to a slower speed bin.
 	MemDerate
+
+	// The kinds below target the serve layer (internal/serve), not the
+	// simulated hierarchy: a simulator plan containing them fails
+	// Validate, and a serve plan containing simulator kinds fails
+	// ValidateServe. They reuse the Event fields (Slice as the shard
+	// index, Duration as the epoch count), so Fingerprint is unchanged.
+
+	// ShardStall stalls serve shard Slice for Duration epochs: operations
+	// that hash to it shed with ErrShardStalled (HTTP 503 + Retry-After)
+	// instead of queueing behind a wedged lock.
+	ShardStall
+	// WALWriteErr makes every write-ahead-log append fail for Duration
+	// epochs (an I/O error on the log device). Persistent failure drops
+	// the server to read-mostly degraded mode.
+	WALWriteErr
+	// DiskFull models ENOSPC on the log volume for Duration epochs:
+	// appends and compactions both fail, driving the same read-mostly
+	// degradation until space returns.
+	DiskFull
 )
 
 func (k Kind) String() string {
@@ -59,9 +78,25 @@ func (k Kind) String() string {
 		return "monitor-corrupt"
 	case MemDerate:
 		return "mem-derate"
+	case ShardStall:
+		return "shard-stall"
+	case WALWriteErr:
+		return "wal-write-error"
+	case DiskFull:
+		return "disk-full"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
+}
+
+// ServeOnly reports whether the kind targets the serve layer rather than
+// the simulated hierarchy.
+func (k Kind) ServeOnly() bool {
+	switch k {
+	case ShardStall, WALWriteErr, DiskFull:
+		return true
+	}
+	return false
 }
 
 // Event is one scheduled fault. Fields are used per Kind; unused fields are
@@ -106,6 +141,12 @@ func (e Event) String() string {
 		return fmt.Sprintf("epoch %d: core %d ACFV monitor corrupt for %d epoch(s)", e.Epoch, e.Core, e.Duration)
 	case MemDerate:
 		return fmt.Sprintf("epoch %d: memory channel derated %.2fx", e.Epoch, e.Factor)
+	case ShardStall:
+		return fmt.Sprintf("epoch %d: serve shard %d stalled for %d epoch(s)", e.Epoch, e.Slice, e.Duration)
+	case WALWriteErr:
+		return fmt.Sprintf("epoch %d: WAL writes failing for %d epoch(s)", e.Epoch, e.Duration)
+	case DiskFull:
+		return fmt.Sprintf("epoch %d: WAL volume full for %d epoch(s)", e.Epoch, e.Duration)
 	default:
 		return fmt.Sprintf("epoch %d: %s", e.Epoch, e.Kind)
 	}
@@ -181,8 +222,40 @@ func (p *Plan) Validate(cores int) error {
 			if e.Factor < 1 {
 				return fmt.Errorf("fault: event %d (%s): derate factor must be >= 1", i, e)
 			}
+		case ShardStall, WALWriteErr, DiskFull:
+			return fmt.Errorf("fault: event %d (%s): serve-only fault kind in a simulator plan", i, e)
 		default:
 			return fmt.Errorf("fault: event %d: unknown kind %d", i, uint8(e.Kind))
+		}
+	}
+	return nil
+}
+
+// ValidateServe checks a serve-layer plan against a cache with the given
+// shard count. Simulator-only kinds are rejected — the serve layer has no
+// bus links or ACFV monitor hardware to break. It is nil-safe.
+func (p *Plan) ValidateServe(shards int) error {
+	if p == nil {
+		return nil
+	}
+	for i, e := range p.Events {
+		if e.Epoch < 0 {
+			return fmt.Errorf("fault: event %d (%s): negative epoch", i, e)
+		}
+		switch e.Kind {
+		case ShardStall:
+			if e.Slice < 0 || e.Slice >= shards {
+				return fmt.Errorf("fault: event %d (%s): shard out of range [0,%d)", i, e, shards)
+			}
+			if e.Duration < 0 {
+				return fmt.Errorf("fault: event %d (%s): negative duration", i, e)
+			}
+		case WALWriteErr, DiskFull:
+			if e.Duration < 0 {
+				return fmt.Errorf("fault: event %d (%s): negative duration", i, e)
+			}
+		default:
+			return fmt.Errorf("fault: event %d (%s): simulator-only fault kind in a serve plan", i, e)
 		}
 	}
 	return nil
@@ -267,6 +340,58 @@ func NewPlan(seed uint64, spec Spec) (*Plan, error) {
 		p.Events = append(p.Events, e)
 	}
 	if err := p.Validate(spec.Cores); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ServeSpec parameterizes NewServePlan.
+type ServeSpec struct {
+	// Shards is the serve cache's shard count.
+	Shards int
+	// FirstEpoch is the earliest epoch an event may land on.
+	FirstEpoch int
+	// Epochs is the width of the injection window starting at FirstEpoch.
+	Epochs int
+	// Events is how many events to draw.
+	Events int
+}
+
+// serveKindCycle leads with a WAL write-error so every non-trivial serve
+// plan exercises the read-mostly degradation path.
+var serveKindCycle = []Kind{WALWriteErr, ShardStall, DiskFull, ShardStall, WALWriteErr}
+
+// NewServePlan draws a deterministic serve-layer plan from the seed, with
+// the same prefix-stability property as NewPlan (event i comes from
+// rng.Derive(seed, i), offset so serve and simulator plans with one seed
+// do not correlate).
+func NewServePlan(seed uint64, spec ServeSpec) (*Plan, error) {
+	if spec.Shards < 1 {
+		return nil, fmt.Errorf("fault: NewServePlan needs >= 1 shard, got %d", spec.Shards)
+	}
+	if spec.Epochs < 1 {
+		return nil, fmt.Errorf("fault: NewServePlan needs a positive epoch window, got %d", spec.Epochs)
+	}
+	if spec.Events < 0 {
+		return nil, fmt.Errorf("fault: NewServePlan with negative event count %d", spec.Events)
+	}
+	if spec.FirstEpoch < 0 {
+		return nil, fmt.Errorf("fault: NewServePlan with negative first epoch %d", spec.FirstEpoch)
+	}
+	p := &Plan{Seed: seed}
+	for i := 0; i < spec.Events; i++ {
+		r := rng.Derive(seed, 0x5E12_F00D+uint64(i))
+		e := Event{
+			Epoch:    spec.FirstEpoch + r.Intn(spec.Epochs),
+			Kind:     serveKindCycle[i%len(serveKindCycle)],
+			Duration: 1 + r.Intn(3),
+		}
+		if e.Kind == ShardStall {
+			e.Slice = r.Intn(spec.Shards)
+		}
+		p.Events = append(p.Events, e)
+	}
+	if err := p.ValidateServe(spec.Shards); err != nil {
 		return nil, err
 	}
 	return p, nil

@@ -149,3 +149,79 @@ func TestNewPlanRejectsBadSpecs(t *testing.T) {
 		}
 	}
 }
+
+// TestServePlanDeterministic pins the serve-plan derivation: same seed,
+// same plan; different seeds diverge; the cycle leads with WALWriteErr.
+func TestServePlanDeterministic(t *testing.T) {
+	spec := ServeSpec{Shards: 4, Epochs: 10, Events: 5}
+	a, err := NewServePlan(7, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewServePlan(7, spec)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("same seed diverged:\n%s\n%s", a.Fingerprint(), b.Fingerprint())
+	}
+	c, _ := NewServePlan(8, spec)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different seeds produced identical serve plans")
+	}
+	if a.Events[0].Kind != WALWriteErr {
+		t.Fatalf("serve cycle leads with %s, want wal-write-error", a.Events[0].Kind)
+	}
+	for i, e := range a.Events {
+		if !e.Kind.ServeOnly() {
+			t.Fatalf("event %d kind %s is not serve-only", i, e.Kind)
+		}
+		if e.Duration < 1 || e.Duration > 3 {
+			t.Fatalf("event %d duration %d out of [1,3]", i, e.Duration)
+		}
+		if e.Kind == ShardStall && (e.Slice < 0 || e.Slice >= spec.Shards) {
+			t.Fatalf("event %d shard %d out of range", i, e.Slice)
+		}
+	}
+}
+
+// TestServeSimKindSeparation: each layer's validator rejects the other
+// layer's kinds, so a plan can never silently cross domains.
+func TestServeSimKindSeparation(t *testing.T) {
+	serve := &Plan{Events: []Event{{Kind: WALWriteErr, Duration: 1}}}
+	if err := serve.Validate(8); err == nil {
+		t.Fatal("simulator Validate accepted a serve-only kind")
+	}
+	if err := serve.ValidateServe(4); err != nil {
+		t.Fatalf("ValidateServe rejected a valid serve plan: %v", err)
+	}
+	sim := &Plan{Events: []Event{{Kind: MemDerate, Factor: 2}}}
+	if err := sim.ValidateServe(4); err == nil {
+		t.Fatal("ValidateServe accepted a simulator-only kind")
+	}
+	if err := sim.Validate(8); err != nil {
+		t.Fatalf("Validate rejected a valid sim plan: %v", err)
+	}
+}
+
+// TestValidateServeRejects covers the serve guard rails.
+func TestValidateServeRejects(t *testing.T) {
+	bad := []Plan{
+		{Events: []Event{{Kind: ShardStall, Slice: 4, Duration: 1}}},  // shard out of range
+		{Events: []Event{{Kind: ShardStall, Slice: -1, Duration: 1}}}, // negative shard
+		{Events: []Event{{Kind: WALWriteErr, Duration: -1}}},          // negative duration
+		{Events: []Event{{Kind: DiskFull, Epoch: -1}}},                // negative epoch
+	}
+	for i := range bad {
+		if err := bad[i].ValidateServe(4); err == nil {
+			t.Errorf("ValidateServe accepted bad plan %d", i)
+		}
+	}
+	var nilPlan *Plan
+	if err := nilPlan.ValidateServe(4); err != nil {
+		t.Errorf("nil plan ValidateServe = %v", err)
+	}
+	if _, err := NewServePlan(1, ServeSpec{Shards: 0, Epochs: 1, Events: 1}); err == nil {
+		t.Error("NewServePlan accepted zero shards")
+	}
+	if _, err := NewServePlan(1, ServeSpec{Shards: 2, Epochs: 0, Events: 1}); err == nil {
+		t.Error("NewServePlan accepted zero epoch window")
+	}
+}

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AdmissionConfig bounds what the HTTP layer admits (DESIGN.md §14.3).
+// Each zero-valued field disables that limit; the zero value disables
+// admission control entirely. Rejections use 429 + Retry-After — 503 is
+// reserved for drain and degraded/persistence failures — so clients can
+// tell "you are over your budget, back off" from "the server is sick".
+type AdmissionConfig struct {
+	// TenantRPS is each tenant's sustained requests-per-second budget,
+	// enforced by a token bucket.
+	TenantRPS float64
+	// TenantBurst is the bucket depth (burst allowance). Default: max(
+	// TenantRPS, 1).
+	TenantBurst int
+	// MaxInFlight caps concurrently executing requests across all
+	// tenants; excess requests are shed immediately, never queued.
+	MaxInFlight int
+	// RequestTimeout is the per-request deadline applied to r.Context().
+	RequestTimeout time.Duration
+}
+
+func (a AdmissionConfig) enabled() bool {
+	return a.TenantRPS > 0 || a.MaxInFlight > 0 || a.RequestTimeout > 0
+}
+
+func (a AdmissionConfig) validate() error {
+	if a.TenantRPS < 0 || math.IsNaN(a.TenantRPS) || math.IsInf(a.TenantRPS, 0) {
+		return fmt.Errorf("serve: invalid tenant rps %v", a.TenantRPS)
+	}
+	if a.TenantBurst < 0 {
+		return fmt.Errorf("serve: negative tenant burst %d", a.TenantBurst)
+	}
+	if a.MaxInFlight < 0 {
+		return fmt.Errorf("serve: negative in-flight cap %d", a.MaxInFlight)
+	}
+	if a.RequestTimeout < 0 {
+		return fmt.Errorf("serve: negative request timeout %s", a.RequestTimeout)
+	}
+	return nil
+}
+
+// ErrOverCapacity is the admission rejection (HTTP 429 + Retry-After).
+var ErrOverCapacity = errors.New("serve: over capacity")
+
+// bucket is one tenant's token bucket. Tokens accrue continuously at
+// TenantRPS up to the burst depth; a request spends one.
+type bucket struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// admission is the serve-layer overload guard: per-tenant token buckets
+// plus a global in-flight cap. It is nil on a Cache with the zero
+// AdmissionConfig, so the library access path never pays for it.
+type admission struct {
+	cfg      AdmissionConfig
+	burst    float64
+	now      func() time.Time // injectable for tests
+	inflight atomic.Int64
+	buckets  []bucket // indexed by tenant home slot
+}
+
+func newAdmission(cfg AdmissionConfig, slots int) *admission {
+	burst := float64(cfg.TenantBurst)
+	if burst < 1 {
+		burst = cfg.TenantRPS
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &admission{
+		cfg:     cfg,
+		burst:   burst,
+		now:     time.Now,
+		buckets: make([]bucket, slots),
+	}
+}
+
+// acquire claims an in-flight slot; false means the global cap is hit
+// and the request must be shed (never queued).
+func (a *admission) acquire() bool {
+	if a.cfg.MaxInFlight <= 0 {
+		a.inflight.Add(1)
+		return true
+	}
+	for {
+		cur := a.inflight.Load()
+		if cur >= int64(a.cfg.MaxInFlight) {
+			return false
+		}
+		if a.inflight.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+func (a *admission) release() { a.inflight.Add(-1) }
+
+// allowTenant spends one token from the tenant's bucket. On rejection it
+// returns how long until a token accrues (the Retry-After hint).
+func (a *admission) allowTenant(slot int) (bool, time.Duration) {
+	if a.cfg.TenantRPS <= 0 {
+		return true, 0
+	}
+	b := &a.buckets[slot]
+	now := a.now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.last.IsZero() {
+		b.tokens = a.burst
+	} else if dt := now.Sub(b.last); dt > 0 {
+		b.tokens += dt.Seconds() * a.cfg.TenantRPS
+	}
+	if b.tokens > a.burst {
+		b.tokens = a.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / a.cfg.TenantRPS * float64(time.Second))
+	return false, wait
+}
+
+// retryAfterSeconds renders a Retry-After value: at least 1, rounded up.
+func retryAfterSeconds(d time.Duration) string {
+	s := int64(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return strconv.FormatInt(s, 10)
+}
+
+// InFlight reports the currently admitted request count (0 when
+// admission is disabled).
+func (c *Cache) InFlight() int64 {
+	if c.adm == nil {
+		return 0
+	}
+	return c.adm.inflight.Load()
+}
+
+// admit wraps an HTTP handler with the overload guards: the global
+// in-flight cap, the per-tenant token bucket (when the route names a
+// tenant), and the per-request deadline. Admission disabled returns the
+// handler untouched.
+func (c *Cache) admit(h http.HandlerFunc, tenantRoute bool) http.Handler {
+	if c.adm == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !c.adm.acquire() {
+			c.met.admRejectInflight()
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "over capacity: in-flight limit", http.StatusTooManyRequests)
+			return
+		}
+		defer c.adm.release()
+		if tenantRoute {
+			if slot, ok := c.tenants[r.PathValue("tenant")]; ok {
+				if admitted, wait := c.adm.allowTenant(slot); !admitted {
+					c.met.admRejectRate()
+					w.Header().Set("Retry-After", retryAfterSeconds(wait))
+					http.Error(w, "over capacity: tenant rate limit", http.StatusTooManyRequests)
+					return
+				}
+			}
+			// Unknown tenants fall through to the handler's 404.
+		}
+		if c.adm.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), c.adm.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(w, r)
+	})
+}

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"errors"
+
+	"morphcache/internal/fault"
+)
+
+// Serve-layer chaos (DESIGN.md §14.4). A fault.Plan built by
+// fault.NewServePlan (or by hand) schedules three event kinds against the
+// serving path, applied at epoch boundaries with every shard lock held:
+//
+//   - fault.ShardStall: Events[i].Slice names a shard that sheds every
+//     operation with ErrShardStalled for Duration epochs.
+//   - fault.WALWriteErr: every WAL append fails for Duration epochs.
+//   - fault.DiskFull: same, surfaced as a disk-full error.
+//
+// The WAL kinds exercise the degradation path: after walFailThreshold
+// consecutive failed appends the server drops to read-mostly mode, and
+// the first epoch-boundary append after the window closes heals it.
+
+// Injected error values, distinguishable in logs and tests.
+var (
+	errWALInjected  = errors.New("serve: injected wal write error")
+	errDiskInjected = errors.New("serve: injected disk full")
+)
+
+// applyFaultsLocked advances fault state at an epoch boundary (all shard
+// locks held, c.epoch already incremented): expires stall and WAL-failure
+// windows, then applies the events scheduled for the new epoch.
+func (c *Cache) applyFaultsLocked() {
+	if c.flt == nil {
+		return
+	}
+	for _, sh := range c.shards {
+		if sh.stall > 0 {
+			sh.stall--
+		}
+	}
+	if c.walInjUntil != 0 && c.epoch >= c.walInjUntil {
+		c.walInjUntil = 0
+		if c.wal != nil {
+			c.wal.InjectFailure(nil)
+		}
+	}
+	for _, e := range c.flt.At(c.epoch) {
+		dur := e.Duration
+		if dur < 1 {
+			dur = 1
+		}
+		switch e.Kind {
+		case fault.ShardStall:
+			c.shards[e.Slice].stall = dur
+			c.met.faultApplied()
+		case fault.WALWriteErr:
+			if c.wal != nil {
+				c.wal.InjectFailure(errWALInjected)
+				c.walInjUntil = c.epoch + dur
+			}
+			c.met.faultApplied()
+		case fault.DiskFull:
+			if c.wal != nil {
+				c.wal.InjectFailure(errDiskInjected)
+				c.walInjUntil = c.epoch + dur
+			}
+			c.met.faultApplied()
+		}
+	}
+}

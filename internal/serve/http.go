@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
+	"strconv"
 )
 
 // Registrar is anything that mounts handlers by Go 1.22 ServeMux pattern:
@@ -22,13 +24,15 @@ type Registrar interface {
 //	DELETE /cache/{tenant}/{key...}   204 | 404
 //	GET    /topology                  JSON partition map
 //
-// Unknown tenants are 404, draining is 503 for every route.
+// Unknown tenants are 404, draining is 503 for every route. With
+// admission control configured, every route rides the overload guards
+// (429 + Retry-After; see AdmissionConfig).
 func (c *Cache) Register(r Registrar) {
-	r.Handle("GET /cache/{tenant}/{key...}", http.HandlerFunc(c.handleGet))
-	r.Handle("PUT /cache/{tenant}/{key...}", http.HandlerFunc(c.handlePut))
-	r.Handle("POST /cache/{tenant}/{key...}", http.HandlerFunc(c.handlePut))
-	r.Handle("DELETE /cache/{tenant}/{key...}", http.HandlerFunc(c.handleDelete))
-	r.Handle("GET /topology", http.HandlerFunc(c.handleTopology))
+	r.Handle("GET /cache/{tenant}/{key...}", c.admit(c.handleGet, true))
+	r.Handle("PUT /cache/{tenant}/{key...}", c.admit(c.handlePut, true))
+	r.Handle("POST /cache/{tenant}/{key...}", c.admit(c.handlePut, true))
+	r.Handle("DELETE /cache/{tenant}/{key...}", c.admit(c.handleDelete, true))
+	r.Handle("GET /topology", c.admit(c.handleTopology, false))
 }
 
 // Handler returns a standalone mux carrying only the cache API (tests and
@@ -39,8 +43,12 @@ func (c *Cache) Handler() http.Handler {
 	return mux
 }
 
-// writeErr maps the cache's sentinel errors onto HTTP statuses.
-func writeErr(w http.ResponseWriter, err error) {
+// writeErr maps the cache's sentinel errors onto HTTP statuses. 503 is
+// the "server is sick or leaving" family (drain, degraded, persistence,
+// stalled shard) so load balancers eject the instance; client mistakes
+// stay in the 4xx family. Unclassified errors return a generic 500 —
+// never the internal error string — and count on an obs counter.
+func (c *Cache) writeErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrNotFound):
 		http.Error(w, "not found", http.StatusNotFound)
@@ -48,39 +56,69 @@ func writeErr(w http.ResponseWriter, err error) {
 		http.Error(w, "unknown tenant", http.StatusNotFound)
 	case errors.Is(err, ErrValueTooLarge):
 		http.Error(w, "value too large", http.StatusRequestEntityTooLarge)
+	case errors.Is(err, ErrKeyTooLong):
+		http.Error(w, "key too long", http.StatusRequestURITooLong)
 	case errors.Is(err, ErrDraining):
 		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case errors.Is(err, ErrDegraded):
+		http.Error(w, "degraded: read-mostly mode", http.StatusServiceUnavailable)
+	case errors.Is(err, ErrPersist):
+		http.Error(w, "persistence failure, retry", http.StatusServiceUnavailable)
+	case errors.Is(err, ErrShardStalled):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "shard stalled, retry", http.StatusServiceUnavailable)
 	case errors.Is(err, ErrEmptyKey):
 		http.Error(w, "empty key", http.StatusBadRequest)
 	default:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		c.met.internalErr()
+		http.Error(w, "internal error", http.StatusInternalServerError)
 	}
 }
 
 func (c *Cache) handleGet(w http.ResponseWriter, r *http.Request) {
 	val, err := c.Get(r.PathValue("tenant"), r.PathValue("key"))
 	if err != nil {
-		writeErr(w, err)
+		c.writeErr(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(val)))
 	w.Write(val)
 }
 
 func (c *Cache) handlePut(w http.ResponseWriter, r *http.Request) {
-	// Read one byte past the limit so an oversized body is distinguished
-	// from one exactly at it.
-	val, err := io.ReadAll(io.LimitReader(r.Body, int64(c.cfg.MaxValueBytes)+1))
+	// MaxBytesReader stops the transfer at the limit (closing the
+	// connection) instead of draining an oversized body to count it.
+	body := http.MaxBytesReader(w, r.Body, int64(c.cfg.MaxValueBytes))
+	val, err := io.ReadAll(body)
 	if err != nil {
-		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		var mbe *http.MaxBytesError
+		switch {
+		case errors.As(err, &mbe):
+			c.writeErr(w, ErrValueTooLarge)
+		case errors.Is(r.Context().Err(), context.DeadlineExceeded):
+			// The client ran out its request deadline mid-body.
+			http.Error(w, "request timeout reading body", http.StatusRequestTimeout)
+		case r.Context().Err() != nil:
+			// The client went away; the status is for the log line.
+			http.Error(w, "client closed request", http.StatusBadRequest)
+		default:
+			http.Error(w, "malformed request body", http.StatusBadRequest)
+		}
 		return
 	}
-	if len(val) > c.cfg.MaxValueBytes {
-		writeErr(w, ErrValueTooLarge)
+	// A body that trickled in past the request deadline is rejected
+	// before it is applied.
+	switch ctxErr := r.Context().Err(); {
+	case errors.Is(ctxErr, context.DeadlineExceeded):
+		http.Error(w, "request timeout", http.StatusRequestTimeout)
+		return
+	case ctxErr != nil:
+		http.Error(w, "client closed request", http.StatusBadRequest)
 		return
 	}
 	if err := c.Set(r.PathValue("tenant"), r.PathValue("key"), val); err != nil {
-		writeErr(w, err)
+		c.writeErr(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -88,7 +126,7 @@ func (c *Cache) handlePut(w http.ResponseWriter, r *http.Request) {
 
 func (c *Cache) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if err := c.Delete(r.PathValue("tenant"), r.PathValue("key")); err != nil {
-		writeErr(w, err)
+		c.writeErr(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)

@@ -1,6 +1,9 @@
 package serve
 
-import "morphcache/internal/obs"
+import (
+	"morphcache/internal/obs"
+	"morphcache/internal/wal"
+)
 
 // metrics holds the per-tenant series, pre-resolved per slot (and sharded
 // by request shard where the access path is hot) so incrementing needs no
@@ -24,6 +27,16 @@ type metrics struct {
 	partLines              []*obs.Gauge
 
 	epochs, reconfigs, reparts *obs.Counter
+
+	// Robustness series (DESIGN.md §14): WAL durability, replay health,
+	// admission shedding, fault injection, degraded mode.
+	walAppends, walAppendErrs, walCompactions           *obs.Counter
+	walSegments                                         *obs.Gauge
+	replayRecords, replaySkipped, replayTruncatedBytes  *obs.Gauge
+	replayClean                                         *obs.Gauge
+	admRateRejections, admInflightRejections, stalledOp *obs.Counter
+	faultsApplied, internalErrs                         *obs.Counter
+	degraded                                            *obs.Gauge
 }
 
 func newMetrics(reg *obs.Registry, c *Cache) *metrics {
@@ -69,6 +82,37 @@ func newMetrics(reg *obs.Registry, c *Cache) *metrics {
 		"Reconfiguration operations (merges and splits) the policy applied.", nil)
 	m.reparts = reg.Counter("morphserve_repartitions_total",
 		"Topology changes applied to the serving partition map.", nil)
+	m.walAppends = reg.Counter("morphserve_wal_appends_total",
+		"Records appended to the write-ahead log.", nil)
+	m.walAppendErrs = reg.Counter("morphserve_wal_append_errors_total",
+		"WAL appends that failed (the write was rejected, not applied).", nil)
+	m.walCompactions = reg.Counter("morphserve_wal_compactions_total",
+		"Snapshot compactions of the write-ahead log.", nil)
+	m.walSegments = reg.Gauge("morphserve_wal_segments",
+		"Live WAL segment files.", nil)
+	m.replayRecords = reg.Gauge("morphserve_wal_replay_records",
+		"Records applied by the startup WAL replay.", nil)
+	m.replaySkipped = reg.Gauge("morphserve_wal_replay_skipped_records",
+		"Replay records skipped as no longer applicable (e.g. removed tenants).", nil)
+	m.replayTruncatedBytes = reg.Gauge("morphserve_wal_replay_truncated_bytes",
+		"Bytes cut from a torn WAL tail during startup repair.", nil)
+	m.replayClean = reg.Gauge("morphserve_wal_replay_clean",
+		"1 when the startup replay found no torn tail, else 0.", nil)
+	m.admRateRejections = reg.Counter("morphserve_admission_rejected_total",
+		"Requests shed by admission control, by reason.", obs.Labels{"reason": "tenant_rate"})
+	m.admInflightRejections = reg.Counter("morphserve_admission_rejected_total",
+		"Requests shed by admission control, by reason.", obs.Labels{"reason": "inflight"})
+	m.stalledOp = reg.Counter("morphserve_shard_stalled_total",
+		"Operations shed because their shard was stalled by an injected fault.", nil)
+	m.faultsApplied = reg.Counter("morphserve_faults_applied_total",
+		"Serve-layer fault events applied at epoch boundaries.", nil)
+	m.internalErrs = reg.Counter("morphserve_internal_errors_total",
+		"Requests that failed with an unclassified internal error.", nil)
+	m.degraded = reg.Gauge("morphserve_degraded",
+		"1 while the server is in read-mostly degraded mode after persistent WAL failure.", nil)
+	reg.RegisterGaugeFunc("morphserve_inflight_requests",
+		"Requests currently admitted and executing.", nil,
+		func() float64 { return float64(c.InFlight()) })
 	return m
 }
 
@@ -109,3 +153,24 @@ func (m *metrics) epoch(reconfigs int) {
 }
 
 func (m *metrics) repartition() { m.reparts.Inc() }
+
+func (m *metrics) walAppend()    { m.walAppends.Inc() }
+func (m *metrics) walAppendErr() { m.walAppendErrs.Inc() }
+
+// replayDone publishes the startup replay outcome.
+func (m *metrics) replayDone(st wal.ReplayStats) {
+	m.replayRecords.Set(st.Records)
+	m.replaySkipped.Set(st.Skipped)
+	m.replayTruncatedBytes.Set(st.TruncatedBytes)
+	if st.Truncated {
+		m.replayClean.Set(0)
+	} else {
+		m.replayClean.Set(1)
+	}
+}
+
+func (m *metrics) admRejectRate()     { m.admRateRejections.Inc() }
+func (m *metrics) admRejectInflight() { m.admInflightRejections.Inc() }
+func (m *metrics) stalled()           { m.stalledOp.Inc() }
+func (m *metrics) faultApplied()      { m.faultsApplied.Inc() }
+func (m *metrics) internalErr()       { m.internalErrs.Inc() }

@@ -42,10 +42,12 @@ import (
 	"morphcache/internal/acfv"
 	"morphcache/internal/cache"
 	"morphcache/internal/core"
+	"morphcache/internal/fault"
 	"morphcache/internal/hierarchy"
 	"morphcache/internal/mem"
 	"morphcache/internal/obs"
 	"morphcache/internal/topology"
+	"morphcache/internal/wal"
 )
 
 // Errors returned by the cache's operations. They are sentinels so the hit
@@ -89,6 +91,16 @@ type Config struct {
 	// EpochInterval is the reconfiguration cadence used by RunEpochs.
 	// Default 10s.
 	EpochInterval time.Duration
+	// Persist enables write-ahead-log persistence (see PersistConfig).
+	// Nil keeps the cache volatile and its hit paths allocation-free.
+	Persist *PersistConfig
+	// Admission bounds request admission at the HTTP layer; the zero
+	// value disables every limit (see AdmissionConfig).
+	Admission AdmissionConfig
+	// Faults is an optional serve-layer chaos plan (shard stalls, WAL
+	// write errors, disk-full windows) applied at epoch boundaries. It
+	// must pass fault.Plan.ValidateServe against Shards.
+	Faults *fault.Plan
 }
 
 func (c Config) withDefaults() Config {
@@ -148,6 +160,15 @@ func (c Config) Validate() error {
 	if c.SlotBytes%c.Shards != 0 {
 		return fmt.Errorf("serve: slot bytes %d not divisible by %d shards", c.SlotBytes, c.Shards)
 	}
+	if err := c.Persist.validate(); err != nil {
+		return err
+	}
+	if err := c.Admission.validate(); err != nil {
+		return err
+	}
+	if err := c.Faults.ValidateServe(c.Shards); err != nil {
+		return err
+	}
 	return cache.Config{SizeBytes: c.SlotBytes / c.Shards, Ways: c.Ways, Policy: cache.LRU}.Validate()
 }
 
@@ -171,6 +192,9 @@ type shard struct {
 	store map[mem.GlobalLine]entry
 	// vecs[slot] is the homed tenant's ACFV for this shard's traffic.
 	vecs []*acfv.Vector
+	// stall is the count of epochs this shard keeps shedding operations
+	// with ErrShardStalled (injected fault; guarded by mu).
+	stall int
 }
 
 // Cache is the policy-governed multi-tenant cache.
@@ -198,6 +222,22 @@ type Cache struct {
 	// misses[slot] is the cumulative per-tenant miss count (core.Machine's
 	// PerCoreMisses signal).
 	misses []atomic.Uint64
+
+	// wal is the write-ahead log (nil without Config.Persist). walFails
+	// counts consecutive append failures; crossing walFailThreshold sets
+	// degraded (read-mostly mode — writes shed with ErrDegraded until an
+	// epoch-boundary probe append succeeds again).
+	wal      *wal.Log
+	walFails atomic.Int32
+	degraded atomic.Bool
+
+	// adm is the HTTP admission controller (nil when no limit is set).
+	adm *admission
+	// flt is the serve-layer fault plan; walInjUntil is the epoch at
+	// which an injected WAL failure window closes (both read/written
+	// only with every shard lock held).
+	flt         *fault.Plan
+	walInjUntil int
 
 	met *metrics
 }
@@ -255,8 +295,18 @@ func New(cfg Config, reg *obs.Registry) (*Cache, error) {
 	}
 	c.topo = topology.AllPrivate(cfg.Slots)
 	c.computePartMask()
+	c.flt = cfg.Faults
+	if cfg.Admission.enabled() {
+		c.adm = newAdmission(cfg.Admission, cfg.Slots)
+	}
 	c.met = newMetrics(reg, c)
 	c.met.setPartitionGauges()
+	if cfg.Persist != nil {
+		if err := c.openWAL(); err != nil {
+			return nil, err
+		}
+		c.met.setPartitionGauges()
+	}
 	return c, nil
 }
 
@@ -321,6 +371,11 @@ func (c *Cache) Get(tenant, key string) ([]byte, error) {
 	sh := c.shardOf(h)
 	shardIdx := int((h >> 48) & uint64(len(c.shards)-1))
 	sh.mu.Lock()
+	if sh.stall > 0 {
+		sh.mu.Unlock()
+		c.met.stalled()
+		return nil, ErrShardStalled
+	}
 	mask := sh.pres.Get(gl) & c.partMask[slot]
 	if mask == 0 {
 		c.misses[slot].Add(1)
@@ -352,7 +407,10 @@ func (c *Cache) Get(tenant, key string) ([]byte, error) {
 
 // Set stores val under (tenant, key), evicting within the tenant's
 // current partition if its group is full. The cache takes ownership of
-// val; callers must not mutate it afterwards.
+// val; callers must not mutate it afterwards. With persistence enabled
+// the record is appended to the WAL (and, under FsyncAlways, synced)
+// before it is applied — a nil return means the write is durable to the
+// configured policy.
 func (c *Cache) Set(tenant, key string, val []byte) error {
 	if c.draining.Load() {
 		return ErrDraining
@@ -364,16 +422,38 @@ func (c *Cache) Set(tenant, key string, val []byte) error {
 	if key == "" {
 		return ErrEmptyKey
 	}
+	if len(key) > maxKeyBytes {
+		return ErrKeyTooLong
+	}
 	if len(val) > c.cfg.MaxValueBytes {
 		return ErrValueTooLarge
 	}
+	if c.wal != nil && c.degraded.Load() {
+		return ErrDegraded
+	}
 	h := hashKey(key)
-	line := mem.Line(h)
-	gl := mem.GlobalLine{ASID: asidOf(slot), Line: line}
 	sh := c.shardOf(h)
 	shardIdx := int((h >> 48) & uint64(len(c.shards)-1))
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if sh.stall > 0 {
+		c.met.stalled()
+		return ErrShardStalled
+	}
+	if c.wal != nil {
+		if err := c.walAppendLocked(wal.Record{Kind: wal.KindSet, Tenant: tenant, Key: key, Value: val, Epoch: uint64(c.epoch)}); err != nil {
+			return err
+		}
+	}
+	c.setLocked(sh, slot, shardIdx, h, key, val)
+	return nil
+}
+
+// setLocked applies a store to the shard (its lock held): the WAL-free
+// core of Set, shared with replay.
+func (c *Cache) setLocked(sh *shard, slot, shardIdx int, h uint64, key string, val []byte) {
+	line := mem.Line(h)
+	gl := mem.GlobalLine{ASID: asidOf(slot), Line: line}
 	if mask := sh.pres.Get(gl) & c.partMask[slot]; mask != 0 {
 		// Overwrite in place; an aliased key is displaced (cache semantics:
 		// at most one resident value per line).
@@ -390,7 +470,7 @@ func (c *Cache) Set(tenant, key string, val []byte) error {
 		sl.Touch(sl.SetIndex(line), w)
 		sh.vecs[slot].Set(line)
 		c.met.set(slot, shardIdx)
-		return nil
+		return
 	}
 	// Insert at the partition's LRU position for this set: the home slice
 	// if it has a free way, else the first group member with one, else the
@@ -434,10 +514,11 @@ func (c *Cache) Set(tenant, key string, val []byte) error {
 	c.occupancy[slot].Add(1)
 	sh.vecs[slot].Set(line)
 	c.met.set(slot, shardIdx)
-	return nil
 }
 
-// Delete removes (tenant, key); ErrNotFound if absent.
+// Delete removes (tenant, key); ErrNotFound if absent. Like Set, the
+// delete is WAL-logged before it is applied when persistence is on
+// (absent keys are not logged).
 func (c *Cache) Delete(tenant, key string) error {
 	if c.draining.Load() {
 		return ErrDraining
@@ -449,16 +530,45 @@ func (c *Cache) Delete(tenant, key string) error {
 	if key == "" {
 		return ErrEmptyKey
 	}
+	if len(key) > maxKeyBytes {
+		return ErrKeyTooLong
+	}
+	if c.wal != nil && c.degraded.Load() {
+		return ErrDegraded
+	}
 	h := hashKey(key)
-	line := mem.Line(h)
-	gl := mem.GlobalLine{ASID: asidOf(slot), Line: line}
 	sh := c.shardOf(h)
 	shardIdx := int((h >> 48) & uint64(len(c.shards)-1))
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if sh.stall > 0 {
+		c.met.stalled()
+		return ErrShardStalled
+	}
+	if c.wal != nil {
+		gl := mem.GlobalLine{ASID: asidOf(slot), Line: mem.Line(h)}
+		if mask := sh.pres.Get(gl) & c.partMask[slot]; mask == 0 || sh.store[gl].key != key {
+			return ErrNotFound
+		}
+		if err := c.walAppendLocked(wal.Record{Kind: wal.KindDelete, Tenant: tenant, Key: key, Epoch: uint64(c.epoch)}); err != nil {
+			return err
+		}
+	}
+	if !c.deleteLocked(sh, slot, shardIdx, h, key) {
+		return ErrNotFound
+	}
+	return nil
+}
+
+// deleteLocked applies a delete to the shard (its lock held): the
+// WAL-free core of Delete, shared with replay. It reports whether the
+// key was resident.
+func (c *Cache) deleteLocked(sh *shard, slot, shardIdx int, h uint64, key string) bool {
+	line := mem.Line(h)
+	gl := mem.GlobalLine{ASID: asidOf(slot), Line: line}
 	mask := sh.pres.Get(gl) & c.partMask[slot]
 	if mask == 0 || sh.store[gl].key != key {
-		return ErrNotFound
+		return false
 	}
 	phys := bits.TrailingZeros32(mask)
 	sh.slices[phys].Invalidate(gl.ASID, line)
@@ -466,7 +576,7 @@ func (c *Cache) Delete(tenant, key string) error {
 	delete(sh.store, gl)
 	c.occupancy[slot].Add(-1)
 	c.met.del(slot, shardIdx)
-	return nil
+	return true
 }
 
 // EndEpoch closes a reconfiguration interval: with every shard locked, the
@@ -482,6 +592,7 @@ func (c *Cache) EndEpoch() (reconfigs int, asymmetric bool) {
 		}
 	}()
 	c.epoch++
+	c.applyFaultsLocked()
 	r, asym := c.policy.EndEpoch(c.epoch, machine{c})
 	for _, sh := range c.shards {
 		for _, v := range sh.vecs {
@@ -489,6 +600,9 @@ func (c *Cache) EndEpoch() (reconfigs int, asymmetric bool) {
 		}
 	}
 	c.met.epoch(r)
+	if c.wal != nil {
+		c.walEndEpochLocked(r)
+	}
 	return r, asym
 }
 

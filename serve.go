@@ -2,8 +2,10 @@ package morphcache
 
 import (
 	"morphcache/internal/core"
+	"morphcache/internal/fault"
 	"morphcache/internal/obs"
 	"morphcache/internal/serve"
+	"morphcache/internal/wal"
 )
 
 // Serve-mode re-exports: the embeddable policy-governed cache server
@@ -30,7 +32,39 @@ type (
 	// PolicyMachine is the surface a policy governs (core.Machine): the
 	// simulated hierarchy and the serve-mode cache both implement it.
 	PolicyMachine = core.Machine
+	// ServePersistConfig enables crash-safe WAL persistence on a
+	// ServeConfig (serve.PersistConfig; DESIGN.md §14).
+	ServePersistConfig = serve.PersistConfig
+	// ServeAdmissionConfig bounds request admission on a ServeConfig
+	// (serve.AdmissionConfig): per-tenant token buckets, a global
+	// in-flight cap, and per-request deadlines.
+	ServeAdmissionConfig = serve.AdmissionConfig
+	// FsyncPolicy selects the WAL durability mode (wal.FsyncPolicy).
+	FsyncPolicy = wal.FsyncPolicy
+	// ServeFaultSpec shapes a seed-derived serve-layer chaos plan
+	// (fault.ServeSpec) for ServeConfig.Faults.
+	ServeFaultSpec = fault.ServeSpec
+	// ServeFaultPlan is a fault-injection schedule (fault.Plan); the same
+	// type the simulator's Config.Faults consumes.
+	ServeFaultPlan = fault.Plan
 )
+
+// WAL fsync policies (see wal.FsyncPolicy).
+const (
+	// FsyncAlways syncs every acknowledged write (the default).
+	FsyncAlways = wal.FsyncAlways
+	// FsyncInterval syncs on a background cadence.
+	FsyncInterval = wal.FsyncInterval
+	// FsyncNever leaves syncing to the OS.
+	FsyncNever = wal.FsyncNever
+)
+
+// NewServeFaultPlan derives a deterministic serve-layer chaos plan
+// (shard stalls, WAL write errors, disk-full windows) from a seed; see
+// fault.NewServePlan.
+func NewServeFaultPlan(seed uint64, spec ServeFaultSpec) (*ServeFaultPlan, error) {
+	return fault.NewServePlan(seed, spec)
+}
 
 // NewServeCache builds a serve-mode cache; reg may be nil (metrics stay
 // private). See serve.New.
