@@ -6,8 +6,10 @@
 //
 //	GET/PUT/POST/DELETE /cache/{tenant}/{key...}
 //	GET /topology                 current partition map (JSON)
+//	GET /decisions                controller decision audit ring (JSON)
+//	GET /events                   live decision/degraded/stall SSE feed
 //	GET /metrics                  Prometheus text (per-tenant series)
-//	GET /healthz                  200, 503 once draining
+//	GET /healthz                  200, 503 once draining (?verbose=1: detail)
 //	/debug/pprof, /debug/vars
 //
 // With -wal the cache is crash-safe: every acknowledged write is logged
@@ -16,6 +18,13 @@
 // back, with a torn tail truncated at the last valid record. The
 // -tenant-rps/-max-inflight/-request-timeout flags arm overload
 // admission (429 + Retry-After; see internal/serve.AdmissionConfig).
+//
+// Observability (DESIGN.md §15): -log text|json|off selects structured
+// logging (decision/degradation/fault lines always on, access lines
+// sampled 1-in—access-log-every), -slo-p99 arms per-tenant burn-rate
+// tracking on /metrics and /healthz?verbose=1, -audit sizes the
+// /decisions ring, and -trace writes a Chrome trace of request spans
+// (shard-lock wait, WAL append, store access) at shutdown.
 //
 // SIGINT/SIGTERM drains gracefully: /healthz flips to 503, in-flight
 // requests finish (bounded by -shutdown-timeout), new cache operations
@@ -26,6 +35,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -65,6 +75,12 @@ func run() error {
 		maxInflight = flag.Int("max-inflight", 0, "global concurrent-request cap (0 = unlimited)")
 		reqTimeout  = flag.Duration("request-timeout", 0, "per-request deadline (0 = none)")
 
+		logMode   = flag.String("log", "off", "structured logging: text | json | off")
+		logEvery  = flag.Int("access-log-every", 0, "sample one access log line per N operations (0 = default 128)")
+		sloP99    = flag.Duration("slo-p99", 0, "per-tenant p99 latency target; arms SLO burn-rate gauges (0 = off)")
+		auditCap  = flag.Int("audit", 0, "decision audit ring capacity for /decisions (0 = default 256)")
+		traceFile = flag.String("trace", "", "write a Chrome trace of request spans here at shutdown (empty = off)")
+
 		shutdownTimeout = flag.Duration("shutdown-timeout", 5*time.Second, "graceful drain deadline on SIGINT/SIGTERM")
 	)
 	flag.Parse()
@@ -86,6 +102,25 @@ func run() error {
 			MaxInFlight:    *maxInflight,
 			RequestTimeout: *reqTimeout,
 		},
+		Obs: serve.ObsConfig{
+			AccessLogEvery: *logEvery,
+			SLOTargetP99:   *sloP99,
+			AuditCapacity:  *auditCap,
+		},
+	}
+	switch *logMode {
+	case "text":
+		cfg.Obs.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		cfg.Obs.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "off":
+	default:
+		return fmt.Errorf("unknown -log mode %q (want text, json, or off)", *logMode)
+	}
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		tracer = obs.NewTracer(nil)
+		cfg.Obs.Tracer = tracer
 	}
 	if *walDir != "" {
 		policy, err := wal.ParseFsyncPolicy(*fsync)
@@ -110,6 +145,7 @@ func run() error {
 
 	admin := obs.NewAdmin(hub.Registry, hub.Jobs)
 	cache.Register(admin)
+	admin.SetHealthDetail(func() any { return cache.HealthDetail() })
 	srv, err := obs.Serve(*addr, admin)
 	if err != nil {
 		return err
@@ -135,6 +171,25 @@ func run() error {
 	if err := cache.Close(); err != nil {
 		return fmt.Errorf("wal close: %w", err)
 	}
+	if tracer != nil {
+		if err := writeTrace(*traceFile, tracer); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "morphserve: trace written to %s\n", *traceFile)
+	}
 	fmt.Fprintln(os.Stderr, "morphserve: done")
 	return nil
+}
+
+// writeTrace dumps the collected request spans as a Chrome trace file.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -128,7 +128,10 @@ func DefaultOptions() Options {
 	}
 }
 
-// Decision records one applied reconfiguration operation.
+// Decision records one applied reconfiguration operation. It is the
+// controller's in-process decision surface: the serve-mode audit plane
+// and the telemetry recorder both derive their event streams from the
+// same emit/record points that append here.
 type Decision struct {
 	// Interval is the reconfiguration interval the decision was made in.
 	Interval int
@@ -136,6 +139,10 @@ type Decision struct {
 	Level hierarchy.Level
 	// Merge is true for a merge, false for a split.
 	Merge bool
+	// Rule names the decision rule that fired, using the telemetry
+	// taxonomy: "capacity", "sharing", "interference", "stale", or
+	// "fault" (a forced degradation split).
+	Rule string
 	// Groups describes the slice groups involved (before the operation).
 	Groups string
 }
@@ -255,7 +262,7 @@ func (c *Controller) MSATBounds() MSAT { return c.msat }
 // (bounded at maxHistory; older entries are dropped).
 func (c *Controller) History() []Decision { return c.history }
 
-func (c *Controller) record(l hierarchy.Level, merge bool, groups string) {
+func (c *Controller) record(l hierarchy.Level, merge bool, rule, groups string) {
 	if merge {
 		c.obs.CountReconfig("merge")
 	} else {
@@ -269,6 +276,7 @@ func (c *Controller) record(l hierarchy.Level, merge bool, groups string) {
 		Interval: c.intervals,
 		Level:    l,
 		Merge:    merge,
+		Rule:     rule,
 		Groups:   groups,
 	})
 }
@@ -393,7 +401,7 @@ func (c *Controller) degradePass(sys Machine) int {
 				ops += n
 				c.splits += n
 				groups := fmt.Sprintf("%v", m)
-				c.record(l, false, groups)
+				c.record(l, false, "fault", groups)
 				c.emit(l, "split", "fault", groups, u1, u2, ov)
 				// Keep the severed halves apart for the rest of the interval.
 				c.locked[lockKey{l, m[0]}] = true
@@ -715,7 +723,7 @@ func (c *Controller) mergeLevel(sys Machine, l hierarchy.Level) int {
 			ops, ok := c.applyMerge(sys, l, a, b)
 			if ok {
 				groups := fmt.Sprintf("%v+%v", ma, mb)
-				c.record(l, true, groups)
+				c.record(l, true, rule, groups)
 				c.emit(l, "merge", rule, groups, ua, ub, ov)
 				if c.opts.Trace != nil {
 					// The utilizations are the decision's inputs (pre-apply).
@@ -849,7 +857,7 @@ func (c *Controller) splitLevel(sys Machine, l hierarchy.Level) int {
 			ops, ok := c.applySplit(sys, l, gi, false)
 			if ok {
 				groups := fmt.Sprintf("%v", m)
-				c.record(l, false, groups)
+				c.record(l, false, rule, groups)
 				c.emit(l, "split", rule, groups, u1, u2, ov)
 				if c.opts.Trace != nil {
 					fmt.Fprintf(c.opts.Trace, "split %v %v u=(%.2f,%.2f)\n",

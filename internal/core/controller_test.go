@@ -516,6 +516,9 @@ func TestDecisionHistory(t *testing.T) {
 	if !first.Merge || first.Level != hierarchy.L3 || first.Groups == "" {
 		t.Fatalf("unexpected first decision %+v", first)
 	}
+	if first.Rule != "capacity" {
+		t.Fatalf("decision rule %q, want capacity (one starved core, private donors)", first.Rule)
+	}
 	if first.Interval != 1 {
 		t.Fatalf("interval %d, want 1", first.Interval)
 	}

@@ -88,6 +88,17 @@ func (s *ShardedCounter) Value() uint64 {
 	return t
 }
 
+// RequestLatencyBuckets are histogram bounds for request-scale latencies
+// in microseconds: sub-millisecond in-memory hits through multi-second
+// degraded tail requests. The simulator's cycle-scale LatencyBuckets
+// (hub.go) are three orders of magnitude too fine for a served request,
+// so the serve-mode request histograms use these instead.
+var RequestLatencyBuckets = []uint64{
+	5, 10, 25, 50, 100, 250, 500,
+	1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+	250_000, 500_000, 1_000_000, 2_500_000, 5_000_000,
+}
+
 // Histogram is a fixed-bucket histogram of uint64 observations (CPU
 // cycles, here). Bucket i counts observations <= Bounds[i]; one overflow
 // bucket counts the rest. All operations are lock-free atomics, so one

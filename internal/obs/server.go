@@ -16,6 +16,7 @@ import (
 //
 //	/metrics      Prometheus text exposition of the registry
 //	/healthz      200 while serving, 503 once shutdown begins
+//	              (?verbose=1 adds the registered detail view, JSON)
 //	/jobs         live batch progress (JobsView JSON)
 //	/debug/vars   expvar
 //	/debug/pprof  net/http/pprof profiles
@@ -25,6 +26,7 @@ type Admin struct {
 	reg     *Registry
 	jobs    func() JobsView
 	healthy atomic.Bool
+	detail  atomic.Value // of func() any
 	mux     *http.ServeMux
 }
 
@@ -59,6 +61,12 @@ func (a *Admin) Handle(pattern string, h http.Handler) { a.mux.Handle(pattern, h
 // before draining, so load balancers and probes see the drain).
 func (a *Admin) SetHealthy(ok bool) { a.healthy.Store(ok) }
 
+// SetHealthDetail registers the /healthz?verbose=1 detail provider: f's
+// JSON-encodable return value is embedded in the verbose health response.
+// The serve-mode cache uses this to expose per-tenant SLO burn rates and
+// partition state next to the plain ok/draining bit.
+func (a *Admin) SetHealthDetail(f func() any) { a.detail.Store(f) }
+
 func (a *Admin) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := a.reg.WritePrometheus(w); err != nil {
@@ -68,7 +76,25 @@ func (a *Admin) serveMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *Admin) serveHealthz(w http.ResponseWriter, r *http.Request) {
-	if !a.healthy.Load() {
+	healthy := a.healthy.Load()
+	if r.URL.Query().Get("verbose") == "1" {
+		body := struct {
+			Healthy bool `json:"healthy"`
+			Detail  any  `json:"detail,omitempty"`
+		}{Healthy: healthy}
+		if f, ok := a.detail.Load().(func() any); ok && f != nil {
+			body.Detail = f()
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if !healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(body) //nolint:errcheck // best effort over HTTP
+		return
+	}
+	if !healthy {
 		http.Error(w, "shutting down", http.StatusServiceUnavailable)
 		return
 	}
@@ -97,23 +123,86 @@ type Server struct {
 	ln    net.Listener
 }
 
-// Serve binds addr (e.g. ":9190" or "127.0.0.1:0") and serves the admin
-// endpoint in the background until Shutdown.
-func Serve(addr string, a *Admin) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)
-	}
-	// Full-request timeouts, not just the header read: once this mux also
-	// carries cache traffic (internal/serve), a stalled client must not be
-	// able to pin a handler goroutine for the life of the process. The
-	// write timeout stays above /debug/pprof/profile's 30s default.
-	srv := &http.Server{
-		Handler:           a.Handler(),
+// ServerOptions are the listener-side timeouts Serve applies. The zero
+// value of any field falls back to the matching DefaultServerOptions
+// value, so callers override only what they test.
+type ServerOptions struct {
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	// WriteTimeout bounds a whole response write. Handlers that
+	// legitimately stream for longer (the serve-mode /events SSE feed)
+	// must be wrapped in Streaming, which exempts just that response.
+	WriteTimeout time.Duration
+	IdleTimeout  time.Duration
+}
+
+// DefaultServerOptions returns the production timeouts: full-request
+// bounds, not just the header read — once the mux also carries cache
+// traffic (internal/serve), a stalled client must not be able to pin a
+// handler goroutine for the life of the process. The write timeout stays
+// above /debug/pprof/profile's 30s default profiling window.
+func DefaultServerOptions() ServerOptions {
+	return ServerOptions{
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       120 * time.Second,
+	}
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	d := DefaultServerOptions()
+	if o.ReadHeaderTimeout == 0 {
+		o.ReadHeaderTimeout = d.ReadHeaderTimeout
+	}
+	if o.ReadTimeout == 0 {
+		o.ReadTimeout = d.ReadTimeout
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = d.WriteTimeout
+	}
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = d.IdleTimeout
+	}
+	return o
+}
+
+// Streaming wraps a long-lived streaming handler (server-sent events, log
+// tails) with a per-response exemption from the server's blanket
+// WriteTimeout: the connection's write deadline is cleared before the
+// handler runs, so the stream lives until the client goes away or the
+// handler returns. Read deadlines are left alone — a streaming response
+// still must not let a stalled *request* pin the goroutine.
+func Streaming(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rc := http.NewResponseController(w)
+		// ErrNotSupported (e.g. a bare httptest recorder) is fine: there
+		// is no server-side deadline to lift in that case.
+		rc.SetWriteDeadline(time.Time{}) //nolint:errcheck
+		h.ServeHTTP(w, r)
+	})
+}
+
+// Serve binds addr (e.g. ":9190" or "127.0.0.1:0") and serves the admin
+// endpoint in the background until Shutdown, with DefaultServerOptions
+// timeouts.
+func Serve(addr string, a *Admin) (*Server, error) {
+	return ServeWith(addr, a, ServerOptions{})
+}
+
+// ServeWith is Serve with explicit timeouts (zero fields take defaults).
+func ServeWith(addr string, a *Admin, opts ServerOptions) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)
+	}
+	opts = opts.withDefaults()
+	srv := &http.Server{
+		Handler:           a.Handler(),
+		ReadHeaderTimeout: opts.ReadHeaderTimeout,
+		ReadTimeout:       opts.ReadTimeout,
+		WriteTimeout:      opts.WriteTimeout,
+		IdleTimeout:       opts.IdleTimeout,
 	}
 	s := &Server{admin: a, srv: srv, ln: ln}
 	go srv.Serve(ln) //nolint:errcheck // Serve always returns ErrServerClosed after Shutdown

@@ -153,3 +153,112 @@ func TestServeBadAddress(t *testing.T) {
 		t.Fatal("Serve accepted a bad address")
 	}
 }
+
+// slowStream writes one chunk every tick for the given total duration,
+// flushing each — a stand-in for a long-lived SSE feed.
+func slowStream(tick time.Duration, chunks int) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fl, _ := w.(http.Flusher)
+		for i := 0; i < chunks; i++ {
+			time.Sleep(tick)
+			if _, err := io.WriteString(w, "data: tick\n\n"); err != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+	})
+}
+
+// TestStreamingExemptsWriteTimeout is the regression test for the blanket
+// WriteTimeout killing long-lived streaming responses: a stream that
+// outlives the server's WriteTimeout dies unwrapped and survives wrapped
+// in Streaming. Both cases run against a real listener (httptest servers
+// configure no write timeout, so the kill would not reproduce there).
+func TestStreamingExemptsWriteTimeout(t *testing.T) {
+	admin, _ := testAdmin(t)
+	admin.Handle("GET /bare-stream", slowStream(50*time.Millisecond, 10))
+	admin.Handle("GET /stream", Streaming(slowStream(50*time.Millisecond, 10)))
+	srv, err := ServeWith("127.0.0.1:0", admin, ServerOptions{WriteTimeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	read := func(path string) (string, error) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return string(b), err
+	}
+
+	// The full stream takes ~500ms against a 150ms write timeout. The
+	// exempted stream must deliver every chunk.
+	body, err := read("/stream")
+	if err != nil {
+		t.Fatalf("streaming-wrapped read failed: %v", err)
+	}
+	if got := strings.Count(body, "data: tick"); got != 10 {
+		t.Fatalf("streaming-wrapped response delivered %d/10 chunks:\n%s", got, body)
+	}
+
+	// The bare stream must be cut off by the write timeout (the deadline
+	// fires mid-stream and the connection dies). If this starts passing,
+	// the server's WriteTimeout is no longer applied and Streaming is dead
+	// code.
+	if body, err := read("/bare-stream"); err == nil && strings.Count(body, "data: tick") == 10 {
+		t.Fatalf("unwrapped stream survived a 150ms write timeout — WriteTimeout not in force")
+	}
+}
+
+// TestDefaultWriteTimeoutFitsPprofProfile pins the contract that the
+// default write timeout keeps /debug/pprof/profile's 30s default window
+// usable: the deadline must clear 30s with margin for the profile
+// serialization tail.
+func TestDefaultWriteTimeoutFitsPprofProfile(t *testing.T) {
+	d := DefaultServerOptions()
+	if d.WriteTimeout <= 35*time.Second {
+		t.Fatalf("default WriteTimeout %s leaves no room for pprof's 30s profile window", d.WriteTimeout)
+	}
+	if d.ReadTimeout <= d.ReadHeaderTimeout {
+		t.Fatalf("read timeout %s not above header timeout %s", d.ReadTimeout, d.ReadHeaderTimeout)
+	}
+}
+
+// TestHealthzVerboseDetail covers the ?verbose=1 detail view: JSON with
+// the registered provider's payload, and a 503 body once unhealthy.
+func TestHealthzVerboseDetail(t *testing.T) {
+	admin, _ := testAdmin(t)
+	admin.SetHealthDetail(func() any { return map[string]any{"epoch": 7} })
+	srv := httptest.NewServer(admin.Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/healthz?verbose=1")
+	if code != http.StatusOK {
+		t.Fatalf("verbose healthz status = %d", code)
+	}
+	var v struct {
+		Healthy bool           `json:"healthy"`
+		Detail  map[string]any `json:"detail"`
+	}
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatalf("verbose healthz not JSON: %v\n%s", err, body)
+	}
+	if !v.Healthy || v.Detail["epoch"] != float64(7) {
+		t.Fatalf("verbose healthz = %+v, want healthy with epoch 7", v)
+	}
+
+	admin.SetHealthy(false)
+	code, body = get(t, srv, "/healthz?verbose=1")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("verbose healthz after SetHealthy(false) status = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &v); err != nil || v.Healthy {
+		t.Fatalf("verbose unhealthy body = %q (err %v), want healthy:false JSON", body, err)
+	}
+}

@@ -2,7 +2,10 @@ package serve
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"testing"
+	"time"
 
 	"morphcache/internal/wal"
 )
@@ -92,6 +95,43 @@ func BenchmarkServeSetWAL(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := c.Set("alpha", keys[i&511], val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeGetObserved is BenchmarkServeGet with request-level
+// observability on (structured logging sampled 1-in-128 plus SLO burn
+// tracking) — the published cost of turning DESIGN.md §15 on. It is
+// deliberately excluded from the -zero-allocs gate: the observed path
+// may allocate (slog sampling); only the disabled path is pinned at 0.
+func BenchmarkServeGetObserved(b *testing.B) {
+	cfg := Config{
+		Tenants:   []string{"alpha", "beta"},
+		Slots:     16,
+		Shards:    4,
+		SlotBytes: 256 << 10,
+		Ways:      8,
+		Obs: ObsConfig{
+			Logger:       slog.New(slog.NewJSONHandler(io.Discard, nil)),
+			SLOTargetP99: 5 * time.Millisecond,
+		},
+	}
+	c, err := New(cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]string, 512)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("user/%04d/profile", i)
+		if err := c.Set("alpha", keys[i], []byte("payload-0123456789abcdef")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Get("alpha", keys[i&511]); err != nil {
 			b.Fatal(err)
 		}
 	}

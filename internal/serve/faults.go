@@ -52,18 +52,29 @@ func (c *Cache) applyFaultsLocked() {
 		case fault.ShardStall:
 			c.shards[e.Slice].stall = dur
 			c.met.faultApplied()
+			c.hub.publish("stall", stallEvent{Shard: e.Slice, Epochs: dur, Epoch: c.epoch})
+			if c.slog != nil {
+				c.slog.Warn("fault", "kind", "shard_stall", "shard", e.Slice,
+					"epochs", dur, "epoch", c.epoch)
+			}
 		case fault.WALWriteErr:
 			if c.wal != nil {
 				c.wal.InjectFailure(errWALInjected)
 				c.walInjUntil = c.epoch + dur
 			}
 			c.met.faultApplied()
+			if c.slog != nil {
+				c.slog.Warn("fault", "kind", "wal_write_err", "epochs", dur, "epoch", c.epoch)
+			}
 		case fault.DiskFull:
 			if c.wal != nil {
 				c.wal.InjectFailure(errDiskInjected)
 				c.walInjUntil = c.epoch + dur
 			}
 			c.met.faultApplied()
+			if c.slog != nil {
+				c.slog.Warn("fault", "kind", "disk_full", "epochs", dur, "epoch", c.epoch)
+			}
 		}
 	}
 }

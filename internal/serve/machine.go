@@ -41,6 +41,25 @@ func (m machine) SetTopology(t topology.Topology) error {
 	if err := t.Validate(); err != nil {
 		return err
 	}
+	// Stash the per-tenant granted-slot delta for the decision audit
+	// record: the controller emits its reconfiguration event right after
+	// this call returns, and the recorder attaches the delta to it.
+	old := c.topo.L2
+	var delta map[string]int
+	for slot, name := range c.names {
+		if name == "" {
+			continue
+		}
+		was := old.GroupSize(old.GroupOf(slot))
+		is := t.L2.GroupSize(t.L2.GroupOf(slot))
+		if was != is {
+			if delta == nil {
+				delta = make(map[string]int)
+			}
+			delta[name] = is - was
+		}
+	}
+	c.pendingDelta = delta
 	c.topo = t
 	c.computePartMask()
 	for _, sh := range c.shards {

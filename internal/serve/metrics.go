@@ -37,7 +37,26 @@ type metrics struct {
 	admRateRejections, admInflightRejections, stalledOp *obs.Counter
 	faultsApplied, internalErrs                         *obs.Counter
 	degraded                                            *obs.Gauge
+
+	// Request-level series (DESIGN.md §15.1): per-tenant/per-verb latency
+	// histograms on the HTTP path (request-scale µs buckets, sharded like
+	// the hot counters), response status classes, and the HTTP-layer
+	// in-flight gauge (distinct from the admission in-flight gauge, which
+	// only counts when admission control is configured).
+	reqDur     [][numOps]*obs.ShardedHistogram // [slot][op]; nil rows for donors
+	httpClass  [4]*obs.Counter                 // 2xx, 3xx, 4xx, 5xx
+	httpActive *obs.Gauge
 }
+
+// Operation indices for the per-verb histograms.
+const (
+	opGet = iota
+	opSet
+	opDelete
+	numOps
+)
+
+var opNames = [numOps]string{"get", "set", "delete"}
 
 func newMetrics(reg *obs.Registry, c *Cache) *metrics {
 	m := &metrics{
@@ -50,6 +69,7 @@ func newMetrics(reg *obs.Registry, c *Cache) *metrics {
 		evictCap:    make([]*obs.Counter, c.cfg.Slots),
 		evictRepart: make([]*obs.Counter, c.cfg.Slots),
 		partLines:   make([]*obs.Gauge, c.cfg.Slots),
+		reqDur:      make([][numOps]*obs.ShardedHistogram, c.cfg.Slots),
 	}
 	const req = "morphserve_requests_total"
 	const reqHelp = "Cache requests by tenant, operation, and outcome."
@@ -75,6 +95,22 @@ func newMetrics(reg *obs.Registry, c *Cache) *metrics {
 		reg.RegisterGaugeFunc("morphserve_tenant_occupancy_lines",
 			"Lines currently resident per tenant.", tenant,
 			func() float64 { return float64(occ.Load()) })
+		for op := 0; op < numOps; op++ {
+			m.reqDur[slot][op] = reg.ShardedHistogram("morphserve_request_duration_microseconds",
+				"HTTP request duration by tenant and operation, in microseconds.",
+				obs.Labels{"tenant": name, "op": opNames[op]}, shards, obs.RequestLatencyBuckets)
+		}
+		if c.robs != nil && c.robs.slo != nil {
+			slo := c.robs.slo
+			s := slot
+			for wi, w := range slo.windows {
+				widx := wi
+				reg.RegisterGaugeFunc("morphserve_slo_burn_rate",
+					"Per-tenant SLO burn rate: fraction of requests over the p99 latency target, divided by the 1% error budget, per window.",
+					obs.Labels{"tenant": name, "window": windowLabel(w.dur)},
+					func() float64 { return slo.burn(s, widx) })
+			}
+		}
 	}
 	m.epochs = reg.Counter("morphserve_epochs_total",
 		"Completed reconfiguration intervals.", nil)
@@ -113,7 +149,32 @@ func newMetrics(reg *obs.Registry, c *Cache) *metrics {
 	reg.RegisterGaugeFunc("morphserve_inflight_requests",
 		"Requests currently admitted and executing.", nil,
 		func() float64 { return float64(c.InFlight()) })
+	const classHelp = "HTTP responses by status class on the cache API routes."
+	for i, class := range [...]string{"2xx", "3xx", "4xx", "5xx"} {
+		m.httpClass[i] = reg.Counter("morphserve_http_responses_total", classHelp,
+			obs.Labels{"class": class})
+	}
+	m.httpActive = reg.Gauge("morphserve_http_inflight_requests",
+		"HTTP requests currently being handled on instrumented routes.", nil)
+	reg.RegisterCounterFunc("morphserve_decisions_total",
+		"Reconfiguration decisions recorded in the audit ring (all-time, including overwritten ones).",
+		nil, c.audit.total)
 	return m
+}
+
+// httpDone counts one finished HTTP response into its status class.
+func (m *metrics) httpDone(status int) {
+	if i := status/100 - 2; i >= 0 && i < len(m.httpClass) {
+		m.httpClass[i].Inc()
+	}
+}
+
+// reqObserve records one instrumented request's duration (µs), sharding
+// the histogram by the duration's low bits to spread writer contention.
+func (m *metrics) reqObserve(slot, op int, us uint64) {
+	if h := m.reqDur[slot][op]; h != nil {
+		h.Shard(int(us)).Observe(us)
+	}
 }
 
 // setPartitionGauges refreshes every tenant's granted-capacity gauge from

@@ -1,0 +1,515 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"morphcache/internal/obs"
+)
+
+// fixedClock returns an injectable clock pinned to one instant, so audit
+// timestamps (and with them /decisions bodies) reproduce exactly.
+func fixedClock() func() time.Time {
+	at := time.Unix(1700000000, 0).UTC()
+	return func() time.Time { return at }
+}
+
+// driveMerge overloads alpha (~2x its 128-line slot) and closes the
+// epoch, forcing at least one capacity decision.
+func driveMerge(t *testing.T, c *Cache) {
+	t.Helper()
+	for i := 0; i < 256; i++ {
+		if err := c.Set("alpha", fmt.Sprintf("h%04d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r, _ := c.EndEpoch(); r == 0 {
+		t.Fatal("no reconfiguration despite 2x overload next to an idle buddy")
+	}
+}
+
+func TestDecisionsByteIdentical(t *testing.T) {
+	run := func() []byte {
+		cfg := testConfig("alpha", "beta")
+		cfg.Obs.Now = fixedClock()
+		c := mustCache(t, cfg)
+		driveMerge(t, c)
+		srv := httptest.NewServer(c.Handler())
+		defer srv.Close()
+		resp, err := http.Get(srv.URL + "/decisions")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/decisions status = %d", resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("/decisions bodies differ across identical runs:\n%s\n----\n%s", a, b)
+	}
+	// The body must carry at least one decision with the full audit
+	// schema: a rule from the taxonomy and the granted-slot delta.
+	s := string(a)
+	if !strings.Contains(s, `"rule": "capacity"`) {
+		t.Fatalf("no capacity decision in body:\n%s", s)
+	}
+	if !strings.Contains(s, `"slot_delta"`) || !strings.Contains(s, `"alpha"`) {
+		t.Fatalf("decision carries no per-tenant slot delta:\n%s", s)
+	}
+	if !strings.Contains(s, `"time_unix_nano": 1700000000000000000`) {
+		t.Fatalf("audit timestamp not from the injected clock:\n%s", s)
+	}
+}
+
+func TestDecisionsRecordFields(t *testing.T) {
+	cfg := testConfig("alpha", "beta")
+	cfg.Obs.Now = fixedClock()
+	c := mustCache(t, cfg)
+	driveMerge(t, c)
+	recs := c.Decisions(0)
+	if len(recs) == 0 {
+		t.Fatal("no decisions recorded")
+	}
+	first := recs[0]
+	if first.Seq != 1 || first.Epoch != 1 || first.Op != "merge" || first.Rule != "capacity" {
+		t.Fatalf("unexpected first decision %+v", first)
+	}
+	if first.Groups == "" || first.UtilA == 0 {
+		t.Fatalf("decision missing inputs: %+v", first)
+	}
+	// The serving partition is the L2 grouping, so the L2 operation of
+	// the coupled merge carries alpha's granted-slot delta (the L3 half
+	// changes no partition and carries none). A capacity merge pools
+	// capacity, so every member of the merged group gains.
+	granted := false
+	for _, rec := range recs {
+		if rec.Level == "L2" && rec.SlotDelta["alpha"] >= 1 {
+			granted = true
+		}
+	}
+	if !granted {
+		t.Fatalf("no L2 decision granting alpha slots: %+v", recs)
+	}
+}
+
+func TestAuditRingOverwrite(t *testing.T) {
+	r := newAuditRing(4)
+	for i := 0; i < 10; i++ {
+		r.push(DecisionRecord{Epoch: i})
+	}
+	if got := r.total(); got != 10 {
+		t.Fatalf("total = %d, want 10", got)
+	}
+	recs := r.snapshot(0)
+	if len(recs) != 4 {
+		t.Fatalf("snapshot kept %d records, want capacity 4", len(recs))
+	}
+	for i, rec := range recs {
+		wantSeq := uint64(7 + i)
+		if rec.Seq != wantSeq || rec.Epoch != int(wantSeq-1) {
+			t.Fatalf("record %d = seq %d epoch %d, want seq %d (oldest-first)",
+				i, rec.Seq, rec.Epoch, wantSeq)
+		}
+	}
+	if recs = r.snapshot(2); len(recs) != 2 || recs[0].Seq != 9 || recs[1].Seq != 10 {
+		t.Fatalf("snapshot(2) = %+v, want the last two", recs)
+	}
+}
+
+// TestEventsSSEMidStream subscribes to /events over a real server, then
+// forces a decision and requires the subscriber to receive it live.
+func TestEventsSSEMidStream(t *testing.T) {
+	cfg := testConfig("alpha", "beta")
+	cfg.Obs.Now = fixedClock()
+	c := mustCache(t, cfg)
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != "text/event-stream" {
+		t.Fatalf("content type = %q", got)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	// The opening comment proves the stream is live before the decision
+	// is emitted — the event below cannot have been buffered at connect.
+	if !sc.Scan() || !strings.HasPrefix(sc.Text(), ":") {
+		t.Fatalf("no opening comment, got %q (err %v)", sc.Text(), sc.Err())
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		driveMerge(t, c)
+	}()
+
+	var event, data string
+	deadline := time.After(5 * time.Second)
+	lines := make(chan string)
+	go func() {
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+scan:
+	for {
+		select {
+		case <-deadline:
+			t.Fatal("no decision event within 5s")
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("stream closed before a decision event")
+			}
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: ") && event == "decision":
+				data = strings.TrimPrefix(line, "data: ")
+				break scan
+			}
+		}
+	}
+	<-done
+	if !strings.Contains(data, `"rule":"capacity"`) {
+		t.Fatalf("decision event data = %s, want a capacity rule", data)
+	}
+}
+
+func TestEventHubSlowSubscriberDrops(t *testing.T) {
+	h := newEventHub()
+	ch, cancel := h.subscribe()
+	defer cancel()
+	for i := 0; i < subscriberBuffer+10; i++ {
+		h.publish("decision", DecisionRecord{Seq: uint64(i)})
+	}
+	// The publisher must not have blocked; the buffer holds the first
+	// subscriberBuffer events and the rest were dropped.
+	if n := len(ch); n != subscriberBuffer {
+		t.Fatalf("buffered %d events, want %d", n, subscriberBuffer)
+	}
+}
+
+// TestServeRegistryPrometheusValid scrapes the full serve registry — the
+// PR-8 families plus the request-level ones — through the validator.
+func TestServeRegistryPrometheusValid(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := testConfig("alpha", "beta")
+	cfg.Persist = &PersistConfig{Dir: t.TempDir()}
+	cfg.Admission = AdmissionConfig{TenantRPS: 1000, MaxInFlight: 64}
+	cfg.Obs = ObsConfig{
+		Logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+		SLOTargetP99: 5 * time.Millisecond,
+		Tracer:       obs.NewTracer(nil),
+		Now:          fixedClock(),
+	}
+	c, err := New(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	driveMerge(t, c)
+	c.Get("alpha", "h0001")
+	c.Get("beta", "absent")
+	c.Delete("alpha", "h0002")
+	// Exercise the HTTP layer so the histograms and class counters have
+	// samples.
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	http.Get(srv.URL + "/cache/alpha/h0003")
+	http.Get(srv.URL + "/cache/nosuch/k")
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	n, err := obs.ValidatePrometheusText(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, body)
+	}
+	if n < 60 {
+		t.Fatalf("only %d samples; the full serve registry should export far more", n)
+	}
+	for _, fam := range []string{
+		"morphserve_requests_total", "morphserve_evictions_total",
+		"morphserve_hash_collisions_total", "morphserve_tenant_occupancy_lines",
+		"morphserve_tenant_partition_lines", "morphserve_epochs_total",
+		"morphserve_reconfigurations_total", "morphserve_repartitions_total",
+		"morphserve_wal_appends_total", "morphserve_wal_append_errors_total",
+		"morphserve_wal_compactions_total", "morphserve_wal_segments",
+		"morphserve_wal_replay_records", "morphserve_admission_rejected_total",
+		"morphserve_shard_stalled_total", "morphserve_faults_applied_total",
+		"morphserve_internal_errors_total", "morphserve_degraded",
+		"morphserve_inflight_requests",
+		"morphserve_request_duration_microseconds",
+		"morphserve_http_responses_total", "morphserve_http_inflight_requests",
+		"morphserve_slo_burn_rate", "morphserve_decisions_total",
+	} {
+		if !strings.Contains(body, fam) {
+			t.Errorf("family %s missing from exposition", fam)
+		}
+	}
+}
+
+// TestRetryAfterShedSources walks every shed path and checks the
+// Retry-After contract: stall/persist say 1s, degraded says the epoch
+// interval, admission says its token math, draining says nothing (the
+// instance is leaving; clients should re-resolve).
+func TestRetryAfterShedSources(t *testing.T) {
+	cfg := testConfig("alpha", "beta")
+	cfg.EpochInterval = 7 * time.Second
+	c := mustCache(t, cfg)
+	cases := []struct {
+		name       string
+		err        error
+		status     int
+		retryAfter string
+	}{
+		{"stall", ErrShardStalled, http.StatusServiceUnavailable, "1"},
+		{"persist", ErrPersist, http.StatusServiceUnavailable, "1"},
+		{"degraded", ErrDegraded, http.StatusServiceUnavailable, "7"},
+		{"draining", ErrDraining, http.StatusServiceUnavailable, ""},
+		{"wrapped persist", fmt.Errorf("%w: disk gone", ErrPersist), http.StatusServiceUnavailable, "1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			c.writeErr(rec, tc.err)
+			if rec.Code != tc.status {
+				t.Fatalf("status = %d, want %d", rec.Code, tc.status)
+			}
+			if got := rec.Header().Get("Retry-After"); got != tc.retryAfter {
+				t.Fatalf("Retry-After = %q, want %q", got, tc.retryAfter)
+			}
+		})
+	}
+
+	t.Run("admission in-flight cap", func(t *testing.T) {
+		acfg := testConfig("alpha")
+		acfg.Admission = AdmissionConfig{MaxInFlight: 1}
+		ac := mustCache(t, acfg)
+		if !ac.adm.acquire() { // pin the only slot
+			t.Fatal("could not pin the in-flight slot")
+		}
+		defer ac.adm.release()
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("GET", "/cache/alpha/k", nil)
+		ac.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusTooManyRequests || rec.Header().Get("Retry-After") != "1" {
+			t.Fatalf("in-flight shed: status %d Retry-After %q, want 429 + 1",
+				rec.Code, rec.Header().Get("Retry-After"))
+		}
+	})
+
+	t.Run("admission token bucket", func(t *testing.T) {
+		acfg := testConfig("alpha")
+		acfg.Admission = AdmissionConfig{TenantRPS: 0.25, TenantBurst: 1}
+		ac := mustCache(t, acfg)
+		h := ac.Handler()
+		first := httptest.NewRecorder()
+		h.ServeHTTP(first, httptest.NewRequest("GET", "/cache/alpha/k", nil))
+		if first.Code == http.StatusTooManyRequests {
+			t.Fatal("first request should spend the burst token, not be shed")
+		}
+		second := httptest.NewRecorder()
+		h.ServeHTTP(second, httptest.NewRequest("GET", "/cache/alpha/k", nil))
+		if second.Code != http.StatusTooManyRequests {
+			t.Fatalf("second request status = %d, want 429", second.Code)
+		}
+		if ra := second.Header().Get("Retry-After"); ra == "" || ra == "0" {
+			t.Fatalf("token-bucket shed Retry-After = %q, want a positive hint", ra)
+		}
+	})
+}
+
+func TestRequestSpansFromTraceparent(t *testing.T) {
+	var clock int64
+	tr := obs.NewTracer(func() int64 { clock += 10; return clock })
+	cfg := testConfig("alpha", "beta")
+	cfg.Obs = ObsConfig{Tracer: tr, Now: fixedClock()}
+	c := mustCache(t, cfg)
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	const parent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	put, _ := http.NewRequest("PUT", srv.URL+"/cache/alpha/k1", strings.NewReader("v1"))
+	put.Header.Set("traceparent", parent)
+	if resp, err := http.DefaultClient.Do(put); err != nil || resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT: %v status %v", err, resp.Status)
+	}
+	get, _ := http.NewRequest("GET", srv.URL+"/cache/alpha/k1", nil)
+	get.Header.Set("traceparent", parent)
+	if resp, err := http.DefaultClient.Do(get); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET: %v status %v", err, resp.Status)
+	}
+
+	events := tr.Events()
+	byName := map[string]int{}
+	var reqTID int64
+	for _, ev := range events {
+		byName[ev.Name]++
+		if ev.Cat == "request" {
+			reqTID = ev.TID
+		}
+	}
+	for _, want := range []string{"set", "get", "shard_lock_wait", "store_access"} {
+		if byName[want] == 0 {
+			t.Fatalf("span %q missing; events: %v", want, byName)
+		}
+	}
+	// All spans of a traceparent-pinned request share the trace id's
+	// track, so the child spans nest under the request row.
+	wantTID := int64(uint64(0xa3ce929d0e0e4736) & 0x3FFFFFFFFFFFFFFF)
+	if reqTID != wantTID {
+		t.Fatalf("request track = %#x, want traceparent-derived %#x", reqTID, wantTID)
+	}
+	for _, ev := range events {
+		if ev.TID != wantTID {
+			t.Fatalf("span %s on track %#x, want %#x", ev.Name, ev.TID, wantTID)
+		}
+	}
+}
+
+func TestParseTraceparent(t *testing.T) {
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", true},
+		{"00-00000000000000000000000000000000-00f067aa0ba902b7-01", false}, // all-zero trace id
+		{"00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01", false}, // bad hex in low bits
+		{"01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7", false},    // wrong shape
+		{"", false},
+		{"garbage", false},
+	}
+	for _, tc := range cases {
+		if _, _, ok := parseTraceparent(tc.in); ok != tc.ok {
+			t.Errorf("parseTraceparent(%q) ok = %v, want %v", tc.in, ok, tc.ok)
+		}
+	}
+}
+
+func TestSLOBurnRate(t *testing.T) {
+	at := time.Unix(1700000000, 0)
+	now := func() time.Time { return at }
+	tr := newSLOTracker(time.Millisecond, []time.Duration{5 * time.Minute}, 4, now)
+	for i := 0; i < 98; i++ {
+		tr.observe(0, 100*time.Microsecond)
+	}
+	tr.observe(0, 5*time.Millisecond)
+	tr.observe(0, 5*time.Millisecond)
+	// 2 of 100 over target against a 1% budget: burn rate 2.0.
+	if got := tr.burn(0, 0); got < 1.99 || got > 2.01 {
+		t.Fatalf("burn = %v, want 2.0", got)
+	}
+	if got := tr.burn(1, 0); got != 0 {
+		t.Fatalf("idle tenant burn = %v, want 0", got)
+	}
+	// Advance past the window: the buckets expire and burn drops to 0.
+	at = at.Add(6 * time.Minute)
+	if got := tr.burn(0, 0); got != 0 {
+		t.Fatalf("burn after window expiry = %v, want 0", got)
+	}
+}
+
+func TestWindowLabel(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"5m", "5m"}, {"1h", "1h"}, {"30s", "30s"}, {"90s", "1m30s"},
+	} {
+		d, err := time.ParseDuration(tc.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := windowLabel(d); got != tc.want {
+			t.Errorf("windowLabel(%s) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestStructuredLogs checks the three always-on log classes (decision,
+// degradation via fault injection, fault application) and the sampled
+// access class.
+func TestStructuredLogs(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig("alpha", "beta")
+	cfg.Obs = ObsConfig{
+		Logger:         slog.New(slog.NewJSONHandler(&buf, nil)),
+		AccessLogEvery: 2,
+		Now:            fixedClock(),
+	}
+	c := mustCache(t, cfg)
+	driveMerge(t, c)
+	out := buf.String()
+	if !strings.Contains(out, `"msg":"decision"`) || !strings.Contains(out, `"rule":"capacity"`) {
+		t.Fatalf("no decision log line:\n%s", out)
+	}
+	// 256 sets sampled 1-in-2: access lines present and rate-limited.
+	accesses := strings.Count(out, `"msg":"access"`)
+	if accesses < 100 || accesses > 140 {
+		t.Fatalf("access lines = %d, want ~128 (1-in-2 of 256)", accesses)
+	}
+}
+
+func TestHealthDetailView(t *testing.T) {
+	cfg := testConfig("alpha", "beta")
+	cfg.Obs = ObsConfig{SLOTargetP99: 5 * time.Millisecond, Now: fixedClock()}
+	c := mustCache(t, cfg)
+	driveMerge(t, c)
+	v := c.HealthDetail()
+	if v.Epoch != 1 || v.Decisions == 0 || v.Spec == "(1:1:4)" {
+		t.Fatalf("health view %+v, want post-merge state", v)
+	}
+	if len(v.SLO) != 2 {
+		t.Fatalf("SLO rows = %d, want one per tenant", len(v.SLO))
+	}
+	if v.SLO[0].TargetP99Micros != 5000 {
+		t.Fatalf("SLO target = %d µs, want 5000", v.SLO[0].TargetP99Micros)
+	}
+	if _, ok := v.SLO[0].BurnRate["5m"]; !ok {
+		t.Fatalf("SLO burn windows = %v, want a 5m window", v.SLO[0].BurnRate)
+	}
+}
+
+// TestObservedPathStillServes sanity-checks the fully instrumented
+// configuration end to end: logging, SLO, tracing, and audit on at once.
+func TestObservedPathStillServes(t *testing.T) {
+	cfg := testConfig("alpha", "beta")
+	cfg.Obs = ObsConfig{
+		Logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+		SLOTargetP99: time.Millisecond,
+		Tracer:       obs.NewTracer(nil),
+		Now:          fixedClock(),
+	}
+	c := mustCache(t, cfg)
+	if err := c.Set("alpha", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c.Get("alpha", "k"); err != nil || string(got) != "v" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if err := c.Delete("alpha", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("alpha", "k"); err != ErrNotFound {
+		t.Fatalf("after delete err = %v", err)
+	}
+}

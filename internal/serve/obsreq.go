@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"morphcache/internal/obs"
+)
+
+// Request-level observability (DESIGN.md §15). Everything here is opt-in
+// and rides behind a single pointer: a Cache built with the zero
+// ObsConfig has c.robs == nil and its Get/Set/Delete paths are byte-for-
+// byte the PR-8 allocation-free ones (CI gates them at 0 allocs/op).
+
+// ObsConfig turns on request-level observability. The zero value disables
+// all of it.
+type ObsConfig struct {
+	// Logger receives structured logs: always-on decision, degradation,
+	// and fault lines, plus sampled access lines. Nil disables logging.
+	Logger *slog.Logger
+	// AccessLogEvery samples one access log line per N operations
+	// (globally, not per tenant). 0 defaults to 128 when Logger is set;
+	// negative disables access lines while keeping decision/fault lines.
+	AccessLogEvery int
+	// SLOTargetP99 is the per-request latency target: SLO tracking counts
+	// the fraction of requests over it against the 1% budget a p99 target
+	// implies, exported as multi-window burn-rate gauges (§15.3). 0
+	// disables SLO tracking.
+	SLOTargetP99 time.Duration
+	// SLOWindows are the burn-rate windows. Default 5m and 1h.
+	SLOWindows []time.Duration
+	// Tracer receives request spans (shard-lock wait, WAL append, store
+	// access) on the HTTP path; an incoming W3C traceparent pins the
+	// request's track so external trace ids line up. Nil disables spans.
+	Tracer *obs.Tracer
+	// AuditCapacity sizes the decision audit ring (GET /decisions).
+	// Default 256. The ring itself is always on — it costs one record per
+	// applied reconfiguration, nothing per request.
+	AuditCapacity int
+	// Now is the wall clock for audit timestamps, SLO windows, and
+	// request timing. Nil means time.Now; tests inject a fixed clock to
+	// make /decisions bodies byte-identical across runs.
+	Now func() time.Time
+}
+
+func (o ObsConfig) validate() error {
+	if o.SLOTargetP99 < 0 {
+		return fmt.Errorf("serve: negative SLO target %s", o.SLOTargetP99)
+	}
+	if o.AuditCapacity < 0 {
+		return fmt.Errorf("serve: negative audit capacity %d", o.AuditCapacity)
+	}
+	for _, w := range o.SLOWindows {
+		if w <= 0 {
+			return fmt.Errorf("serve: non-positive SLO window %s", w)
+		}
+	}
+	return nil
+}
+
+// enabled reports whether any request-path observation is on (the robs
+// pointer is built at all).
+func (o ObsConfig) enabled() bool {
+	return o.Logger != nil || o.SLOTargetP99 > 0 || o.Tracer != nil
+}
+
+// defaultSLOWindows are the canonical multi-window burn-rate pair: the
+// short window catches fast burn, the long one slow burn (§15.3).
+func defaultSLOWindows() []time.Duration {
+	return []time.Duration{5 * time.Minute, time.Hour}
+}
+
+// reqObs is the per-request observation state, nil when disabled.
+type reqObs struct {
+	c        *Cache
+	logger   *slog.Logger
+	logEvery uint64 // 0 = no access lines
+	logCount atomic.Uint64
+	slo      *sloTracker
+	tracer   *obs.Tracer
+	nextTID  atomic.Int64
+	now      func() time.Time
+}
+
+func newReqObs(cfg ObsConfig, c *Cache) *reqObs {
+	if !cfg.enabled() {
+		return nil
+	}
+	ro := &reqObs{c: c, logger: cfg.Logger, tracer: cfg.Tracer, now: c.now}
+	if cfg.Logger != nil {
+		switch {
+		case cfg.AccessLogEvery > 0:
+			ro.logEvery = uint64(cfg.AccessLogEvery)
+		case cfg.AccessLogEvery == 0:
+			ro.logEvery = 128
+		}
+	}
+	if cfg.SLOTargetP99 > 0 {
+		windows := cfg.SLOWindows
+		if len(windows) == 0 {
+			windows = defaultSLOWindows()
+		}
+		ro.slo = newSLOTracker(cfg.SLOTargetP99, windows, c.cfg.Slots, c.now)
+	}
+	return ro
+}
+
+// observe closes one library-level operation: SLO accounting and the
+// sampled access line. Called only when robs != nil.
+func (ro *reqObs) observe(op, tenant string, start time.Time, err error) {
+	d := ro.now().Sub(start)
+	if ro.slo != nil {
+		if slot, ok := ro.c.tenants[tenant]; ok {
+			ro.slo.observe(slot, d)
+		}
+	}
+	if ro.logEvery > 0 && ro.logCount.Add(1)%ro.logEvery == 0 {
+		ro.logger.Info("access",
+			"op", op, "tenant", tenant, "us", d.Microseconds(),
+			"outcome", outcomeOf(err), "sampled_1_in", ro.logEvery)
+	}
+}
+
+// outcomeOf renders an operation result for log lines without exposing
+// internal error strings.
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrNotFound):
+		return "miss"
+	case errors.Is(err, ErrShardStalled):
+		return "stalled"
+	case errors.Is(err, ErrDegraded):
+		return "degraded"
+	case errors.Is(err, ErrPersist):
+		return "persist_error"
+	case errors.Is(err, ErrDraining):
+		return "draining"
+	default:
+		return "error"
+	}
+}
+
+// reqSpans carries one HTTP request's trace track into the access path.
+// A nil *reqSpans is inert, so the library path passes nil everywhere.
+type reqSpans struct {
+	tr  *obs.Tracer
+	tid int64
+	req *obs.Span
+}
+
+// spansFor opens the request's root span, on the track an incoming W3C
+// traceparent pins (so spans from different services with the same trace
+// id land on one Chrome-trace row) or on a fresh locally assigned one.
+func (ro *reqObs) spansFor(op, traceparent string) *reqSpans {
+	if ro.tracer == nil {
+		return nil
+	}
+	tid, traceID, ok := parseTraceparent(traceparent)
+	if !ok {
+		tid = ro.nextTID.Add(1)
+	}
+	rs := &reqSpans{tr: ro.tracer, tid: tid}
+	rs.req = ro.tracer.Begin(tid, "request", op)
+	if ok {
+		rs.req.Arg("trace_id", traceID)
+	}
+	return rs
+}
+
+// begin opens a child span on the request's track; nil-safe, so the
+// access path calls it unconditionally through its nil receiver.
+func (rs *reqSpans) begin(name string) *obs.Span {
+	if rs == nil {
+		return nil
+	}
+	return rs.tr.Begin(rs.tid, "serve", name)
+}
+
+// finish closes the request's root span (nil-safe).
+func (rs *reqSpans) finish() {
+	if rs == nil {
+		return
+	}
+	rs.req.End()
+}
+
+// parseTraceparent extracts the trace id and a track id from a W3C
+// traceparent header ("00-<32 hex trace-id>-<16 hex parent-id>-<2 hex
+// flags>"). The track is the trace id's low 62 bits, so every span of
+// one distributed trace shares a row in the viewer.
+func parseTraceparent(h string) (tid int64, traceID string, ok bool) {
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") || h[35] != '-' || h[52] != '-' {
+		return 0, "", false
+	}
+	traceID = h[3:35]
+	var v int64
+	for i := 19; i < 35; i++ { // low 16 hex digits of the trace id
+		c := traceID[i-3]
+		var d int64
+		switch {
+		case c >= '0' && c <= '9':
+			d = int64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = int64(c-'a') + 10
+		default:
+			return 0, "", false
+		}
+		v = v<<4 | d
+	}
+	v &= 0x3FFFFFFFFFFFFFFF // keep it positive and clear of local tids
+	if strings.Trim(traceID, "0") == "" {
+		return 0, "", false // all-zero trace id is invalid per the spec
+	}
+	return v, traceID, true
+}
+
+// sloBuckets is each window's ring resolution: 15 rotating sub-buckets,
+// so a 5m window expires in 20s steps.
+const sloBuckets = 15
+
+// sloErrorBudget is the allowed over-target fraction a p99 objective
+// implies: burn rate = (observed over-target fraction) / 0.01, so burn
+// 1.0 consumes the budget exactly, >1 burns it faster (§15.3).
+const sloErrorBudget = 0.01
+
+// sloCell is one (tenant, window, sub-bucket) counter pair. The stamp is
+// the absolute bucket index; a writer observing a stale stamp rotates the
+// cell (CAS so exactly one writer resets it).
+type sloCell struct {
+	stamp atomic.Int64
+	total atomic.Uint64
+	slow  atomic.Uint64
+}
+
+// sloWindow is one burn-rate window: a ring of sloBuckets cells per slot.
+type sloWindow struct {
+	dur       time.Duration
+	bucketDur int64 // nanoseconds per sub-bucket
+	cells     [][sloBuckets]sloCell
+}
+
+// sloTracker counts, per tenant, requests over the latency target inside
+// each configured window. observe is lock-free (a stamp check plus two
+// atomic adds per window); burn sums at scrape time.
+type sloTracker struct {
+	target  time.Duration
+	now     func() time.Time
+	windows []*sloWindow
+}
+
+func newSLOTracker(target time.Duration, windows []time.Duration, slots int, now func() time.Time) *sloTracker {
+	t := &sloTracker{target: target, now: now}
+	for _, d := range windows {
+		w := &sloWindow{
+			dur:       d,
+			bucketDur: int64(d) / sloBuckets,
+			cells:     make([][sloBuckets]sloCell, slots),
+		}
+		if w.bucketDur <= 0 {
+			w.bucketDur = 1
+		}
+		t.windows = append(t.windows, w)
+	}
+	return t
+}
+
+func (t *sloTracker) observe(slot int, d time.Duration) {
+	nanos := t.now().UnixNano()
+	slow := d > t.target
+	for _, w := range t.windows {
+		idx := nanos / w.bucketDur
+		cell := &w.cells[slot][int(idx)%sloBuckets]
+		if s := cell.stamp.Load(); s != idx {
+			if cell.stamp.CompareAndSwap(s, idx) {
+				cell.total.Store(0)
+				cell.slow.Store(0)
+			}
+		}
+		cell.total.Add(1)
+		if slow {
+			cell.slow.Add(1)
+		}
+	}
+}
+
+// burn returns a tenant's burn rate over window wi: the over-target
+// request fraction divided by the 1% budget. 0 with no traffic.
+func (t *sloTracker) burn(slot, wi int) float64 {
+	w := t.windows[wi]
+	cur := t.now().UnixNano() / w.bucketDur
+	var total, slow uint64
+	for i := range w.cells[slot] {
+		cell := &w.cells[slot][i]
+		if stamp := cell.stamp.Load(); stamp > cur-sloBuckets && stamp <= cur {
+			total += cell.total.Load()
+			slow += cell.slow.Load()
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(slow) / float64(total) / sloErrorBudget
+}
+
+// windowLabel renders a window duration compactly for metric labels and
+// health detail keys: zero trailing components drop ("5m0s" -> "5m",
+// "1h0m0s" -> "1h").
+func windowLabel(d time.Duration) string {
+	s := d.String()
+	if strings.HasSuffix(s, "m0s") {
+		s = strings.TrimSuffix(s, "0s")
+	}
+	if strings.HasSuffix(s, "h0m") {
+		s = strings.TrimSuffix(s, "0m")
+	}
+	return s
+}

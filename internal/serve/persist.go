@@ -194,13 +194,25 @@ func (c *Cache) walEndEpochLocked(reconfigs int) {
 	c.met.walSegments.Set(int64(c.wal.SegmentCount()))
 }
 
-// setDegraded flips read-mostly mode and its gauge (idempotent).
+// setDegraded flips read-mostly mode and its gauge (idempotent). Each
+// transition is published to /events subscribers and, with a logger
+// configured, logged — entering degraded mode at Warn, recovering at
+// Info.
 func (c *Cache) setDegraded(on bool) {
 	if c.degraded.Swap(on) != on {
 		if on {
 			c.met.degraded.Set(1)
 		} else {
 			c.met.degraded.Set(0)
+		}
+		c.hub.publish("degraded", degradedEvent{On: on})
+		if c.slog != nil {
+			if on {
+				c.slog.Warn("degraded", "on", true,
+					"reason", "consecutive WAL append failures", "threshold", walFailThreshold)
+			} else {
+				c.slog.Info("degraded", "on", false, "reason", "WAL probe append succeeded")
+			}
 		}
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/bits"
 	"sync"
 	"sync/atomic"
@@ -46,6 +47,7 @@ import (
 	"morphcache/internal/hierarchy"
 	"morphcache/internal/mem"
 	"morphcache/internal/obs"
+	"morphcache/internal/telemetry"
 	"morphcache/internal/topology"
 	"morphcache/internal/wal"
 )
@@ -101,6 +103,12 @@ type Config struct {
 	// write errors, disk-full windows) applied at epoch boundaries. It
 	// must pass fault.Plan.ValidateServe against Shards.
 	Faults *fault.Plan
+	// Obs enables request-level observability: structured logging, SLO
+	// burn-rate tracking, and request spans (DESIGN.md §15). The zero
+	// value keeps the access path allocation-free; the decision audit
+	// ring (GET /decisions, /events) is on regardless, since it costs
+	// nothing per request.
+	Obs ObsConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -167,6 +175,9 @@ func (c Config) Validate() error {
 		return err
 	}
 	if err := c.Faults.ValidateServe(c.Shards); err != nil {
+		return err
+	}
+	if err := c.Obs.validate(); err != nil {
 		return err
 	}
 	return cache.Config{SizeBytes: c.SlotBytes / c.Shards, Ways: c.Ways, Policy: cache.LRU}.Validate()
@@ -240,6 +251,22 @@ type Cache struct {
 	walInjUntil int
 
 	met *metrics
+
+	// The observability plane (DESIGN.md §15). audit and hub are always
+	// on (they cost nothing per request); robs is nil unless ObsConfig
+	// enables request-path observation, and every request-path hook hides
+	// behind that one nil check so the disabled path stays 0 allocs/op.
+	// slog carries the always-on decision/degradation/fault lines (nil =
+	// off); now is the injectable wall clock. pendingDelta is the
+	// per-tenant granted-slot delta of the topology swap in flight,
+	// stashed by machine.SetTopology for the recorder that fires next
+	// (only touched with every shard lock held).
+	audit        *auditRing
+	hub          *eventHub
+	robs         *reqObs
+	slog         *slog.Logger
+	now          func() time.Time
+	pendingDelta map[string]int
 }
 
 // New builds the cache. A nil registry disables metric export (a private
@@ -299,6 +326,22 @@ func New(cfg Config, reg *obs.Registry) (*Cache, error) {
 	if cfg.Admission.enabled() {
 		c.adm = newAdmission(cfg.Admission, cfg.Slots)
 	}
+	c.now = cfg.Obs.Now
+	if c.now == nil {
+		c.now = time.Now
+	}
+	c.slog = cfg.Obs.Logger
+	c.audit = newAuditRing(cfg.Obs.AuditCapacity)
+	c.hub = newEventHub()
+	c.robs = newReqObs(cfg.Obs, c)
+	// The controller mirrors every applied reconfiguration to a recorder
+	// (telemetry.RecorderSettable); routing that mirror into the audit
+	// ring gives the serving path the simulator's decision inspection
+	// layer for free. A custom policy without the hook just leaves
+	// /decisions empty.
+	if rs, ok := c.policy.(telemetry.RecorderSettable); ok {
+		rs.SetRecorder(auditRecorder{c})
+	}
 	c.met = newMetrics(reg, c)
 	c.met.setPartitionGauges()
 	if cfg.Persist != nil {
@@ -353,8 +396,21 @@ func (c *Cache) shardOf(h uint64) *shard {
 
 // Get returns the value stored under (tenant, key), or ErrNotFound. The
 // hit path performs no allocation: a presence probe, one slice lookup,
-// an LRU touch, and an ACFV bit set.
+// an LRU touch, and an ACFV bit set. With ObsConfig enabled the call is
+// additionally SLO-tracked and sampled into the access log.
 func (c *Cache) Get(tenant, key string) ([]byte, error) {
+	if ro := c.robs; ro != nil {
+		start := ro.now()
+		val, err := c.get(tenant, key, nil)
+		ro.observe("get", tenant, start, err)
+		return val, err
+	}
+	return c.get(tenant, key, nil)
+}
+
+// get is the observation-free core of Get; rs (nil on the library path)
+// carries the HTTP request's trace track for child spans.
+func (c *Cache) get(tenant, key string, rs *reqSpans) ([]byte, error) {
 	if c.draining.Load() {
 		return nil, ErrDraining
 	}
@@ -370,9 +426,13 @@ func (c *Cache) Get(tenant, key string) ([]byte, error) {
 	gl := mem.GlobalLine{ASID: asidOf(slot), Line: line}
 	sh := c.shardOf(h)
 	shardIdx := int((h >> 48) & uint64(len(c.shards)-1))
+	lockSp := rs.begin("shard_lock_wait")
 	sh.mu.Lock()
+	lockSp.End()
+	storeSp := rs.begin("store_access")
 	if sh.stall > 0 {
 		sh.mu.Unlock()
+		storeSp.End()
 		c.met.stalled()
 		return nil, ErrShardStalled
 	}
@@ -380,6 +440,7 @@ func (c *Cache) Get(tenant, key string) ([]byte, error) {
 	if mask == 0 {
 		c.misses[slot].Add(1)
 		sh.mu.Unlock()
+		storeSp.End()
 		c.met.getMiss(slot, shardIdx)
 		return nil, ErrNotFound
 	}
@@ -394,6 +455,7 @@ func (c *Cache) Get(tenant, key string) ([]byte, error) {
 		// Hash collision: a different key owns the line. Miss.
 		c.misses[slot].Add(1)
 		sh.mu.Unlock()
+		storeSp.End()
 		c.met.collision(slot, shardIdx)
 		c.met.getMiss(slot, shardIdx)
 		return nil, ErrNotFound
@@ -401,6 +463,7 @@ func (c *Cache) Get(tenant, key string) ([]byte, error) {
 	sl.Touch(sl.SetIndex(line), w)
 	sh.vecs[slot].Set(line)
 	sh.mu.Unlock()
+	storeSp.End()
 	c.met.getHit(slot, shardIdx)
 	return e.val, nil
 }
@@ -412,6 +475,17 @@ func (c *Cache) Get(tenant, key string) ([]byte, error) {
 // before it is applied — a nil return means the write is durable to the
 // configured policy.
 func (c *Cache) Set(tenant, key string, val []byte) error {
+	if ro := c.robs; ro != nil {
+		start := ro.now()
+		err := c.set(tenant, key, val, nil)
+		ro.observe("set", tenant, start, err)
+		return err
+	}
+	return c.set(tenant, key, val, nil)
+}
+
+// set is the observation-free core of Set (see get).
+func (c *Cache) set(tenant, key string, val []byte, rs *reqSpans) error {
 	if c.draining.Load() {
 		return ErrDraining
 	}
@@ -434,18 +508,25 @@ func (c *Cache) Set(tenant, key string, val []byte) error {
 	h := hashKey(key)
 	sh := c.shardOf(h)
 	shardIdx := int((h >> 48) & uint64(len(c.shards)-1))
+	lockSp := rs.begin("shard_lock_wait")
 	sh.mu.Lock()
+	lockSp.End()
 	defer sh.mu.Unlock()
 	if sh.stall > 0 {
 		c.met.stalled()
 		return ErrShardStalled
 	}
 	if c.wal != nil {
-		if err := c.walAppendLocked(wal.Record{Kind: wal.KindSet, Tenant: tenant, Key: key, Value: val, Epoch: uint64(c.epoch)}); err != nil {
+		walSp := rs.begin("wal_append")
+		err := c.walAppendLocked(wal.Record{Kind: wal.KindSet, Tenant: tenant, Key: key, Value: val, Epoch: uint64(c.epoch)})
+		walSp.End()
+		if err != nil {
 			return err
 		}
 	}
+	storeSp := rs.begin("store_access")
 	c.setLocked(sh, slot, shardIdx, h, key, val)
+	storeSp.End()
 	return nil
 }
 
@@ -520,6 +601,17 @@ func (c *Cache) setLocked(sh *shard, slot, shardIdx int, h uint64, key string, v
 // delete is WAL-logged before it is applied when persistence is on
 // (absent keys are not logged).
 func (c *Cache) Delete(tenant, key string) error {
+	if ro := c.robs; ro != nil {
+		start := ro.now()
+		err := c.del(tenant, key, nil)
+		ro.observe("delete", tenant, start, err)
+		return err
+	}
+	return c.del(tenant, key, nil)
+}
+
+// del is the observation-free core of Delete (see get).
+func (c *Cache) del(tenant, key string, rs *reqSpans) error {
 	if c.draining.Load() {
 		return ErrDraining
 	}
@@ -539,7 +631,9 @@ func (c *Cache) Delete(tenant, key string) error {
 	h := hashKey(key)
 	sh := c.shardOf(h)
 	shardIdx := int((h >> 48) & uint64(len(c.shards)-1))
+	lockSp := rs.begin("shard_lock_wait")
 	sh.mu.Lock()
+	lockSp.End()
 	defer sh.mu.Unlock()
 	if sh.stall > 0 {
 		c.met.stalled()
@@ -550,11 +644,17 @@ func (c *Cache) Delete(tenant, key string) error {
 		if mask := sh.pres.Get(gl) & c.partMask[slot]; mask == 0 || sh.store[gl].key != key {
 			return ErrNotFound
 		}
-		if err := c.walAppendLocked(wal.Record{Kind: wal.KindDelete, Tenant: tenant, Key: key, Epoch: uint64(c.epoch)}); err != nil {
+		walSp := rs.begin("wal_append")
+		err := c.walAppendLocked(wal.Record{Kind: wal.KindDelete, Tenant: tenant, Key: key, Epoch: uint64(c.epoch)})
+		walSp.End()
+		if err != nil {
 			return err
 		}
 	}
-	if !c.deleteLocked(sh, slot, shardIdx, h, key) {
+	storeSp := rs.begin("store_access")
+	deleted := c.deleteLocked(sh, slot, shardIdx, h, key)
+	storeSp.End()
+	if !deleted {
 		return ErrNotFound
 	}
 	return nil

@@ -47,6 +47,16 @@ type (
 	// ServeFaultPlan is a fault-injection schedule (fault.Plan); the same
 	// type the simulator's Config.Faults consumes.
 	ServeFaultPlan = fault.Plan
+	// ServeObsConfig turns on request-level observability on a ServeConfig
+	// (serve.ObsConfig; DESIGN.md §15): structured logging, SLO burn-rate
+	// tracking, request spans, and the decision audit ring.
+	ServeObsConfig = serve.ObsConfig
+	// ServeDecisionRecord is one decision audit record (serve.DecisionRecord)
+	// as served by GET /decisions and the /events SSE stream.
+	ServeDecisionRecord = serve.DecisionRecord
+	// ServeHealthView is the verbose health detail (serve.HealthView)
+	// returned by ServeCache.HealthDetail and /healthz?verbose=1.
+	ServeHealthView = serve.HealthView
 )
 
 // WAL fsync policies (see wal.FsyncPolicy).
