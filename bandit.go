@@ -1,0 +1,104 @@
+package morphcache
+
+import (
+	"fmt"
+
+	"morphcache/internal/baselines/bandit"
+	"morphcache/internal/sim"
+)
+
+// BanditConfig configures the bandit meta-policy (see internal/baselines/
+// bandit and DESIGN.md §16): a multi-armed bandit that, at every window of
+// epochs, picks one policy from the zoo — MorphCache, PIPP, DSR, or a
+// static topology — runs it for the window via the resume machinery, and
+// learns from the observed reward. Attach one to Config.Bandit (or leave
+// it nil for the defaults) and run with RunBandit or Policy "bandit". The
+// zero value of every field selects the defaults.
+type BanditConfig = bandit.Options
+
+// BanditReport is a bandit run's decision summary (arm schedule, per-arm
+// statistics, degradation warnings, and — when the caller computed it —
+// the regret against the offline oracle); Result.BanditReport carries it.
+type BanditReport = bandit.Report
+
+// BanditRegret compares a realized per-epoch throughput series against the
+// offline oracle envelope (see IdealOffline); the -run bandit experiment
+// embeds it in BanditReport.Regret.
+type BanditRegret = bandit.RegretReport
+
+// DefaultBanditConfig returns the default bandit options: discounted UCB1
+// over throughput rewards with two-epoch windows.
+func DefaultBanditConfig() BanditConfig { return bandit.Defaults() }
+
+// DefaultBanditArms returns the default zoo for the configured machine:
+// the MorphCache controller, both baselines, and the paper's standard
+// static topologies.
+func DefaultBanditArms(c Config) []string {
+	return append([]string{"morph", "pipp", "dsr"}, StandardStatics(c)...)
+}
+
+// ComputeBanditRegret computes the regret report of a realized per-epoch
+// throughput series against an oracle envelope (both non-empty, equal
+// length).
+func ComputeBanditRegret(realized, oracle []float64) (*BanditRegret, error) {
+	return bandit.Regret(realized, oracle)
+}
+
+// RunBandit runs the workload under the bandit meta-policy: Config.Bandit
+// (or the defaults when nil) selects strategy, reward, window size, and the
+// arm list (empty = DefaultBanditArms). The Result is the stitched
+// per-epoch run with Result.BanditReport attached.
+func RunBandit(c Config, w Workload) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	bo := DefaultBanditConfig()
+	if c.Bandit != nil {
+		bo = *c.Bandit
+	}
+	if len(bo.Arms) == 0 {
+		bo.Arms = DefaultBanditArms(c)
+	}
+	f := bandit.Factories{
+		NewTarget: func(arm string) (sim.Target, error) { return c.armTarget(arm) },
+		NewSources: func() ([]sim.Source, error) {
+			gens, err := w.Generators(c)
+			if err != nil {
+				return nil, err
+			}
+			return sim.FromGenerators(gens), nil
+		},
+	}
+	sc, tl := c.instrumented()
+	rr, err := bandit.Run(sc, bo, f)
+	if err != nil {
+		return nil, fmt.Errorf("morphcache: %w", err)
+	}
+	res := fromRun(rr.Run)
+	res.BanditReport = rr.Report
+	res.Telemetry = tl
+	return res, nil
+}
+
+// armTarget builds a fresh target for one bandit arm. Arm names use the
+// RunSpec policy vocabulary: "morph", "morph-nodegrade", "pipp", "dsr", or
+// a static "(x:y:z)" spec. Each window gets its own target — windows share
+// nothing mutable — so every arm evaluation starts from the state a full
+// run of that policy starts from.
+func (c Config) armTarget(arm string) (sim.Target, error) {
+	switch arm {
+	case "morph", "morph-nodegrade", "pipp", "dsr":
+		return c.sampledTarget(arm, "")
+	default:
+		return c.sampledTarget("static", arm)
+	}
+}
+
+// rejectBandit guards the non-bandit entry points: a Config.Bandit that
+// would be silently ignored is a configuration error, not a no-op.
+func (c Config) rejectBandit(entry string) error {
+	if c.Bandit != nil {
+		return fmt.Errorf("morphcache: %s ignores Bandit configs; use RunBandit (or Policy %q)", entry, "bandit")
+	}
+	return nil
+}

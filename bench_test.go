@@ -348,6 +348,31 @@ func BenchmarkBatchSweepSampled(b *testing.B) {
 	}
 }
 
+// BenchmarkBanditSweep — the bandit meta-policy on the adversarial
+// phase-shift mix (DESIGN.md §16), reduced to one square-wave period worth
+// of epochs. Reports the stitched run's throughput and the number of arm
+// switches; the full-size gated version is `cmd/experiments -run bandit`.
+func BenchmarkBanditSweep(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Epochs = 10
+	bo := DefaultBanditConfig()
+	bo.Arms = []string{"morph", "pipp", "dsr", "(16:1:1)"}
+	bo.WindowEpochs = 1
+	cfg.Bandit = &bo
+	w := Mix(workload.PhaseShiftMixName)
+	for i := 0; i < b.N; i++ {
+		r, err := RunBandit(cfg, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.BanditReport == nil {
+			b.Fatal("bandit run returned no report")
+		}
+		b.ReportMetric(r.Throughput, "throughput")
+		b.ReportMetric(float64(r.BanditReport.Switches), "switches")
+	}
+}
+
 // --- ablations of DESIGN.md §4's design decisions ---------------------------
 
 // BenchmarkAblationUniformLatency — charge every merged-group hit the

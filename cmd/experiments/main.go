@@ -73,6 +73,7 @@ var registry = []experiment{
 	{"interval", "reconfiguration-interval sweep (§4 epoch choice)", interval},
 	{"faults", "fault injection: graceful degradation vs no-degradation strawman (§9)", faultsExp},
 	{"sampled", "sampled simulation: reconstruction error vs full runs per mix (§13)", sampledExp},
+	{"bandit", "online policy selection: bandit meta-policy vs fixed arms and the oracle (§16)", banditExp},
 }
 
 // outw is the destination of every experiment's table output. It is stdout

@@ -58,6 +58,13 @@ func specKey(cfg mc.Config, s mc.RunSpec) string {
 	if c.Sampled != nil {
 		key += "|sampled:" + c.Sampled.Fingerprint()
 	}
+	// Bandit runs are stitched arm schedules; every option (arms, strategy,
+	// window size, ...) changes the schedule and thus the result. Present-
+	// only, like faults and sampled, so bandit-free keys stay byte-identical
+	// to prior releases.
+	if c.Bandit != nil {
+		key += "|bandit:" + c.Bandit.Fingerprint()
+	}
 	return key
 }
 

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+
+	mc "morphcache"
+
+	"morphcache/internal/workload"
+)
+
+// TestSpecKeyBanditNoAlias pins the memo-fingerprint rules for bandit runs:
+// a bandit run must never alias its full-run twin, two bandit runs with
+// different options must never share a cache entry, and bandit-free keys
+// must not change at all (they are the golden-report run IDs).
+func TestSpecKeyBanditNoAlias(t *testing.T) {
+	cfg := mc.LabConfig()
+	w := mc.Mix(workload.PhaseShiftMixName)
+
+	plain := specKey(cfg, mc.RunSpec{Policy: "bandit", Workload: w})
+
+	b1 := cfg
+	o1 := mc.DefaultBanditConfig()
+	o1.Arms = []string{"morph", "dsr"}
+	b1.Bandit = &o1
+	k1 := specKey(cfg, mc.RunSpec{Policy: "bandit", Workload: w, Config: &b1})
+
+	b2 := cfg
+	o2 := o1
+	o2.WindowEpochs = 4
+	b2.Bandit = &o2
+	k2 := specKey(cfg, mc.RunSpec{Policy: "bandit", Workload: w, Config: &b2})
+
+	b3 := cfg
+	o3 := o1
+	o3.Arms = []string{"morph", "pipp"}
+	b3.Bandit = &o3
+	k3 := specKey(cfg, mc.RunSpec{Policy: "bandit", Workload: w, Config: &b3})
+
+	if k1 == plain || k2 == plain || k3 == plain {
+		t.Fatal("a bandit run aliased a bandit-free key")
+	}
+	if k1 == k2 || k1 == k3 || k2 == k3 {
+		t.Fatalf("distinct bandit configs share a memo key:\n%s\n%s\n%s", k1, k2, k3)
+	}
+
+	// Equal options must alias (that is the point of the memo) even through
+	// a different-ordered arm list.
+	b4 := cfg
+	o4 := o1
+	o4.Arms = []string{"dsr", "morph"}
+	b4.Bandit = &o4
+	if k4 := specKey(cfg, mc.RunSpec{Policy: "bandit", Workload: w, Config: &b4}); k4 != k1 {
+		t.Fatalf("arm order must not change the key:\n%s\n%s", k4, k1)
+	}
+}

@@ -70,6 +70,11 @@ type reportRun struct {
 	// full runs, so documents without sampled runs — the committed goldens
 	// among them — are byte-identical to prior releases).
 	Sampled *mc.SampledReport `json:"sampled,omitempty"`
+	// Bandit is the decision report of a bandit meta-policy run (absent
+	// otherwise, preserving the goldens the same way). The experiment
+	// attaches the regret series to the shared report before the document
+	// encodes, so it appears here too.
+	Bandit *mc.BanditReport `json:"bandit,omitempty"`
 }
 
 // reportSolo is one alone-IPC reference measurement.
@@ -152,6 +157,7 @@ func reportRecordRun(key string, s mc.RunSpec, res *mc.Result) {
 		AsymmetricSteps:  res.AsymmetricSteps,
 		Telemetry:        res.Telemetry,
 		Sampled:          res.SampledReport,
+		Bandit:           res.BanditReport,
 	}
 }
 

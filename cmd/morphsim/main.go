@@ -24,6 +24,15 @@
 // representative window is simulated per phase, and the full-run metrics
 // are reconstructed as their weighted combination. The -sampled-* flags
 // override individual sampling parameters.
+//
+// -bandit replaces -policy with the bandit meta-policy (DESIGN.md §16): at
+// every window of epochs a multi-armed bandit picks one policy from the arm
+// zoo (-bandit-arms, default: morph, pipp, dsr, and the standard statics),
+// runs it for the window via the resume machinery, and learns from the
+// observed reward. The -bandit-* flags override individual parameters:
+//
+//	morphsim -workload "PHASE SHIFT" -epochs 22 -bandit
+//	morphsim -workload "MIX 01" -bandit -bandit-arms "morph,dsr" -bandit-strategy epsilon
 package main
 
 import (
@@ -37,6 +46,7 @@ import (
 
 	mc "morphcache"
 
+	"morphcache/internal/baselines/bandit"
 	"morphcache/internal/baselines/dsr"
 	"morphcache/internal/baselines/pipp"
 	"morphcache/internal/core"
@@ -76,6 +86,13 @@ func main() {
 		sampledWarm = flag.Int("sampled-warmup", -1, "with -sampled: unmeasured warmup epochs per window (-1 = default 2, 0 = none)")
 		sampledWin  = flag.Uint64("sampled-window", 0, "with -sampled: truncate window epochs to this many cycles (0 = full epochs)")
 		sampledRefs = flag.Int("sampled-refs", 0, "with -sampled: profiled references per core per epoch (0 = default 2048)")
+		banditRun   = flag.Bool("bandit", false, "bandit meta-policy: pick one policy per window of epochs from the arm zoo, learn from observed rewards, stitch the measured epochs (DESIGN.md §16; replaces -policy)")
+		banditArms  = flag.String("bandit-arms", "", `with -bandit: comma-separated arm list in the -policy vocabulary, e.g. "morph,pipp,dsr,(4:4:1)" (empty = morph, pipp, dsr, and the standard statics)`)
+		banditStrat = flag.String("bandit-strategy", "", "with -bandit: ucb1 or epsilon (empty = default ucb1)")
+		banditWin   = flag.Int("bandit-window", 0, "with -bandit: measured epochs per window (0 = default 2)")
+		banditWarm  = flag.Int("bandit-warmup", -1, "with -bandit: unmeasured warmup epochs per window (-1 = default 1, 0 = none)")
+		banditRew   = flag.String("bandit-reward", "", "with -bandit: reward signal: throughput, mpki, or energy (empty = default throughput)")
+		banditEps   = flag.Float64("bandit-epsilon", 0, "with -bandit: exploration probability of the epsilon strategy (0 = default 0.1)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -103,6 +120,23 @@ func main() {
 			fatal(fmt.Errorf("-stats reports one run's hierarchy; a sampled run simulates several independent windows (drop -stats)"))
 		}
 		sopts = sampledOptions(*sampledK, *sampledWarm, *sampledWin, *sampledRefs)
+	}
+
+	var bopts mc.BanditConfig
+	if *banditRun {
+		switch {
+		case *sampledRun:
+			fatal(fmt.Errorf("-bandit and -sampled both re-slice the run into windows; pick one"))
+		case *traceIn != "":
+			fatal(fmt.Errorf("-bandit needs re-runnable synthetic sources; -trace-in replay is full-run only"))
+		case *traceOut != "":
+			fatal(fmt.Errorf("-bandit simulates overlapping per-window streams; record traces with a full run (drop -bandit)"))
+		case *faults > 0:
+			fatal(fmt.Errorf("-bandit cannot honor a fault plan: windows run on fresh targets, and faults damage specific epochs of one persistent hierarchy"))
+		case *stats:
+			fatal(fmt.Errorf("-stats reports one run's hierarchy; a bandit run builds a fresh target per window (drop -stats)"))
+		}
+		bopts = banditOptions(*banditArms, *banditStrat, *banditWin, *banditWarm, *banditRew, *banditEps)
 	}
 
 	// Build the fault plan first so validation below covers it too.
@@ -136,6 +170,12 @@ func main() {
 	}
 	if *sampledRun {
 		vcfg.Sampled = &sopts
+	}
+	if *banditRun {
+		if len(bopts.Arms) == 0 {
+			bopts.Arms = mc.DefaultBanditArms(vcfg)
+		}
+		vcfg.Bandit = &bopts
 	}
 	if err := vcfg.Validate(); err != nil {
 		fatal(err)
@@ -196,6 +236,7 @@ func main() {
 		run  *metrics.Run
 		sys  *hierarchy.System
 		rep  *sampled.Report
+		brep *bandit.Report
 		slog *telemetry.Log
 		err  error
 	}
@@ -204,14 +245,22 @@ func main() {
 		observer.JobStarted()
 		start := time.Now()
 		var o runOutcome
-		if *sampledRun {
+		switch {
+		case *banditRun:
+			rr, err := runBandit(cfg, *cores, *scale, *wl, bopts)
+			if err != nil {
+				o.err = err
+			} else {
+				o = runOutcome{run: rr.Run, brep: rr.Report}
+			}
+		case *sampledRun:
 			rr, err := runSampled(cfg, *cores, *scale, *policy, *wl, sopts)
 			if err != nil {
 				o.err = err
 			} else {
 				o = runOutcome{run: rr.Run, rep: rr.Report, slog: rr.Log}
 			}
-		} else {
+		default:
 			o.run, o.sys, o.err = runPolicy(cfg, *cores, *scale, *policy, srcs)
 		}
 		observer.JobFinished(o.err, time.Since(start))
@@ -220,12 +269,13 @@ func main() {
 	var run *metrics.Run
 	var sys *hierarchy.System
 	var srep *sampled.Report
+	var brep *bandit.Report
 	select {
 	case o := <-ch:
 		if o.err != nil {
 			fatal(o.err)
 		}
-		run, sys, srep = o.run, o.sys, o.rep
+		run, sys, srep, brep = o.run, o.sys, o.rep, o.brep
 		if tl != nil && o.slog != nil {
 			// Sampled runs record their windows into their own log (absolute
 			// epoch indices, warmup records flagged); that log is the one
@@ -253,7 +303,7 @@ func main() {
 	}
 	switch *outFmt {
 	case "json":
-		if err := emitJSON(os.Stdout, source, cfg, run, sys, tl, srep); err != nil {
+		if err := emitJSON(os.Stdout, source, cfg, run, sys, tl, srep, brep); err != nil {
 			fatal(err)
 		}
 		return
@@ -273,6 +323,9 @@ func main() {
 	if run.Reconfigurations > 0 {
 		fmt.Printf("reconfigurations: %d (asymmetric outcome in %d/%d intervals)\n",
 			run.Reconfigurations, run.AsymmetricSteps, len(run.Epochs))
+	}
+	if brep != nil {
+		printBanditSummary(brep)
 	}
 	if srep != nil {
 		fmt.Printf("sampled: %d phases over %d measured epochs; %d window epochs simulated (%.1fx cycle speedup)\n",

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"morphcache/internal/baselines/bandit"
 	"morphcache/internal/hierarchy"
 	"morphcache/internal/metrics"
 	"morphcache/internal/sampled"
@@ -31,9 +32,12 @@ type report struct {
 	// Sampled is the reconstruction report of a -sampled run (absent for
 	// full runs, so their documents are unchanged by its introduction).
 	Sampled *sampled.Report `json:"sampled,omitempty"`
+	// Bandit is the decision report of a -bandit run (absent otherwise,
+	// preserving existing documents the same way).
+	Bandit *bandit.Report `json:"bandit,omitempty"`
 }
 
-func emitJSON(w io.Writer, workload string, cfg sim.Config, run *metrics.Run, sys *hierarchy.System, tl *telemetry.Log, srep *sampled.Report) error {
+func emitJSON(w io.Writer, workload string, cfg sim.Config, run *metrics.Run, sys *hierarchy.System, tl *telemetry.Log, srep *sampled.Report, brep *bandit.Report) error {
 	r := report{
 		Workload:         workload,
 		Policy:           run.Policy,
@@ -57,6 +61,7 @@ func emitJSON(w io.Writer, workload string, cfg sim.Config, run *metrics.Run, sy
 	}
 	r.Telemetry = tl
 	r.Sampled = srep
+	r.Bandit = brep
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)

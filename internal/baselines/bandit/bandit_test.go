@@ -1,0 +1,483 @@
+package bandit
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"morphcache/internal/hierarchy"
+	"morphcache/internal/mem"
+	"morphcache/internal/sim"
+	"morphcache/internal/telemetry"
+)
+
+const testCycles = 2000
+
+// fakeTarget is a deterministic synthetic target: every access costs
+// lat(epoch) cycles, so per-epoch throughput is a pure function of the
+// (arm, epoch) pair. The epoch is recovered from the virtual clock — the
+// engine keeps clocks on the absolute timeline even in resumed windows.
+type fakeTarget struct {
+	name  string
+	cores int
+	lat   func(epoch int) int
+}
+
+func (f *fakeTarget) Name() string              { return f.name }
+func (f *fakeTarget) Cores() int                { return f.cores }
+func (f *fakeTarget) SetCoreASID(int, mem.ASID) {}
+func (f *fakeTarget) EndEpoch(int) (int, bool)  { return 0, false }
+func (f *fakeTarget) Spec() string              { return f.name }
+func (f *fakeTarget) Access(core int, a mem.Access, now uint64) hierarchy.AccessResult {
+	return hierarchy.AccessResult{Latency: f.lat(int(now / testCycles))}
+}
+
+// snapFakeTarget adds telemetry counters: every access is a last-level
+// miss (MemReads), so MPKI scales with the access count.
+type snapFakeTarget struct {
+	fakeTarget
+	accesses, memReads uint64
+}
+
+func (f *snapFakeTarget) Access(core int, a mem.Access, now uint64) hierarchy.AccessResult {
+	f.accesses++
+	f.memReads++
+	return f.fakeTarget.Access(core, a, now)
+}
+
+func (f *snapFakeTarget) TelemetrySnapshot() telemetry.Snapshot {
+	return telemetry.Snapshot{Cores: []telemetry.CoreCounters{{Accesses: f.accesses, MemReads: f.memReads}}}
+}
+
+// fakeSource replays a trivial single-line stream.
+type fakeSource struct{}
+
+func (fakeSource) ASID() mem.ASID   { return 1 }
+func (fakeSource) BeginEpoch(int)   {}
+func (fakeSource) Next() mem.Access { return mem.Access{Line: 1, ASID: 1} }
+
+func testConfig(epochs int) sim.Config {
+	return sim.Config{
+		EpochCycles:  testCycles,
+		Epochs:       epochs,
+		WarmupEpochs: 1,
+		GapInstr:     8,
+		IssueWidth:   4,
+		Seed:         7,
+	}
+}
+
+// flat returns a factory set whose arms have constant latencies.
+func flat(lats map[string]int) Factories {
+	return Factories{
+		NewTarget: func(arm string) (sim.Target, error) {
+			l := lats[arm]
+			return &fakeTarget{name: arm, cores: 1, lat: func(int) int { return l }}, nil
+		},
+		NewSources: func() ([]sim.Source, error) { return []sim.Source{fakeSource{}}, nil },
+	}
+}
+
+// phased returns factories where "a" is fast before the flip epoch and slow
+// after, and "b" the reverse — every fixed arm loses one phase.
+func phased(flip int) Factories {
+	return Factories{
+		NewTarget: func(arm string) (sim.Target, error) {
+			lat := func(e int) int {
+				fast := e < flip
+				if arm == "b" {
+					fast = !fast
+				}
+				if fast {
+					return 1
+				}
+				return 40
+			}
+			return &fakeTarget{name: arm, cores: 1, lat: lat}, nil
+		},
+		NewSources: func() ([]sim.Source, error) { return []sim.Source{fakeSource{}}, nil },
+	}
+}
+
+func TestBanditPrefersBestArmStationary(t *testing.T) {
+	f := flat(map[string]int{"fast": 1, "slow": 40})
+	opts := Options{Arms: []string{"slow", "fast"}, WindowEpochs: 1}
+	rr, err := Run(testConfig(12), opts, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plays := map[string]int{}
+	for _, w := range rr.Report.Windows {
+		plays[w.Arm]++
+	}
+	if plays["fast"] <= plays["slow"] {
+		t.Fatalf("expected the fast arm to dominate, plays: %v", plays)
+	}
+	if len(rr.Run.Epochs) != 12 {
+		t.Fatalf("stitched run has %d epochs, want 12", len(rr.Run.Epochs))
+	}
+	for i, ep := range rr.Run.Epochs {
+		if ep.Index != i {
+			t.Fatalf("epoch %d re-indexed as %d", i, ep.Index)
+		}
+	}
+}
+
+func TestBanditBeatsFixedArmsOnPhaseShift(t *testing.T) {
+	const epochs = 20
+	cfg := testConfig(epochs)
+	// The flip happens mid-run on the absolute timeline (warmup included).
+	f := phased(cfg.WarmupEpochs + epochs/2)
+	opts := Options{Arms: []string{"a", "b"}, WindowEpochs: 1, Discount: 0.5}
+	rr, err := Run(cfg, opts, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full fixed runs of each arm for comparison.
+	for _, arm := range []string{"a", "b"} {
+		target, _ := f.NewTarget(arm)
+		srcs, _ := f.NewSources()
+		eng, err := sim.NewFromSources(cfg, target, srcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixed := eng.Run()
+		if rr.Run.Throughput() <= fixed.Throughput() {
+			t.Fatalf("bandit throughput %.4f did not beat fixed arm %q at %.4f",
+				rr.Run.Throughput(), arm, fixed.Throughput())
+		}
+	}
+	if rr.Report.Switches == 0 {
+		t.Fatal("phase shift should force at least one switch")
+	}
+}
+
+func TestBanditDeterminismAcrossRerunsAndPermutations(t *testing.T) {
+	for _, strategy := range []string{StrategyUCB1, StrategyEpsilon} {
+		cfg := testConfig(16)
+		perms := [][]string{
+			{"a", "b", "c"}, {"c", "b", "a"}, {"b", "a", "c"},
+			{"c", "a", "b"}, {"a", "c", "b"},
+		}
+		var ref *RunResult
+		for i, arms := range perms {
+			f := phased(cfg.WarmupEpochs + 8)
+			// "c" is a mediocre constant arm to make three distinct arms.
+			base := f.NewTarget
+			f.NewTarget = func(arm string) (sim.Target, error) {
+				if arm == "c" {
+					return &fakeTarget{name: "c", cores: 1, lat: func(int) int { return 10 }}, nil
+				}
+				return base(arm)
+			}
+			rr, err := Run(cfg, Options{Arms: arms, Strategy: strategy, WindowEpochs: 1}, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				ref = rr
+				continue
+			}
+			if !reflect.DeepEqual(rr.Report.Windows, ref.Report.Windows) {
+				t.Fatalf("%s: arm schedule differs for permutation %v:\n%v\nvs\n%v",
+					strategy, arms, rr.Report.Windows, ref.Report.Windows)
+			}
+			if !reflect.DeepEqual(rr.Run, ref.Run) {
+				t.Fatalf("%s: stitched run differs for permutation %v", strategy, arms)
+			}
+		}
+	}
+}
+
+func TestBanditSingleArmDegenerate(t *testing.T) {
+	f := flat(map[string]int{"only": 3})
+	rr, err := Run(testConfig(6), Options{Arms: []string{"only"}, WindowEpochs: 2}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range rr.Report.Windows {
+		if w.Arm != "only" {
+			t.Fatalf("single-arm run chose %q", w.Arm)
+		}
+	}
+	if rr.Report.Switches != 0 {
+		t.Fatalf("single arm cannot switch, got %d", rr.Report.Switches)
+	}
+	// Its regret against its own full-run series must be exactly zero per
+	// epoch if stitching is sound... it is not exactly zero (fresh-target
+	// warmup differs from the accumulated full run), but with a constant-
+	// latency fake there is no state, so the series must match exactly.
+	target, _ := f.NewTarget("only")
+	srcs, _ := f.NewSources()
+	eng, _ := sim.NewFromSources(testConfig(6), target, srcs)
+	full := eng.Run()
+	reg, err := Regret(rr.Run.EpochThroughputs(), full.EpochThroughputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, d := range reg.PerEpoch {
+		if d != 0 {
+			t.Fatalf("stateless arm: epoch %d regret %v, want 0", e, d)
+		}
+	}
+	if reg.Ratio != 1 {
+		t.Fatalf("ratio %v, want 1", reg.Ratio)
+	}
+}
+
+func TestBanditArmChoiceTelemetry(t *testing.T) {
+	f := flat(map[string]int{"x": 2, "y": 20})
+	log := telemetry.NewLog()
+	cfg := testConfig(8)
+	cfg.Recorder = log
+	rr, err := Run(cfg, Options{Arms: []string{"x", "y"}, WindowEpochs: 2}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []telemetry.ReconfigEvent
+	for _, ev := range log.Reconfigs {
+		if ev.Level == "meta" && ev.Op == "arm" {
+			events = append(events, ev)
+		}
+	}
+	if len(events) != len(rr.Report.Windows) {
+		t.Fatalf("%d arm events for %d windows", len(events), len(rr.Report.Windows))
+	}
+	for i, ev := range events {
+		w := rr.Report.Windows[i]
+		if ev.Groups != w.Arm || ev.Rule != w.Rule || ev.Epoch != w.StartEpoch || ev.UtilA != w.Reward {
+			t.Fatalf("event %d %+v does not mirror window %+v", i, ev, w)
+		}
+	}
+}
+
+func TestRewardDegradationForCounterlessArms(t *testing.T) {
+	plain := flat(map[string]int{"p": 2, "q": 2})
+	counters := Factories{
+		NewTarget: func(arm string) (sim.Target, error) {
+			return &snapFakeTarget{fakeTarget: fakeTarget{name: arm, cores: 1, lat: func(int) int { return 2 }}}, nil
+		},
+		NewSources: plain.NewSources,
+	}
+	cases := []struct {
+		name    string
+		reward  string
+		f       Factories
+		want    string
+		degrade bool
+	}{
+		{"throughput never degrades", RewardThroughput, plain, RewardThroughput, false},
+		{"mpki without counters", RewardMPKI, plain, RewardThroughput, true},
+		{"mpki with counters", RewardMPKI, counters, RewardMPKI, false},
+		{"energy without hierarchy", RewardEnergy, counters, RewardThroughput, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rr, err := Run(testConfig(4), Options{Arms: []string{"p", "q"}, Reward: tc.reward, WindowEpochs: 2}, tc.f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rr.Report.Reward != tc.want {
+				t.Fatalf("effective reward %q, want %q", rr.Report.Reward, tc.want)
+			}
+			if tc.degrade {
+				if len(rr.Report.Warnings) == 0 || !strings.Contains(rr.Report.Warnings[0], "degraded") {
+					t.Fatalf("expected a degradation warning, got %v", rr.Report.Warnings)
+				}
+				if rr.Report.RewardRequested != tc.reward {
+					t.Fatalf("RewardRequested %q, want %q", rr.Report.RewardRequested, tc.reward)
+				}
+			} else if len(rr.Report.Warnings) != 0 {
+				t.Fatalf("unexpected warnings %v", rr.Report.Warnings)
+			}
+		})
+	}
+}
+
+func TestMPKIRewardIsNegatedMisses(t *testing.T) {
+	counters := Factories{
+		NewTarget: func(arm string) (sim.Target, error) {
+			return &snapFakeTarget{fakeTarget: fakeTarget{name: arm, cores: 1, lat: func(int) int { return 2 }}}, nil
+		},
+		NewSources: func() ([]sim.Source, error) { return []sim.Source{fakeSource{}}, nil },
+	}
+	rr, err := Run(testConfig(4), Options{Arms: []string{"m"}, Reward: RewardMPKI, WindowEpochs: 2}, counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range rr.Report.Windows {
+		if w.Reward >= 0 {
+			t.Fatalf("every access misses, so the MPKI reward must be negative, got %v", w.Reward)
+		}
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	bad := []Options{
+		{Strategy: "greedy"},
+		{Reward: "latency"},
+		{WindowEpochs: -1},
+		{WindowWarmup: -2},
+		{Epsilon: 1.5},
+		{Exploration: -1},
+		{Discount: 2},
+		{Arms: []string{"a", "a"}},
+		{Arms: []string{""}},
+		{Refresh: -2},
+		{ChangeThreshold: -0.5},
+		{ChangeThreshold: 1},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Fatalf("case %d (%+v) should fail validation", i, o)
+		}
+	}
+	if err := (Options{}).Validate(); err != nil {
+		t.Fatalf("zero options must validate: %v", err)
+	}
+	if err := Defaults().Validate(); err != nil {
+		t.Fatalf("defaults must validate: %v", err)
+	}
+}
+
+func TestFingerprintDistinguishesConfigs(t *testing.T) {
+	a := Options{Arms: []string{"morph", "pipp"}}
+	b := Options{Arms: []string{"morph", "dsr"}}
+	c := Options{Arms: []string{"pipp", "morph"}}
+	d := Options{Arms: []string{"morph", "pipp"}, Strategy: StrategyEpsilon}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different arm sets must fingerprint differently")
+	}
+	if a.Fingerprint() != c.Fingerprint() {
+		t.Fatal("arm order must not change the fingerprint")
+	}
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Fatal("different strategies must fingerprint differently")
+	}
+	e := Options{Arms: []string{"morph", "pipp"}, Refresh: 5}
+	g := Options{Arms: []string{"morph", "pipp"}, ChangeThreshold: 0.5}
+	if a.Fingerprint() == e.Fingerprint() || a.Fingerprint() == g.Fingerprint() {
+		t.Fatal("refresh and change-threshold settings must fingerprint differently")
+	}
+}
+
+// upshift returns factories where BOTH arms speed up at the flip epoch but
+// the winner changes: "a" goes 4→2 and "b" 8→1. Discounting alone never
+// re-explores here — the incumbent's own reward improves at the flip, so a
+// greedy bandit happily keeps playing "a". Only the change-point reset (or
+// the refresh backstop) can discover "b".
+func upshift(flip int) Factories {
+	return Factories{
+		NewTarget: func(arm string) (sim.Target, error) {
+			lat := func(e int) int {
+				if arm == "a" {
+					if e < flip {
+						return 4
+					}
+					return 2
+				}
+				if e < flip {
+					return 8
+				}
+				return 1
+			}
+			return &fakeTarget{name: arm, cores: 1, lat: lat}, nil
+		},
+		NewSources: func() ([]sim.Source, error) { return []sim.Source{fakeSource{}}, nil },
+	}
+}
+
+// lastPlays counts each arm's plays over the final n windows.
+func lastPlays(rep *Report, n int) map[string]int {
+	plays := map[string]int{}
+	for _, w := range rep.Windows[len(rep.Windows)-n:] {
+		plays[w.Arm]++
+	}
+	return plays
+}
+
+func TestChangeResetRecoversFromUpwardShift(t *testing.T) {
+	const epochs = 16
+	cfg := testConfig(epochs)
+	f := upshift(cfg.WarmupEpochs + epochs/2)
+	// Refresh disabled: the reset must do the re-exploration on its own.
+	opts := Options{
+		Arms: []string{"a", "b"}, WindowEpochs: 1,
+		Exploration: 0.001, Refresh: NoRefresh, ChangeThreshold: 0.25,
+	}
+	rr, err := Run(cfg, opts, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Report.Resets == 0 {
+		t.Fatal("the incumbent's reward doubles at the flip; change detection should reset")
+	}
+	if plays := lastPlays(rr.Report, 4); plays["b"] <= plays["a"] {
+		t.Fatalf("after the reset the new winner must dominate, final plays: %v", plays)
+	}
+}
+
+func TestRefreshReplaysStaleArms(t *testing.T) {
+	const epochs = 16
+	cfg := testConfig(epochs)
+	f := upshift(cfg.WarmupEpochs + epochs/2)
+	// Change detection disabled and the confidence bonus near zero: only the
+	// sliding-window refresh can ever replay the losing arm.
+	opts := Options{
+		Arms: []string{"a", "b"}, WindowEpochs: 1,
+		Exploration: 0.001, Refresh: 3, ChangeThreshold: NoChangeDetection,
+	}
+	rr, err := Run(cfg, opts, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Report.Resets != 0 {
+		t.Fatalf("change detection is off, got %d resets", rr.Report.Resets)
+	}
+	refreshed := false
+	for _, w := range rr.Report.Windows {
+		if w.Rule == "refresh" {
+			refreshed = true
+		}
+	}
+	if !refreshed {
+		t.Fatal("no window was chosen by the refresh rule")
+	}
+	if plays := lastPlays(rr.Report, 4); plays["b"] <= plays["a"] {
+		t.Fatalf("refresh must rediscover the new winner, final plays: %v", plays)
+	}
+}
+
+func TestRunRejections(t *testing.T) {
+	f := flat(map[string]int{"a": 1})
+	if _, err := Run(testConfig(4), Options{}, f); err == nil {
+		t.Fatal("no arms should error")
+	}
+	cfg := testConfig(4)
+	cfg.StartEpoch = 3
+	if _, err := Run(cfg, Options{Arms: []string{"a"}}, f); err == nil {
+		t.Fatal("nonzero StartEpoch should error")
+	}
+}
+
+func TestRegretEdgeCases(t *testing.T) {
+	if _, err := Regret(nil, nil); err == nil {
+		t.Fatal("empty series should error")
+	}
+	if _, err := Regret([]float64{1}, nil); err == nil {
+		t.Fatal("empty oracle should error")
+	}
+	if _, err := Regret([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("mismatched epoch counts should error")
+	}
+	r, err := Regret([]float64{1, 2}, []float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cumulative != 1 || r.PerEpoch[0] != 1 || r.PerEpoch[1] != 0 {
+		t.Fatalf("bad regret math: %+v", r)
+	}
+	if r.MeanRealized != 1.5 || r.MeanOracle != 2 || r.Ratio != 0.75 {
+		t.Fatalf("bad means: %+v", r)
+	}
+}

@@ -1,0 +1,45 @@
+package bandit
+
+import "fmt"
+
+// RegretReport compares the bandit's realized per-epoch throughput series
+// against the offline oracle's envelope (offline.Ideal over full runs of
+// every arm). Regret here is throughput regret — oracle minus realized per
+// epoch — regardless of the reward mode the bandit optimized, because the
+// oracle is defined on throughput (§5.1, Fig. 15).
+type RegretReport struct {
+	// PerEpoch is oracle[e] - realized[e]. Individual entries can be
+	// negative: a bandit window warmed near epoch e can beat the oracle's
+	// same-epoch snapshot of a full fixed run.
+	PerEpoch []float64 `json:"per_epoch"`
+	// Cumulative is the sum of PerEpoch.
+	Cumulative float64 `json:"cumulative"`
+	// MeanRealized and MeanOracle are the whole-run mean throughputs;
+	// Ratio is MeanRealized/MeanOracle (1.0 = matched the oracle).
+	MeanRealized float64 `json:"mean_realized"`
+	MeanOracle   float64 `json:"mean_oracle"`
+	Ratio        float64 `json:"ratio"`
+}
+
+// Regret computes the regret report for a realized per-epoch throughput
+// series against the oracle envelope. Both series must be non-empty and
+// cover the same epochs.
+func Regret(realized, oracle []float64) (*RegretReport, error) {
+	if len(realized) == 0 || len(oracle) == 0 {
+		return nil, fmt.Errorf("bandit: regret needs non-empty series (realized %d, oracle %d epochs)", len(realized), len(oracle))
+	}
+	if len(realized) != len(oracle) {
+		return nil, fmt.Errorf("bandit: regret series cover %d vs %d epochs", len(realized), len(oracle))
+	}
+	r := &RegretReport{PerEpoch: make([]float64, len(realized))}
+	for e := range realized {
+		r.PerEpoch[e] = oracle[e] - realized[e]
+		r.Cumulative += r.PerEpoch[e]
+		r.MeanRealized += realized[e] / float64(len(realized))
+		r.MeanOracle += oracle[e] / float64(len(oracle))
+	}
+	if r.MeanOracle != 0 {
+		r.Ratio = r.MeanRealized / r.MeanOracle
+	}
+	return r, nil
+}

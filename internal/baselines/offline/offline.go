@@ -12,9 +12,33 @@ import (
 	"morphcache/internal/metrics"
 )
 
+// Labels assigns each candidate run an unambiguous label: the policy name
+// alone when no other candidate shares it, and "policy#i" (i the run's
+// position in the slice) when two candidates carry the same policy name —
+// e.g. two static topologies both recorded as "static". Envelope choices
+// must name exactly one run or the regret report cannot attribute winners.
+func Labels(runs []*metrics.Run) []string {
+	seen := make(map[string]int, len(runs))
+	for _, r := range runs {
+		seen[r.Policy]++
+	}
+	labels := make([]string, len(runs))
+	for i, r := range runs {
+		if seen[r.Policy] > 1 {
+			labels[i] = fmt.Sprintf("%s#%d", r.Policy, i)
+		} else {
+			labels[i] = r.Policy
+		}
+	}
+	return labels
+}
+
 // Ideal composes the per-epoch upper envelope over the given static runs.
 // All runs must cover the same number of epochs. It returns the per-epoch
-// best throughput and which configuration achieved it.
+// best throughput and which configuration achieved it, labelled per Labels
+// so duplicate policy names stay distinguishable. Equal throughput breaks
+// toward the lowest index, so permuting equal candidates permutes the
+// reported labels but job-completion order can never change the envelope.
 func Ideal(runs []*metrics.Run) (series []float64, choice []string, err error) {
 	if len(runs) == 0 {
 		return nil, nil, fmt.Errorf("offline: no candidate runs")
@@ -25,17 +49,19 @@ func Ideal(runs []*metrics.Run) (series []float64, choice []string, err error) {
 			return nil, nil, fmt.Errorf("offline: runs cover %d vs %d epochs", len(r.Epochs), n)
 		}
 	}
+	labels := Labels(runs)
 	series = make([]float64, n)
 	choice = make([]string, n)
 	for e := 0; e < n; e++ {
 		best, bestT := -1, 0.0
 		for i, r := range runs {
+			// Strictly-greater keeps the lowest-index winner on ties.
 			if t := r.Epochs[e].Throughput(); best < 0 || t > bestT {
 				best, bestT = i, t
 			}
 		}
 		series[e] = bestT
-		choice[e] = runs[best].Policy
+		choice[e] = labels[best]
 	}
 	return series, choice, nil
 }

@@ -61,3 +61,60 @@ func TestThroughputEmpty(t *testing.T) {
 		t.Fatal("empty series mean should be 0")
 	}
 }
+
+// Two candidates sharing a policy name must still be distinguishable in the
+// choice series (regression for the ambiguous runs[best].Policy labelling).
+func TestIdealDuplicatePolicyNames(t *testing.T) {
+	a := runWith("static", 3.0, 1.0)
+	b := runWith("static", 1.0, 3.0)
+	c := runWith("morph", 2.0, 2.0)
+	_, choice, err := Ideal([]*metrics.Run{a, b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"static#0", "static#1"}
+	for i := range want {
+		if choice[i] != want[i] {
+			t.Fatalf("epoch %d winner %q, want %q", i, choice[i], want[i])
+		}
+	}
+	if choice[0] == choice[1] {
+		t.Fatal("duplicate-named winners must carry distinct labels")
+	}
+}
+
+// Equal throughput must resolve to the lowest-index candidate so that the
+// envelope is a pure function of the candidate list, not of job ordering.
+func TestIdealTieBreakLowestIndex(t *testing.T) {
+	a := runWith("A", 2.0, 1.0)
+	b := runWith("B", 2.0, 2.0)
+	c := runWith("C", 2.0, 2.0)
+	series, choice, err := Ideal([]*metrics.Run{a, b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice[0] != "A" {
+		t.Fatalf("three-way tie at epoch 0 chose %q, want lowest index %q", choice[0], "A")
+	}
+	if choice[1] != "B" {
+		t.Fatalf("two-way tie at epoch 1 chose %q, want lowest index %q", choice[1], "B")
+	}
+	// Permuting the candidates must leave the envelope values untouched.
+	series2, _, err := Ideal([]*metrics.Run{c, b, a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range series {
+		if series[i] != series2[i] {
+			t.Fatalf("epoch %d envelope changed under permutation: %v vs %v", i, series[i], series2[i])
+		}
+	}
+}
+
+func TestLabelsUniqueOnly(t *testing.T) {
+	runs := []*metrics.Run{runWith("A", 1), runWith("B", 1)}
+	got := Labels(runs)
+	if got[0] != "A" || got[1] != "B" {
+		t.Fatalf("unique names must stay undecorated, got %v", got)
+	}
+}

@@ -130,6 +130,21 @@ func phi(e int, period, phase float64, square bool) float64 {
 	return math.Sqrt2 * v
 }
 
+// phiExact evaluates a two-level square wave exactly on integer epochs:
+// +1 on epochs [0, period/2), -1 on [period/2, period), offset by
+// shift·period epochs (rounded). Unlike the sign-of-sin form above, the
+// half-period boundary cannot wobble on floating-point rounding.
+func phiExact(e, period int, shift float64) float64 {
+	s := (e + int(math.Round(shift*float64(period)))) % period
+	if s < 0 {
+		s += period
+	}
+	if 2*s < period {
+		return 1
+	}
+	return -1
+}
+
 // BeginEpoch recomputes the epoch's working-set sizes and reseeds the
 // reference stream (deterministically: the stream depends only on seed,
 // asid, thread, and epoch).
@@ -139,8 +154,18 @@ func (g *Generator) BeginEpoch(e int) {
 
 	p := g.prof
 	m := g.cfg.Model
-	acf2 := p.L2ACF + m.TemporalGain*p.L2SigmaT*phi(e, g.period2, g.phase2, m.SquarePhases) + m.SpatialGain*p.L2SigmaS*g.psi
-	acf3 := p.L3ACF + m.TemporalGain*p.L3SigmaT*phi(e, g.period3, g.phase3, m.SquarePhases) + m.SpatialGain*p.L3SigmaS*g.psi
+	// Profiles with an explicit PhasePeriod override the seed-derived
+	// drifting phases with a machine-aligned square wave (see Profile),
+	// evaluated exactly on integer epochs — a sin-sign wave is numerically
+	// ambiguous right at the half-period boundary.
+	f2 := phi(e, g.period2, g.phase2, m.SquarePhases)
+	f3 := phi(e, g.period3, g.phase3, m.SquarePhases)
+	if p.PhasePeriod > 0 {
+		f2 = phiExact(e, p.PhasePeriod, p.PhaseShift)
+		f3 = f2
+	}
+	acf2 := p.L2ACF + m.TemporalGain*p.L2SigmaT*f2 + m.SpatialGain*p.L2SigmaS*g.psi
+	acf3 := p.L3ACF + m.TemporalGain*p.L3SigmaT*f3 + m.SpatialGain*p.L3SigmaS*g.psi
 	acf2 = clamp(acf2, 0.02, 1.0)
 	acf3 = clamp(acf3, 0.02, 1.0)
 

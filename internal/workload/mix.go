@@ -68,8 +68,12 @@ func Mixes8() []Mix {
 	return out
 }
 
-// MixByName returns one Table 5 mix ("MIX 01" ... "MIX 12").
+// MixByName returns one Table 5 mix ("MIX 01" ... "MIX 12"), an 8-core
+// derivative, or the synthetic adversarial phase-shift mix ("PHASE SHIFT").
 func MixByName(name string) (Mix, error) {
+	if name == PhaseShiftMixName {
+		return PhaseShiftMix(), nil
+	}
 	for _, m := range Mixes() {
 		if m.Name == name {
 			return m, nil

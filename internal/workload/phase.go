@@ -1,0 +1,60 @@
+package workload
+
+// Synthetic adversarial benchmarks for the phase-shift mix. These are not
+// Table 4 rows: they exist to build a workload where the best topology
+// changes abruptly, machine-wide, mid-run — the regime the bandit
+// meta-policy (internal/baselines/bandit) is gated on. Two ingredients:
+//
+//   - "phaseflip": a class-3 benchmark whose footprint square-waves between
+//     saturating (ACF 1.0, inflated to ~2.6 slices of demand — merging with
+//     a small neighbor is the only way to keep it cached) and tiny
+//     (ACF 0.10) with an exact machine-aligned period, so all flip cores
+//     swing together;
+//   - "phasecalm": a streaming-heavy class-0 benchmark with a constant tiny
+//     footprint. Its reuse sets never pressure capacity, but its streaming
+//     traffic keeps the shared-bus segments of merged topologies busy, so
+//     merging is pure overhead whenever the flip cores are in their small
+//     phase.
+//
+// Interleaving the two gives half the machine a reason to merge in the
+// flips' big phase and every core a reason to stay private in the small
+// phase: (16:1:1) loses the big phase, merged statics lose the small phase,
+// and reactive policies pay their adaptation lag at every flip.
+
+// PhaseShiftPeriod is the square-wave period in absolute epochs. 24 gives
+// one flip inside a 24-measured-epoch quick run and two in a 48-epoch full
+// run (the first two absolute epochs are warmup).
+const PhaseShiftPeriod = 24
+
+var phaseProfiles = []Profile{
+	{
+		Name: "phaseflip", Suite: SPEC, Class: 3,
+		L2ACF: 0.55, L2SigmaT: 0.30,
+		L3ACF: 0.55, L3SigmaT: 0.30,
+		WriteFrac:   0.2,
+		PhasePeriod: PhaseShiftPeriod,
+	},
+	{
+		Name: "phasecalm", Suite: SPEC, Class: 0,
+		L2ACF: 0.10, L3ACF: 0.10,
+		WriteFrac: 0.2,
+	},
+}
+
+// PhaseShiftMixName names the adversarial mix for MixByName.
+const PhaseShiftMixName = "PHASE SHIFT"
+
+// PhaseShiftMix returns the adversarial 16-application mix: flip and calm
+// benchmarks interleaved core-by-core, so every buddy pair and every
+// 4-group contains both kinds. It resolves via MixByName like the Table 5
+// mixes but is deliberately not part of Mixes() — figure experiments sweep
+// the paper's workloads only.
+func PhaseShiftMix() Mix {
+	m := Mix{Name: PhaseShiftMixName, Type: [4]int{8, 0, 0, 8}}
+	flip := &phaseProfiles[0]
+	calm := &phaseProfiles[1]
+	for i := 0; i < 8; i++ {
+		m.Benchmarks = append(m.Benchmarks, flip, calm)
+	}
+	return m
+}

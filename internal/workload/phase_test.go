@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"testing"
+
+	"morphcache/internal/mem"
+)
+
+// An explicit PhasePeriod must produce an exact machine-aligned square
+// wave: big footprints for the first half-period, small for the second,
+// identically across threads and seeds (the seed-derived drifting phases
+// are bypassed).
+func TestPhasePeriodSquareWave(t *testing.T) {
+	flip, err := ByName("phaseflip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultGenConfig()
+	ga := NewGenerator(flip, cfg, mem.ASID(1), 0, 1)
+	gb := NewGenerator(flip, cfg, mem.ASID(9), 0, 99)
+
+	P := flip.PhasePeriod
+	if P <= 0 {
+		t.Fatal("phaseflip must set PhasePeriod")
+	}
+	var bigHot, smallHot int
+	for e := 0; e < 2*P; e++ {
+		ga.BeginEpoch(e)
+		gb.BeginEpoch(e)
+		hotA, _ := ga.EpochFootprint()
+		hotB, _ := gb.EpochFootprint()
+		if hotA != hotB {
+			t.Fatalf("epoch %d: footprints not aligned across seeds/ASIDs: %d vs %d", e, hotA, hotB)
+		}
+		big := e%P < P/2
+		if big {
+			if bigHot == 0 {
+				bigHot = hotA
+			}
+			if hotA != bigHot {
+				t.Fatalf("epoch %d: big-phase footprint %d, want %d", e, hotA, bigHot)
+			}
+		} else {
+			if smallHot == 0 {
+				smallHot = hotA
+			}
+			if hotA != smallHot {
+				t.Fatalf("epoch %d: small-phase footprint %d, want %d", e, hotA, smallHot)
+			}
+		}
+	}
+	if bigHot <= smallHot {
+		t.Fatalf("big phase (%d lines) must exceed small phase (%d lines)", bigHot, smallHot)
+	}
+	// The inflated big phase must overflow one L2 slice — that is what
+	// makes merging worth having.
+	if bigHot <= cfg.L2SliceLines {
+		t.Fatalf("big-phase hot set %d lines fits one %d-line slice; the mix would not be adversarial", bigHot, cfg.L2SliceLines)
+	}
+}
+
+// Profiles without PhasePeriod keep the seed-derived drifting phases: two
+// different seeds disagree about epoch footprints somewhere in a run.
+func TestPhasePeriodZeroKeepsDriftingPhases(t *testing.T) {
+	p, err := ByName("bzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultGenConfig()
+	ga := NewGenerator(p, cfg, mem.ASID(1), 0, 1)
+	gb := NewGenerator(p, cfg, mem.ASID(1), 0, 2)
+	same := true
+	for e := 0; e < 24; e++ {
+		ga.BeginEpoch(e)
+		gb.BeginEpoch(e)
+		ha, _ := ga.EpochFootprint()
+		hb, _ := gb.EpochFootprint()
+		same = same && ha == hb
+	}
+	if same {
+		t.Fatal("seed-derived phases should differ between seeds for Table 4 profiles")
+	}
+}
+
+func TestPhaseShiftMixShape(t *testing.T) {
+	m, err := MixByName(PhaseShiftMixName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Benchmarks) != 16 {
+		t.Fatalf("mix has %d benchmarks, want 16", len(m.Benchmarks))
+	}
+	if m.Type != [4]int{8, 0, 0, 8} {
+		t.Fatalf("class census %v, want [8 0 0 8]", m.Type)
+	}
+	for i, b := range m.Benchmarks {
+		want := "phasecalm"
+		if i%2 == 0 {
+			want = "phaseflip"
+		}
+		if b.Name != want {
+			t.Fatalf("core %d runs %q, want %q", i, b.Name, want)
+		}
+	}
+	// The figure experiments must not pick it up.
+	for _, mm := range Mixes() {
+		if mm.Name == PhaseShiftMixName {
+			t.Fatal("the phase-shift mix must not appear in Mixes()")
+		}
+	}
+}

@@ -76,6 +76,19 @@ type Profile struct {
 
 	// WriteFrac is the fraction of references that are stores.
 	WriteFrac float64
+
+	// PhasePeriod, when positive, replaces the seed-derived per-generator
+	// temporal phases with an exact square wave of this period in absolute
+	// epochs, identical at both cache levels and aligned across every
+	// thread and benchmark that sets it: epochs [0, P/2) sit at +gain·σt
+	// above the mean ACF, epochs [P/2, P) at -gain·σt below (offset by
+	// PhaseShift·P epochs). Table 4 profiles leave it 0; the synthetic
+	// adversarial benchmarks of the phase-shift mix (PhaseShiftMix) use it
+	// so that whole-machine phase changes happen abruptly and in lockstep —
+	// the regime where every fixed topology loses at least one phase.
+	PhasePeriod int
+	// PhaseShift offsets the square wave by this fraction of the period.
+	PhaseShift float64
 }
 
 // String returns the benchmark name.
@@ -159,6 +172,11 @@ var byName = func() map[string]*Profile {
 	}
 	for i := range parsecProfiles {
 		m[parsecProfiles[i].Name] = &parsecProfiles[i]
+	}
+	// Synthetic adversarial benchmarks (phase.go); not Table 4 rows, but
+	// resolvable by name like everything else.
+	for i := range phaseProfiles {
+		m[phaseProfiles[i].Name] = &phaseProfiles[i]
 	}
 	// Table 5 shorthand aliases.
 	for alias, full := range map[string]string{

@@ -85,6 +85,12 @@ type Config struct {
 	// (with Result.SampledReport attached; DESIGN.md §13). Incompatible
 	// with Faults. Nil (the default) simulates every epoch as always.
 	Sampled *SampledConfig
+	// Bandit, when non-nil, configures the bandit meta-policy used by
+	// RunBandit and Policy "bandit" (see internal/baselines/bandit and
+	// DESIGN.md §16): arm list, selection strategy, reward mode, and window
+	// size. Incompatible with Faults and Sampled. Nil runs the defaults.
+	// Non-bandit entry points reject a set Bandit instead of ignoring it.
+	Bandit *BanditConfig
 	// Observer, when non-nil, attaches live observability hooks to the run:
 	// per-level access counters and latency histograms, controller decision
 	// counts, phase spans when its tracer is on, and — with Telemetry also
@@ -125,6 +131,17 @@ func (c Config) Validate() error {
 		}
 		if !c.Faults.Empty() {
 			return fmt.Errorf("morphcache: Sampled and Faults are incompatible (fault plans damage specific epochs; a sampled run does not simulate them all)")
+		}
+	}
+	if c.Bandit != nil {
+		if err := c.Bandit.Validate(); err != nil {
+			return fmt.Errorf("morphcache: %w", err)
+		}
+		if !c.Faults.Empty() {
+			return fmt.Errorf("morphcache: Bandit and Faults are incompatible (fault plans damage specific absolute epochs; bandit windows replay epochs on fresh targets and would re-inject the damage per window)")
+		}
+		if c.Sampled != nil {
+			return fmt.Errorf("morphcache: Bandit and Sampled are incompatible (both re-slice the run into windows; the bandit needs the full epoch sequence to learn from)")
 		}
 	}
 	return nil
@@ -265,6 +282,9 @@ type Result struct {
 	// SampledReport describes the phase clustering and metric
 	// reconstruction of a sampled run (nil for full runs).
 	SampledReport *SampledReport
+	// BanditReport describes a bandit run's arm schedule and statistics
+	// (nil for non-bandit runs).
+	BanditReport *BanditReport
 }
 
 func fromRun(r *metrics.Run) *Result {
@@ -286,6 +306,9 @@ func fromRun(r *metrics.Run) *Result {
 // idealized static latencies.
 func RunStatic(c Config, spec string, w Workload) (*Result, error) {
 	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := c.rejectBandit("RunStatic"); err != nil {
 		return nil, err
 	}
 	if c.Sampled != nil {
@@ -327,6 +350,9 @@ func RunMorphCacheWithController(c Config, w Workload) (*Result, *core.Controlle
 	if c.Sampled != nil {
 		return nil, nil, fmt.Errorf("morphcache: RunMorphCacheWithController does not support sampled runs (one controller per representative window); use RunMorphCache")
 	}
+	if c.Bandit != nil {
+		return nil, nil, fmt.Errorf("morphcache: RunMorphCacheWithController does not support bandit runs (one controller per arm window, and only for windows that pick a morph arm); use RunBandit and inspect Result.BanditReport")
+	}
 	ctrl := core.New(c.Morph)
 	res, err := runControlled(c, w, ctrl)
 	if err != nil {
@@ -356,6 +382,9 @@ func runControlled(c Config, w Workload, ctrl *core.Controller) (*Result, error)
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	if err := c.rejectBandit("RunMorphCache"); err != nil {
+		return nil, err
+	}
 	gens, err := w.Generators(c)
 	if err != nil {
 		return nil, err
@@ -374,6 +403,9 @@ func runControlled(c Config, w Workload, ctrl *core.Controller) (*Result, error)
 // promotion/insertion pseudo-partitioning).
 func RunPIPP(c Config, w Workload) (*Result, error) {
 	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := c.rejectBandit("RunPIPP"); err != nil {
 		return nil, err
 	}
 	if c.Sampled != nil {
@@ -399,6 +431,9 @@ func RunDSR(c Config, w Workload) (*Result, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	if err := c.rejectBandit("RunDSR"); err != nil {
+		return nil, err
+	}
 	if c.Sampled != nil {
 		return runSampled(c, w, "dsr", "")
 	}
@@ -421,7 +456,8 @@ func RunDSR(c Config, w Workload) (*Result, error) {
 type RunSpec struct {
 	// Policy selects the management scheme: a static "(x:y:z)" spec,
 	// "morph", "morph-nodegrade" (MorphCache with graceful degradation
-	// off — the fault-experiment strawman), "pipp", or "dsr".
+	// off — the fault-experiment strawman), "pipp", "dsr", or "bandit"
+	// (the meta-policy over Config.Bandit's arm zoo).
 	Policy string
 	// Workload is the mix or PARSEC application to run.
 	Workload Workload
@@ -471,6 +507,8 @@ func (s RunSpec) run(cfg Config, o *obs.Observer) (*Result, error) {
 		return RunPIPP(c, s.Workload)
 	case "dsr":
 		return RunDSR(c, s.Workload)
+	case "bandit":
+		return RunBandit(c, s.Workload)
 	default:
 		return RunStatic(c, s.Policy, s.Workload)
 	}
